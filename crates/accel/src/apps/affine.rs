@@ -1,0 +1,174 @@
+//! Affine: affine transformation of an image
+//! (Xilinx SDAccel example; Table 4 row 2).
+//!
+//! Fixed-point (16.16) inverse-mapped affine warp with bilinear
+//! interpolation over a grayscale image. Both the input and the output
+//! image are encrypted in TEE modes (Table 4).
+
+use salus_bitstream::netlist::Module;
+
+use crate::data::DataGen;
+use crate::profile::AppProfile;
+use crate::workload::Workload;
+
+/// 16.16 fixed-point affine coefficients (inverse map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineMatrix {
+    /// Row 0: `src_x = (a*x + b*y + c) >> 16`.
+    pub a: i64,
+    /// See [`AffineMatrix::a`].
+    pub b: i64,
+    /// See [`AffineMatrix::a`].
+    pub c: i64,
+    /// Row 1: `src_y = (d*x + e*y + f) >> 16`.
+    pub d: i64,
+    /// See [`AffineMatrix::a`].
+    pub e: i64,
+    /// See [`AffineMatrix::a`].
+    pub f: i64,
+}
+
+impl AffineMatrix {
+    /// ~15° rotation + slight scale, the demo transform.
+    pub fn demo() -> AffineMatrix {
+        // cos(15°)≈0.966, sin(15°)≈0.259 in 16.16.
+        AffineMatrix {
+            a: 63_303,
+            b: -16_962,
+            c: 8 << 16,
+            d: 16_962,
+            e: 63_303,
+            f: -(4 << 16),
+        }
+    }
+}
+
+/// The Affine workload.
+#[derive(Debug, Clone)]
+pub struct Affine {
+    size: usize,
+    matrix: AffineMatrix,
+    input: Vec<u8>,
+}
+
+impl Affine {
+    /// Builds an instance over a `size`×`size` image.
+    pub fn new(size: usize, matrix: AffineMatrix) -> Affine {
+        let mut gen = DataGen::new("affine");
+        Affine {
+            size,
+            matrix,
+            input: gen.pixels(size * size),
+        }
+    }
+
+    /// The simulation-scale instance (paper: 512×512).
+    pub fn paper_scale() -> Affine {
+        Affine::new(64, AffineMatrix::demo())
+    }
+
+    fn sample(&self, image: &[u8], x: i64, y: i64) -> i64 {
+        if x < 0 || y < 0 || x >= self.size as i64 || y >= self.size as i64 {
+            0
+        } else {
+            image[y as usize * self.size + x as usize] as i64
+        }
+    }
+}
+
+impl Workload for Affine {
+    fn name(&self) -> &'static str {
+        "Affine"
+    }
+
+    fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn compute(&self, input: &[u8]) -> Vec<u8> {
+        let m = self.matrix;
+        let mut out = vec![0u8; self.size * self.size];
+        for y in 0..self.size as i64 {
+            for x in 0..self.size as i64 {
+                let sx = m.a * x + m.b * y + m.c;
+                let sy = m.d * x + m.e * y + m.f;
+                let x0 = sx >> 16;
+                let y0 = sy >> 16;
+                let fx = sx & 0xFFFF;
+                let fy = sy & 0xFFFF;
+                // Bilinear interpolation in fixed point.
+                let p00 = self.sample(input, x0, y0);
+                let p10 = self.sample(input, x0 + 1, y0);
+                let p01 = self.sample(input, x0, y0 + 1);
+                let p11 = self.sample(input, x0 + 1, y0 + 1);
+                let top = p00 * (0x10000 - fx) + p10 * fx;
+                let bottom = p01 * (0x10000 - fx) + p11 * fx;
+                let value = (top * (0x10000 - fy) + bottom * fy) >> 32;
+                out[(y as usize) * self.size + x as usize] = value.clamp(0, 255) as u8;
+            }
+        }
+        out
+    }
+
+    fn accelerator_module(&self) -> Module {
+        // Table 5: Affine = 32 014 LUT, 36 382 Register, 543 BRAM.
+        Module::new("cl/accel", "accel:affine").with_resources(32_014, 36_382, 543)
+    }
+
+    fn profile(&self) -> AppProfile {
+        crate::profile::affine()
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn encrypt_output(&self) -> bool {
+        true // input & output images (Table 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix_is_identity() {
+        let identity = AffineMatrix {
+            a: 1 << 16,
+            b: 0,
+            c: 0,
+            d: 0,
+            e: 1 << 16,
+            f: 0,
+        };
+        let affine = Affine::new(16, identity);
+        assert_eq!(affine.compute(affine.input()), affine.input());
+    }
+
+    #[test]
+    fn translation_shifts_pixels() {
+        let shift_one = AffineMatrix {
+            a: 1 << 16,
+            b: 0,
+            c: 1 << 16, // src_x = x + 1
+            d: 0,
+            e: 1 << 16,
+            f: 0,
+        };
+        let affine = Affine::new(8, shift_one);
+        let out = affine.compute(affine.input());
+        // out[y][x] = in[y][x+1]
+        assert_eq!(out[0], affine.input()[1]);
+        // Rightmost column samples out of bounds → 0.
+        assert_eq!(out[7], 0);
+    }
+
+    #[test]
+    fn demo_transform_changes_image_but_stays_in_range() {
+        let affine = Affine::paper_scale();
+        let out = affine.compute(affine.input());
+        assert_eq!(out.len(), affine.input().len());
+        assert_ne!(out, affine.input());
+    }
+}

@@ -1,0 +1,138 @@
+//! Conv: a single convolution layer over 3×3 kernels
+//! (Xilinx SDAccel example; Table 4 row 1).
+//!
+//! Integer (i32 accumulate over i16 data) direct convolution with ReLU,
+//! `channels_in` input feature maps → `channels_out` output maps. The
+//! simulation scale is smaller than the paper's 3×3×256 layer, but the
+//! kernel structure (and thus the data/compute paths being encrypted
+//! and verified) is the same.
+
+use salus_bitstream::netlist::Module;
+
+use crate::data::{bytes_to_i16s, i16s_to_bytes, i32s_to_bytes, DataGen};
+use crate::profile::AppProfile;
+use crate::workload::Workload;
+
+/// The Conv workload.
+#[derive(Debug, Clone)]
+pub struct Conv {
+    height: usize,
+    width: usize,
+    channels_in: usize,
+    channels_out: usize,
+    /// Weights stay on the accelerator ("training weights ... in
+    /// plaintext", §6.4) — they are not part of the encrypted input.
+    weights: Vec<i16>,
+    input: Vec<u8>,
+}
+
+impl Conv {
+    /// Builds a Conv instance with the given dimensions.
+    pub fn new(height: usize, width: usize, channels_in: usize, channels_out: usize) -> Conv {
+        let mut gen = DataGen::new("conv");
+        let weights = gen.i16s(3 * 3 * channels_in * channels_out, 64);
+        let feature_maps = gen.i16s(height * width * channels_in, 256);
+        Conv {
+            height,
+            width,
+            channels_in,
+            channels_out,
+            weights,
+            input: i16s_to_bytes(&feature_maps),
+        }
+    }
+
+    /// The simulation-scale instance used by tests and benches.
+    pub fn paper_scale() -> Conv {
+        Conv::new(16, 16, 8, 8)
+    }
+
+    fn in_at(&self, maps: &[i16], y: usize, x: usize, c: usize) -> i32 {
+        maps[(y * self.width + x) * self.channels_in + c] as i32
+    }
+
+    fn weight(&self, ky: usize, kx: usize, ci: usize, co: usize) -> i32 {
+        self.weights[((ky * 3 + kx) * self.channels_in + ci) * self.channels_out + co] as i32
+    }
+}
+
+impl Workload for Conv {
+    fn name(&self) -> &'static str {
+        "Conv"
+    }
+
+    fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn compute(&self, input: &[u8]) -> Vec<u8> {
+        let maps = bytes_to_i16s(input);
+        let out_h = self.height - 2;
+        let out_w = self.width - 2;
+        let mut out = vec![0i32; out_h * out_w * self.channels_out];
+        for y in 0..out_h {
+            for x in 0..out_w {
+                for co in 0..self.channels_out {
+                    let mut acc = 0i32;
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            for ci in 0..self.channels_in {
+                                acc += self.in_at(&maps, y + ky, x + kx, ci)
+                                    * self.weight(ky, kx, ci, co);
+                            }
+                        }
+                    }
+                    // ReLU
+                    out[(y * out_w + x) * self.channels_out + co] = acc.max(0);
+                }
+            }
+        }
+        i32s_to_bytes(&out)
+    }
+
+    fn accelerator_module(&self) -> Module {
+        // Table 5: Conv = 19 735 LUT, 20 169 Register, 329 BRAM.
+        Module::new("cl/accel", "accel:conv").with_resources(19_735, 20_169, 329)
+    }
+
+    fn profile(&self) -> AppProfile {
+        crate::profile::conv()
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn encrypt_output(&self) -> bool {
+        false // only incoming traffic is encrypted (§6.4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dimensions() {
+        let conv = Conv::new(8, 8, 2, 3);
+        let out = conv.compute(conv.input());
+        assert_eq!(out.len(), 6 * 6 * 3 * 4);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let conv = Conv::paper_scale();
+        let out = crate::data::bytes_to_i32s(&conv.compute(conv.input()));
+        assert!(out.iter().all(|&v| v >= 0));
+        // And at least one nonzero activation.
+        assert!(out.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn different_inputs_different_outputs() {
+        let conv = Conv::paper_scale();
+        let mut other = conv.input().to_vec();
+        other[0] ^= 0x7F;
+        assert_ne!(conv.compute(conv.input()), conv.compute(&other));
+    }
+}

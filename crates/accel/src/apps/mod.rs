@@ -1,0 +1,7 @@
+//! The five benchmark applications (Table 4).
+
+pub mod affine;
+pub mod conv;
+pub mod facedetect;
+pub mod nnsearch;
+pub mod rendering;

@@ -1,0 +1,189 @@
+//! Rendering: 2D images from 3D models (Rosetta; Table 4 row 3).
+//!
+//! A compact integer rasterizer in the spirit of Rosetta's `rendering`
+//! kernel: 3D triangles are flat-projected (drop z for coordinates,
+//! keep z for depth), rasterized with edge functions, and z-buffered
+//! into a grayscale frame. Input & output are encrypted in TEE modes.
+
+use salus_bitstream::netlist::Module;
+
+use crate::data::DataGen;
+use crate::profile::AppProfile;
+use crate::workload::Workload;
+
+/// Frame dimension (paper uses 256×256 Rosetta frames; sim scale 64).
+const FRAME: usize = 64;
+
+/// One triangle: three vertices of (x, y, z) in u8 like Rosetta.
+#[derive(Debug, Clone, Copy)]
+struct Triangle {
+    v: [[i32; 3]; 3],
+}
+
+/// The Rendering workload.
+#[derive(Debug, Clone)]
+pub struct Rendering {
+    input: Vec<u8>,
+    triangle_count: usize,
+}
+
+impl Rendering {
+    /// Builds an instance with `triangle_count` random triangles.
+    pub fn new(triangle_count: usize) -> Rendering {
+        let mut gen = DataGen::new("rendering");
+        // 9 coordinates per triangle, bounded to the frame.
+        let mut input = Vec::with_capacity(triangle_count * 9);
+        for _ in 0..triangle_count * 9 {
+            input.push((gen.u32_below(FRAME as u32)) as u8);
+        }
+        Rendering {
+            input,
+            triangle_count,
+        }
+    }
+
+    /// The simulation-scale instance (Rosetta uses 3 192 triangles).
+    pub fn paper_scale() -> Rendering {
+        Rendering::new(64)
+    }
+
+    /// Number of triangles in this instance's input.
+    pub fn triangle_count(&self) -> usize {
+        self.triangle_count
+    }
+
+    fn parse(input: &[u8]) -> Vec<Triangle> {
+        input
+            .chunks_exact(9)
+            .map(|c| Triangle {
+                v: [
+                    [c[0] as i32, c[1] as i32, c[2] as i32],
+                    [c[3] as i32, c[4] as i32, c[5] as i32],
+                    [c[6] as i32, c[7] as i32, c[8] as i32],
+                ],
+            })
+            .collect()
+    }
+
+    fn edge(a: [i32; 2], b: [i32; 2], p: [i32; 2]) -> i32 {
+        (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+    }
+}
+
+impl Workload for Rendering {
+    fn name(&self) -> &'static str {
+        "Rendering"
+    }
+
+    fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn compute(&self, input: &[u8]) -> Vec<u8> {
+        let triangles = Self::parse(input);
+        let mut color = vec![0u8; FRAME * FRAME];
+        let mut zbuf = vec![i32::MIN; FRAME * FRAME];
+
+        for t in &triangles {
+            let p0 = [t.v[0][0], t.v[0][1]];
+            let p1 = [t.v[1][0], t.v[1][1]];
+            let p2 = [t.v[2][0], t.v[2][1]];
+            let area = Self::edge(p0, p1, p2);
+            if area == 0 {
+                continue;
+            }
+            // Consistent winding: flip if negative.
+            let (p1, p2) = if area < 0 { (p2, p1) } else { (p1, p2) };
+            let depth = (t.v[0][2] + t.v[1][2] + t.v[2][2]) / 3;
+
+            let min_x = p0[0].min(p1[0]).min(p2[0]).max(0);
+            let max_x = p0[0].max(p1[0]).max(p2[0]).min(FRAME as i32 - 1);
+            let min_y = p0[1].min(p1[1]).min(p2[1]).max(0);
+            let max_y = p0[1].max(p1[1]).max(p2[1]).min(FRAME as i32 - 1);
+
+            for y in min_y..=max_y {
+                for x in min_x..=max_x {
+                    let p = [x, y];
+                    if Self::edge(p0, p1, p) >= 0
+                        && Self::edge(p1, p2, p) >= 0
+                        && Self::edge(p2, p0, p) >= 0
+                    {
+                        let idx = y as usize * FRAME + x as usize;
+                        if depth > zbuf[idx] {
+                            zbuf[idx] = depth;
+                            // Shade by depth: nearer (larger z) = brighter.
+                            color[idx] = (64 + (depth.clamp(0, 63) * 3)) as u8;
+                        }
+                    }
+                }
+            }
+        }
+        color
+    }
+
+    fn accelerator_module(&self) -> Module {
+        // Table 5: Rendering = 29 132 LUT, 35 731 Register, 142 BRAM.
+        Module::new("cl/accel", "accel:rendering").with_resources(29_132, 35_731, 142)
+    }
+
+    fn profile(&self) -> AppProfile {
+        crate::profile::rendering()
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn encrypt_output(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_some_pixels() {
+        let r = Rendering::paper_scale();
+        let frame = r.compute(r.input());
+        assert_eq!(frame.len(), FRAME * FRAME);
+        let lit = frame.iter().filter(|&&p| p > 0).count();
+        assert!(lit > 0, "no pixels rasterized");
+        assert_eq!(r.triangle_count(), 64);
+    }
+
+    #[test]
+    fn empty_input_renders_black() {
+        let r = Rendering::new(0);
+        let frame = r.compute(r.input());
+        assert!(frame.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn nearer_triangle_wins_zbuffer() {
+        // Two identical full-covering triangles at different depths.
+        let far: &[u8] = &[0, 0, 10, 63, 0, 10, 0, 63, 10];
+        let near: &[u8] = &[0, 0, 40, 63, 0, 40, 0, 63, 40];
+        let r = Rendering::new(0);
+        let mut both = far.to_vec();
+        both.extend_from_slice(near);
+        let frame = r.compute(&both);
+        // Pixel (1,1) is covered by both; near triangle's shade wins.
+        let expected_shade = 64 + 40 * 3;
+        assert_eq!(frame[FRAME + 1] as i32, expected_shade);
+
+        // Order independence: far drawn second still loses.
+        let mut reversed = near.to_vec();
+        reversed.extend_from_slice(far);
+        assert_eq!(r.compute(&both), r.compute(&reversed));
+    }
+
+    #[test]
+    fn degenerate_triangles_are_skipped() {
+        let degenerate: &[u8] = &[5, 5, 10, 5, 5, 10, 5, 5, 10];
+        let r = Rendering::new(0);
+        let frame = r.compute(degenerate);
+        assert!(frame.iter().all(|&p| p == 0));
+    }
+}

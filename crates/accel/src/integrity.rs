@@ -1,0 +1,408 @@
+//! Integrity-protected DRAM channel — the §3.1 extension.
+//!
+//! The paper delegates device-memory protection to the developer and
+//! points at Bonsai-Merkle-tree designs for the integrity half. This
+//! module implements that developer-side protection for the
+//! reproduction: the host authenticates the ciphertext it DMAs into
+//! untrusted DRAM with a keyed Merkle root, passes the root over the
+//! **secure register channel** (so the shell cannot substitute it), and
+//! the accelerator refuses to run on tampered input. The output path is
+//! protected symmetrically.
+//!
+//! Unlike the plain [`crate::harness`] channel — where shell tampering
+//! silently corrupts data — every DRAM modification is *detected*.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use salus_core::instance::TestBed;
+use salus_core::sm_logic::RegisterDevice;
+use salus_core::SalusError;
+use salus_crypto::ctr::AesCtr256;
+use salus_crypto::hmac::hkdf;
+use salus_crypto::merkle::MerkleTree;
+use salus_fpga::device::Device;
+
+use crate::harness::ComputeFn;
+use crate::runner::stream_ivs;
+use crate::workload::Workload;
+
+/// Merkle chunk size for DRAM authentication.
+pub const CHUNK_SIZE: usize = 256;
+
+/// Register map (disjoint from [`crate::harness::regs`] numerically, but
+/// this controller replaces the plain one entirely).
+pub mod regs {
+    /// Data-key words 0–3 (write).
+    pub const KEY0: u32 = 0;
+    /// Input DRAM offset.
+    pub const INPUT_OFFSET: u32 = 4;
+    /// Input length in bytes.
+    pub const INPUT_LEN: u32 = 5;
+    /// Output DRAM offset.
+    pub const OUTPUT_OFFSET: u32 = 6;
+    /// Start command.
+    pub const START: u32 = 7;
+    /// Status: 0 = idle, 1 = done, 2 = INPUT INTEGRITY FAILURE.
+    pub const STATUS: u32 = 8;
+    /// Output length.
+    pub const OUTPUT_LEN: u32 = 9;
+    /// Whether the output stream is encrypted.
+    pub const ENCRYPT_OUTPUT: u32 = 10;
+    /// Input Merkle root words 0–3 (write).
+    pub const IN_ROOT0: u32 = 16;
+    /// Output Merkle root words 0–3 (read).
+    pub const OUT_ROOT0: u32 = 20;
+}
+
+/// Status value reported on input-integrity failure.
+pub const STATUS_INTEGRITY_FAILURE: u64 = 2;
+
+/// Derives the DRAM-authentication key from the data key.
+pub fn integrity_key(data_key: &[u8; 32]) -> [u8; 32] {
+    hkdf(b"salus-dram-integrity-v1", data_key, b"", 32)
+        .try_into()
+        .expect("32")
+}
+
+/// Computes the Merkle root authenticating `buffer`.
+pub fn buffer_root(data_key: &[u8; 32], buffer: &[u8]) -> [u8; 32] {
+    MerkleTree::build(&integrity_key(data_key), buffer, CHUNK_SIZE).root()
+}
+
+/// The integrity-enforcing accelerator controller.
+pub struct IntegrityCtl {
+    device: Arc<Mutex<Device>>,
+    compute: ComputeFn,
+    key: [u8; 32],
+    in_root: [u8; 32],
+    out_root: [u8; 32],
+    input_offset: u64,
+    input_len: u64,
+    output_offset: u64,
+    output_len: u64,
+    encrypt_output: bool,
+    status: u64,
+}
+
+impl std::fmt::Debug for IntegrityCtl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntegrityCtl")
+            .field("status", &self.status)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IntegrityCtl {
+    /// Creates the controller for `device` running `compute`.
+    pub fn new(device: Arc<Mutex<Device>>, compute: ComputeFn) -> IntegrityCtl {
+        IntegrityCtl {
+            device,
+            compute,
+            key: [0; 32],
+            in_root: [0; 32],
+            out_root: [0; 32],
+            input_offset: 0,
+            input_len: 0,
+            output_offset: 0,
+            output_len: 0,
+            encrypt_output: false,
+            status: 0,
+        }
+    }
+
+    fn run(&mut self) {
+        let ciphertext = {
+            let device = self.device.lock();
+            device
+                .dram_read(self.input_offset as usize, self.input_len as usize)
+                .expect("input range valid")
+        };
+
+        // Verify DRAM contents against the root received over the
+        // secure register channel *before* trusting a single byte.
+        if buffer_root(&self.key, &ciphertext) != self.in_root {
+            self.status = STATUS_INTEGRITY_FAILURE;
+            self.output_len = 0;
+            return;
+        }
+
+        let (iv_in, iv_out) = stream_ivs(&self.key);
+        let mut input = ciphertext;
+        AesCtr256::new(&self.key, &iv_in).apply_keystream(&mut input);
+        let mut output = (self.compute)(&input);
+        if self.encrypt_output {
+            AesCtr256::new(&self.key, &iv_out).apply_keystream(&mut output);
+        }
+        self.out_root = buffer_root(&self.key, &output);
+        self.output_len = output.len() as u64;
+        self.device
+            .lock()
+            .dram_write(self.output_offset as usize, &output)
+            .expect("output range valid");
+        self.status = 1;
+    }
+}
+
+impl RegisterDevice for IntegrityCtl {
+    fn write_reg(&mut self, addr: u32, value: u64) {
+        match addr {
+            regs::KEY0..=3 => {
+                let i = addr as usize * 8;
+                self.key[i..i + 8].copy_from_slice(&value.to_le_bytes());
+            }
+            regs::IN_ROOT0..=19 => {
+                let i = (addr - regs::IN_ROOT0) as usize * 8;
+                self.in_root[i..i + 8].copy_from_slice(&value.to_le_bytes());
+            }
+            regs::INPUT_OFFSET => self.input_offset = value,
+            regs::INPUT_LEN => self.input_len = value,
+            regs::OUTPUT_OFFSET => self.output_offset = value,
+            regs::ENCRYPT_OUTPUT => self.encrypt_output = value != 0,
+            regs::START if value == 1 => {
+                self.status = 0;
+                self.run();
+            }
+            _ => {}
+        }
+    }
+
+    fn read_reg(&mut self, addr: u32) -> u64 {
+        match addr {
+            regs::STATUS => self.status,
+            regs::OUTPUT_LEN => self.output_len,
+            regs::OUT_ROOT0..=23 => {
+                let i = (addr - regs::OUT_ROOT0) as usize * 8;
+                u64::from_le_bytes(self.out_root[i..i + 8].try_into().expect("8"))
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Boots a bed with `workload` behind the integrity controller.
+///
+/// # Errors
+///
+/// Propagates boot failures.
+pub fn boot_with_integrity(workload: &dyn Workload) -> Result<TestBed, SalusError> {
+    let mut bed = crate::harness::boot_with_workload(workload)?;
+    let compute = crate::harness::workload_compute_fn(workload);
+    let ctl = IntegrityCtl::new(bed.shell.device(), compute);
+    bed.sm_logic
+        .as_mut()
+        .expect("booted")
+        .set_accelerator(Box::new(ctl));
+    Ok(bed)
+}
+
+/// Runs `workload` through the integrity-protected channel.
+///
+/// # Errors
+///
+/// * [`SalusError::RegisterChannelViolation`] with "input integrity"
+///   when the shell tampered with the input buffer,
+/// * ditto "output integrity" for tampered results.
+pub fn run_with_integrity(
+    bed: &mut TestBed,
+    workload: &dyn Workload,
+) -> Result<Vec<u8>, SalusError> {
+    let key = *bed
+        .user_app
+        .data_key()
+        .ok_or(SalusError::Malformed("no data key — boot first"))?
+        .as_bytes();
+    let (iv_in, iv_out) = stream_ivs(&key);
+
+    let mut ciphertext = workload.input().to_vec();
+    AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
+    let in_root = buffer_root(&key, &ciphertext);
+
+    let input_offset = 0usize;
+    let output_offset = 4 << 20;
+    bed.shell.dma_write(input_offset, &ciphertext)?;
+
+    for (i, chunk) in key.chunks_exact(8).enumerate() {
+        bed.secure_reg_write(
+            regs::KEY0 + i as u32,
+            u64::from_le_bytes(chunk.try_into().expect("8")),
+        )?;
+    }
+    for (i, chunk) in in_root.chunks_exact(8).enumerate() {
+        bed.secure_reg_write(
+            regs::IN_ROOT0 + i as u32,
+            u64::from_le_bytes(chunk.try_into().expect("8")),
+        )?;
+    }
+    bed.secure_reg_write(regs::INPUT_OFFSET, input_offset as u64)?;
+    bed.secure_reg_write(regs::INPUT_LEN, workload.input().len() as u64)?;
+    bed.secure_reg_write(regs::OUTPUT_OFFSET, output_offset as u64)?;
+    bed.secure_reg_write(regs::ENCRYPT_OUTPUT, u64::from(workload.encrypt_output()))?;
+    bed.secure_reg_write(regs::START, 1)?;
+
+    match bed.secure_reg_read(regs::STATUS)? {
+        1 => {}
+        STATUS_INTEGRITY_FAILURE => {
+            return Err(SalusError::RegisterChannelViolation("input integrity"));
+        }
+        _ => return Err(SalusError::Malformed("accelerator did not complete")),
+    }
+
+    let output_len = bed.secure_reg_read(regs::OUTPUT_LEN)? as usize;
+    let mut expected_root = [0u8; 32];
+    for i in 0..4u32 {
+        let word = bed.secure_reg_read(regs::OUT_ROOT0 + i)?;
+        expected_root[i as usize * 8..i as usize * 8 + 8].copy_from_slice(&word.to_le_bytes());
+    }
+
+    let mut output = bed.shell.dma_read(output_offset, output_len)?;
+    if buffer_root(&key, &output) != expected_root {
+        return Err(SalusError::RegisterChannelViolation("output integrity"));
+    }
+    if workload.encrypt_output() {
+        AesCtr256::new(&key, &iv_out).apply_keystream(&mut output);
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::affine::Affine;
+    use crate::apps::conv::Conv;
+
+    #[test]
+    fn honest_run_matches_reference() {
+        let workload = Conv::paper_scale();
+        let mut bed = boot_with_integrity(&workload).unwrap();
+        let output = run_with_integrity(&mut bed, &workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+    }
+
+    #[test]
+    fn input_tampering_is_detected_not_absorbed() {
+        let workload = Conv::paper_scale();
+        let mut bed = boot_with_integrity(&workload).unwrap();
+
+        // Interleave: host DMAs, shell tampers, host starts.
+        let key = *bed.user_app.data_key().unwrap().as_bytes();
+        let (iv_in, _) = stream_ivs(&key);
+        let mut ciphertext = workload.input().to_vec();
+        AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
+        let in_root = buffer_root(&key, &ciphertext);
+        bed.shell.dma_write(0, &ciphertext).unwrap();
+        bed.shell.tamper_dram(5, &[0xFF]).unwrap();
+
+        for (i, chunk) in key.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                regs::KEY0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        for (i, chunk) in in_root.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                regs::IN_ROOT0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        bed.secure_reg_write(regs::INPUT_OFFSET, 0).unwrap();
+        bed.secure_reg_write(regs::INPUT_LEN, workload.input().len() as u64)
+            .unwrap();
+        bed.secure_reg_write(regs::OUTPUT_OFFSET, 4 << 20).unwrap();
+        bed.secure_reg_write(regs::START, 1).unwrap();
+        assert_eq!(
+            bed.secure_reg_read(regs::STATUS).unwrap(),
+            STATUS_INTEGRITY_FAILURE
+        );
+    }
+
+    #[test]
+    fn output_tampering_is_detected_by_the_host() {
+        let workload = Affine::paper_scale();
+        let mut bed = boot_with_integrity(&workload).unwrap();
+
+        // Run honestly first so the output lands in DRAM, then have a
+        // second read path hit tampered bytes: easiest is to rerun with
+        // a tamper between START and the host's DMA read. We emulate by
+        // performing the full protocol manually up to the read.
+        let key = *bed.user_app.data_key().unwrap().as_bytes();
+        let (iv_in, _) = stream_ivs(&key);
+        let mut ciphertext = workload.input().to_vec();
+        AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
+        let in_root = buffer_root(&key, &ciphertext);
+        bed.shell.dma_write(0, &ciphertext).unwrap();
+        for (i, chunk) in key.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                regs::KEY0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        for (i, chunk) in in_root.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                regs::IN_ROOT0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        bed.secure_reg_write(regs::INPUT_OFFSET, 0).unwrap();
+        bed.secure_reg_write(regs::INPUT_LEN, workload.input().len() as u64)
+            .unwrap();
+        bed.secure_reg_write(regs::OUTPUT_OFFSET, 4 << 20).unwrap();
+        bed.secure_reg_write(regs::ENCRYPT_OUTPUT, 1).unwrap();
+        bed.secure_reg_write(regs::START, 1).unwrap();
+        assert_eq!(bed.secure_reg_read(regs::STATUS).unwrap(), 1);
+
+        // Shell tampers with the result buffer before the host reads it.
+        bed.shell.tamper_dram((4 << 20) + 3, &[0x5A]).unwrap();
+
+        let output_len = bed.secure_reg_read(regs::OUTPUT_LEN).unwrap() as usize;
+        let mut expected_root = [0u8; 32];
+        for i in 0..4u32 {
+            let word = bed.secure_reg_read(regs::OUT_ROOT0 + i).unwrap();
+            expected_root[i as usize * 8..i as usize * 8 + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        let output = bed.shell.dma_read(4 << 20, output_len).unwrap();
+        assert_ne!(
+            buffer_root(&key, &output),
+            expected_root,
+            "tampered output must fail root verification"
+        );
+    }
+
+    #[test]
+    fn plain_channel_absorbs_what_integrity_channel_detects() {
+        // The contrast motivating the extension: same attack, plain
+        // harness silently computes on garbage.
+        use crate::harness::{boot_with_workload, regs as plain_regs};
+        let workload = Conv::paper_scale();
+        let mut bed = boot_with_workload(&workload).unwrap();
+        let key = *bed.user_app.data_key().unwrap().as_bytes();
+        let (iv_in, _) = stream_ivs(&key);
+        let mut ciphertext = workload.input().to_vec();
+        AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
+        bed.shell.dma_write(0, &ciphertext).unwrap();
+        bed.shell.tamper_dram(5, &[0xFF]).unwrap();
+        for (i, chunk) in key.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                plain_regs::KEY0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        bed.secure_reg_write(plain_regs::INPUT_OFFSET, 0).unwrap();
+        bed.secure_reg_write(plain_regs::INPUT_LEN, workload.input().len() as u64)
+            .unwrap();
+        bed.secure_reg_write(plain_regs::OUTPUT_OFFSET, 4 << 20)
+            .unwrap();
+        bed.secure_reg_write(plain_regs::START, 1).unwrap();
+        // Completes "successfully" — on corrupted data.
+        assert_eq!(bed.secure_reg_read(plain_regs::STATUS).unwrap(), 1);
+        let len = bed.secure_reg_read(plain_regs::OUTPUT_LEN).unwrap() as usize;
+        let garbage = bed.shell.dma_read(4 << 20, len).unwrap();
+        assert_ne!(garbage, workload.compute(workload.input()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # salus-accel
+//!
+//! The paper's five benchmark applications (Table 4) and the runners
+//! behind Table 6 and Figure 10:
+//!
+//! | App        | Description                               | Encrypted traffic |
+//! |------------|-------------------------------------------|-------------------|
+//! | Conv       | single convolution layer, 3×3 kernels      | input feature maps |
+//! | Affine     | affine transform of an image               | input & output     |
+//! | Rendering  | 3D triangles → 2D z-buffered raster        | input & output     |
+//! | FaceDetect | Viola-Jones-style cascade                  | input image        |
+//! | NNSearch   | nearest-neighbour linear search            | targets & queries  |
+//!
+//! Every application is implemented functionally (deterministic integer
+//! arithmetic, identical results on every path) and run in four modes:
+//! CPU plain, CPU inside an SGX-class enclave (boundary crypto + EPC
+//! overhead), FPGA plain, and FPGA TEE (AES-CTR streaming at the memory
+//! interface). Virtual-time costs come from [`profile`]'s calibrated
+//! model; data transformations (encryption, decryption, compute) are
+//! executed for real so correctness and confidentiality are testable.
+//!
+//! [`harness`] additionally runs a workload end-to-end on a *booted*
+//! Salus instance from `salus-core`: data key exchanged over the secure
+//! register channel, ciphertext DMA through the malicious shell, on-CL
+//! decryption and compute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod data;
+pub mod harness;
+pub mod integrity;
+pub mod profile;
+pub mod runner;
+pub mod workload;

@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the attestation primitives: SGX local
+//! attestation, Salus CL attestation, and quote generation/verification.
+//! The paper's claim that the symmetric CL attestation is "light-weight"
+//! (vs ShEF's PKE-based remote attestation) is quantified here: compare
+//! `cl_attest_roundtrip` against `pke_style_attestation` (the ablation
+//! baseline using an ECDH round per attestation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use salus_core::cl_attest;
+use salus_core::keys::KeyAttest;
+use salus_crypto::x25519::{PublicKey, StaticSecret};
+use salus_tee::local;
+use salus_tee::measurement::EnclaveImage;
+use salus_tee::platform::SgxPlatform;
+use salus_tee::quote::{generate_quote, AttestationService, QuotingEnclave};
+
+fn bench_cl_attestation(c: &mut Criterion) {
+    let key = KeyAttest::from_bytes([7; 16]);
+    let dna = 0xABCDu64;
+
+    c.bench_function("cl_attest_roundtrip", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let req = cl_attest::build_request(&key, nonce, dna);
+            assert!(cl_attest::verify_request(&key, &req, dna));
+            let rsp = cl_attest::build_response(&key, &req, dna);
+            cl_attest::verify_response(&key, nonce, &rsp, dna).unwrap();
+        });
+    });
+
+    // Ablation baseline: a ShEF-style attestation needs at least one
+    // public-key operation per side; model its cost with an ECDH
+    // exchange plus the MAC round.
+    c.bench_function("pke_style_attestation", |b| {
+        let enclave_secret = StaticSecret::from_bytes([1; 32]);
+        let cl_secret = StaticSecret::from_bytes([2; 32]);
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let enclave_pub = PublicKey::from(&enclave_secret);
+            let cl_pub = PublicKey::from(&cl_secret);
+            let k1 = enclave_secret.diffie_hellman(black_box(&cl_pub));
+            let k2 = cl_secret.diffie_hellman(black_box(&enclave_pub));
+            assert_eq!(k1, k2);
+            let session = KeyAttest::from_bytes(k1[..16].try_into().unwrap());
+            let req = cl_attest::build_request(&session, nonce, 0xABCD);
+            let rsp = cl_attest::build_response(&session, &req, 0xABCD);
+            cl_attest::verify_response(&session, nonce, &rsp, 0xABCD).unwrap();
+        });
+    });
+}
+
+fn bench_local_attestation(c: &mut Criterion) {
+    let platform = SgxPlatform::new(b"bench", 1);
+    let a = platform
+        .load_enclave(&EnclaveImage::from_code("a", b"a"))
+        .unwrap();
+    let b_enclave = platform
+        .load_enclave(&EnclaveImage::from_code("b", b"b"))
+        .unwrap();
+
+    c.bench_function("local_attestation_handshake", |bench| {
+        bench.iter(|| {
+            let (pending, msg) = local::initiate(&a, b_enclave.measurement());
+            let (_chan, reply) = local::respond(&b_enclave, a.measurement(), &msg).unwrap();
+            pending.finish(&reply).unwrap()
+        });
+    });
+}
+
+fn bench_quotes(c: &mut Criterion) {
+    let mut service = AttestationService::new(b"prov");
+    let platform = SgxPlatform::new(b"bench", 1);
+    service.register_platform(1);
+    let mut qe = QuotingEnclave::load(&platform).unwrap();
+    qe.provision(service.provisioning_secret());
+    let enclave = platform
+        .load_enclave(&EnclaveImage::from_code("app", b"app"))
+        .unwrap();
+
+    c.bench_function("quote_generation", |b| {
+        b.iter(|| generate_quote(&enclave, &qe, black_box([7; 64])).unwrap());
+    });
+
+    let quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+    c.bench_function("quote_verification", |b| {
+        b.iter(|| service.verify_quote(black_box(&quote)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cl_attestation,
+    bench_local_attestation,
+    bench_quotes
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the bitstream pipeline: compile, digest,
+//! manipulate, encrypt, and ICAP load — the operations whose *modelled*
+//! costs dominate Figure 9. Run over two partition sizes to show the
+//! size-linearity the paper relies on ("the time of bitstream operations
+//! is only dependent on the size of the partial CL bitstream", §6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use salus_bitstream::compile::compile;
+use salus_bitstream::encrypt::encrypt_for_device;
+use salus_bitstream::manipulate::rewrite_cell;
+use salus_core::dev::{develop_cl, loopback_accelerator, package_digest};
+use salus_fpga::device::Device;
+use salus_fpga::geometry::{DeviceGeometry, PartitionGeometry, Resources};
+
+fn geometries() -> Vec<(&'static str, DeviceGeometry)> {
+    let mid = {
+        let rp = PartitionGeometry {
+            logic_frames: 128,
+            capacity: Resources {
+                lut: 80_000,
+                register: 160_000,
+                bram: 192,
+            },
+        };
+        DeviceGeometry {
+            static_region: rp,
+            partitions: vec![rp],
+            clock_hz: 250_000_000,
+            dram_bytes: 1 << 20,
+        }
+    };
+    vec![("tiny", DeviceGeometry::tiny()), ("mid", mid)]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    for (label, geometry) in geometries() {
+        let rp = geometry.partitions[0];
+        let package = develop_cl(loopback_accelerator(), rp, 0).unwrap();
+        let size = package.compiled.wire.len() as u64;
+
+        let mut group = c.benchmark_group(format!("bitstream_{label}"));
+        group.throughput(Throughput::Bytes(size));
+        group.sample_size(20);
+
+        group.bench_function(BenchmarkId::new("compile", size), |b| {
+            let mut netlist = salus_bitstream::netlist::Netlist::new("bench");
+            netlist.add_module(salus_core::dev::sm_logic_module());
+            netlist.add_module(loopback_accelerator());
+            b.iter(|| compile(black_box(&netlist), rp, 0).unwrap());
+        });
+
+        group.bench_function(BenchmarkId::new("digest", size), |b| {
+            b.iter(|| package_digest(black_box(&package.compiled.wire), &package.locations, 0));
+        });
+
+        group.bench_function(BenchmarkId::new("manipulate", size), |b| {
+            let loc = &package.locations.key_attest;
+            b.iter(|| rewrite_cell(black_box(&package.compiled.wire), loc, &[9u8; 16]).unwrap());
+        });
+
+        group.bench_function(BenchmarkId::new("encrypt", size), |b| {
+            b.iter(|| {
+                encrypt_for_device(black_box(&package.compiled.wire), &[7; 32], &[1; 12], 42)
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("icap_load_encrypted", size), |b| {
+            let key = [7u8; 32];
+            b.iter_with_setup(
+                || {
+                    let mut device = Device::manufacture(geometry.clone(), 1);
+                    device.program_device_key(key).unwrap();
+                    let enc = encrypt_for_device(
+                        &package.compiled.wire,
+                        &key,
+                        &[1; 12],
+                        device.dna().read(),
+                    );
+                    (device, enc)
+                },
+                |(mut device, enc)| device.icap_load(&enc).unwrap(),
+            );
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the five workloads' functional kernels and
+//! their TEE-mode data paths (real encryption + compute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use salus_accel::runner::{run, ExecMode};
+use salus_accel::workload::all_workloads;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_compute");
+    for w in all_workloads() {
+        group.throughput(Throughput::Bytes(w.input().len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
+            b.iter(|| w.compute(black_box(w.input())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tee_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_fpga_tee_path");
+    group.sample_size(20);
+    for w in all_workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
+            b.iter(|| run(w.as_ref(), ExecMode::FpgaTee));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_tee_paths);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates Figure 10: performance of realistic workloads running on
+//! a securely booted FPGA TEE, normalised to the SGX (CPU TEE) baseline.
+
+use salus_accel::runner::{run, ExecMode};
+use salus_accel::workload::all_workloads;
+
+fn main() {
+    println!("Figure 10. Normalized execution time on a securely booted FPGA TEE\n");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut speedups = Vec::new();
+
+    for w in all_workloads() {
+        let sgx = run(w.as_ref(), ExecMode::CpuTee).virtual_time;
+        let salus = run(w.as_ref(), ExecMode::FpgaTee).virtual_time;
+        let normalized = salus.as_secs_f64() / sgx.as_secs_f64();
+        let speedup = 1.0 / normalized;
+        speedups.push(speedup);
+
+        let bar_len = (normalized * 40.0).round() as usize;
+        rows.push(vec![
+            w.name().to_owned(),
+            "1.00".to_owned(),
+            format!("{normalized:.3}"),
+            format!("{speedup:.2}x"),
+            format!(
+                "{}{}",
+                "#".repeat(bar_len.max(1)),
+                " ".repeat(40 - bar_len.min(40))
+            ),
+        ]);
+        json.push(serde_json::json!({
+            "app": w.name(),
+            "sgx_ms": sgx.as_secs_f64() * 1e3,
+            "salus_ms": salus.as_secs_f64() * 1e3,
+            "normalized_time": normalized,
+            "speedup": speedup,
+        }));
+    }
+
+    salus_bench::print_table(
+        &[
+            "Application",
+            "SGX (norm.)",
+            "Salus (norm.)",
+            "Speedup",
+            "Salus bar (vs SGX = 40 chars)",
+        ],
+        &rows,
+    );
+
+    let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nSpeedup range: {min:.2}x – {max:.2}x   (paper: 1.17x – 15.64x)");
+
+    salus_bench::print_json("fig10", serde_json::json!(json));
+}

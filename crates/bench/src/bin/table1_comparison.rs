@@ -1,0 +1,41 @@
+//! Regenerates Table 1: comparison with existing FPGA TEE works.
+
+use salus_core::related::TABLE1;
+
+fn main() {
+    println!("Table 1. Comparison with Existing FPGA TEE Works\n");
+    let check = |b: bool| if b { "v" } else { "x" }.to_owned();
+    let rows: Vec<Vec<String>> = TABLE1
+        .iter()
+        .map(|w| {
+            vec![
+                w.name.to_owned(),
+                w.tee_type.to_string(),
+                check(w.no_extra_hardware),
+                check(w.independent_dev_and_deploy),
+            ]
+        })
+        .collect();
+    salus_bench::print_table(
+        &[
+            "Work",
+            "TEE Type",
+            "No Extra Hardware",
+            "Independent Dev. & Dep.",
+        ],
+        &rows,
+    );
+
+    salus_bench::print_json(
+        "table1",
+        serde_json::json!(TABLE1
+            .iter()
+            .map(|w| serde_json::json!({
+                "name": w.name,
+                "type": w.tee_type.to_string(),
+                "no_extra_hardware": w.no_extra_hardware,
+                "independent_dev_deploy": w.independent_dev_and_deploy,
+            }))
+            .collect::<Vec<_>>()),
+    );
+}

@@ -1,0 +1,79 @@
+//! Regenerates Table 2: the analogy between Intel SGX local attestation
+//! and Salus CL attestation — by *executing both protocols live* and
+//! printing each step with the real values produced.
+
+use salus_core::cl_attest;
+use salus_core::keys::KeyAttest;
+use salus_tee::measurement::EnclaveImage;
+use salus_tee::platform::SgxPlatform;
+
+fn main() {
+    println!("Table 2. Analogy Between Salus CL Attestation And Intel SGX Local Attestation");
+    println!("(both columns executed live by this binary)\n");
+
+    // ── Left column: SGX local attestation ───────────────────────────
+    let platform = SgxPlatform::new(b"table2", 1);
+    let verifier = platform
+        .load_enclave(&EnclaveImage::from_code("verifier", b"verifier"))
+        .unwrap();
+    let prover = platform
+        .load_enclave(&EnclaveImage::from_code("prover", b"prover"))
+        .unwrap();
+    // Challenge: the verifier's MRENCLAVE (as in Figure 1).
+    let challenge = verifier.measurement();
+    let report = prover.ereport(challenge, [0x42; 64]);
+    let sgx_verified = verifier.verify_report(&report);
+
+    // ── Right column: Salus CL attestation ───────────────────────────
+    let key = KeyAttest::from_bytes([7; 16]);
+    let dna = 0x00AB_CDEF_0012_3456u64;
+    let nonce = 0x00C0_FFEE_u64;
+    let request = cl_attest::build_request(&key, nonce, dna);
+    let logic_ok = cl_attest::verify_request(&key, &request, dna);
+    let response = cl_attest::build_response(&key, &request, dna);
+    let cl_verified = cl_attest::verify_response(&key, nonce, &response, dna).is_ok();
+
+    let rows = vec![
+        vec![
+            "Verifier enclave generates a challenge MRENCLAVE".to_owned(),
+            format!("SM enclave generates a challenge N = {nonce:#x}"),
+        ],
+        vec![
+            "Prover enclave gets report key (EGETKEY)".to_owned(),
+            "SM logic gets attestation key (from injected BRAM)".to_owned(),
+        ],
+        vec![
+            "Prover generates a MAC over MRENCLAVE (AES-CMAC)".to_owned(),
+            format!(
+                "SM logic generates a MAC over N+1 (SipHash) = {:#018x}",
+                response.mac
+            ),
+        ],
+        vec![
+            format!("Prover sends report (MAC {:02x?}…)", &report.mac[..4]),
+            format!("SM logic sends report (value {:#x})", response.value),
+        ],
+        vec![
+            "Verifier fetches local report key".to_owned(),
+            "SM enclave fetches locally generated attestation key".to_owned(),
+        ],
+        vec![
+            format!("Verifier verifies MAC → {sgx_verified}"),
+            format!("SM enclave verifies MAC with N+1 → {cl_verified}"),
+        ],
+    ];
+    salus_bench::print_table(
+        &["Intel SGX Local Attestation", "Salus CL Attestation"],
+        &rows,
+    );
+
+    assert!(sgx_verified && logic_ok && cl_verified);
+    salus_bench::print_json(
+        "table2",
+        serde_json::json!({
+            "sgx_local_attestation_verified": sgx_verified,
+            "cl_request_verified_by_logic": logic_ok,
+            "cl_response_verified_by_enclave": cl_verified,
+        }),
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates Table 5: resource utilisation breakdown of the CL — by
+//! actually *compiling* each application's CL (accelerator + SM logic)
+//! for the U200 reconfigurable partition and reporting the netlist
+//! utilisation against the partition budget.
+
+use salus_accel::workload::all_workloads;
+use salus_core::dev::{develop_cl, sm_logic_module};
+use salus_fpga::geometry::DeviceGeometry;
+
+fn main() {
+    println!("Table 5. Resource Utilization Breakdown of CL\n");
+
+    let geometry = DeviceGeometry::u200();
+    let rp = geometry.partitions[0];
+    let cap = rp.capacity;
+
+    let mut rows = vec![vec![
+        "Total CL Resource".to_owned(),
+        cap.lut.to_string(),
+        cap.register.to_string(),
+        cap.bram.to_string(),
+    ]];
+    let mut json = Vec::new();
+
+    for w in all_workloads() {
+        // Compile the full CL to prove it actually fits and places.
+        let package = develop_cl(w.accelerator_module(), rp, 0).expect("CL compiles for U200 RP");
+        let accel = w.accelerator_module().total_resources();
+        let (lut_pct, reg_pct, bram_pct) = accel.percent_of(cap);
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{} ({lut_pct}%)", accel.lut),
+            format!("{} ({reg_pct}%)", accel.register),
+            format!("{} ({bram_pct}%)", accel.bram),
+        ]);
+        json.push(serde_json::json!({
+            "logic": w.name(),
+            "lut": accel.lut, "lut_pct": lut_pct,
+            "register": accel.register, "register_pct": reg_pct,
+            "bram": accel.bram, "bram_pct": bram_pct,
+            "bitstream_bytes": package.compiled.wire.len(),
+        }));
+    }
+
+    let sm = sm_logic_module().total_resources();
+    let (lut_pct, reg_pct, bram_pct) = sm.percent_of(cap);
+    rows.push(vec![
+        "SM Logic".to_owned(),
+        format!("{} ({lut_pct}%)", sm.lut),
+        format!("{} ({reg_pct}%)", sm.register),
+        format!("{} ({bram_pct}%)", sm.bram),
+    ]);
+    json.push(serde_json::json!({
+        "logic": "SM Logic",
+        "lut": sm.lut, "lut_pct": lut_pct,
+        "register": sm.register, "register_pct": reg_pct,
+        "bram": sm.bram, "bram_pct": bram_pct,
+    }));
+
+    salus_bench::print_table(&["Logic", "LUT", "Register", "BRAM"], &rows);
+    println!(
+        "\nPartial bitstream size (fixed by floorplan, §6.3): {} bytes",
+        rp.config_bytes()
+    );
+    salus_bench::print_json("table5", serde_json::json!(json));
+}

@@ -1,0 +1,65 @@
+//! Regenerates Table 6: slowdown of CPU TEE and FPGA TEE, by running
+//! each workload in all four modes (real data transformations, modelled
+//! time) and reporting the paper's three example columns plus the other
+//! two applications.
+
+use salus_accel::runner::{run_all_modes, ExecMode};
+use salus_accel::workload::all_workloads;
+use salus_bench::fmt_ms;
+
+fn main() {
+    println!("Table 6. Slowdown of CPU TEE And FPGA TEE\n");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for w in all_workloads() {
+        let results = run_all_modes(w.as_ref());
+        let by_mode = |m: ExecMode| {
+            results
+                .iter()
+                .find(|r| r.mode == m)
+                .expect("all modes present")
+                .virtual_time
+        };
+        let cpu = by_mode(ExecMode::CpuPlain);
+        let cpu_tee = by_mode(ExecMode::CpuTee);
+        let fpga = by_mode(ExecMode::FpgaPlain);
+        let fpga_tee = by_mode(ExecMode::FpgaTee);
+        let cpu_slowdown = cpu_tee.as_secs_f64() / cpu.as_secs_f64();
+        let fpga_slowdown = fpga_tee.as_secs_f64() / fpga.as_secs_f64();
+
+        rows.push(vec![
+            w.name().to_owned(),
+            fmt_ms(cpu),
+            fmt_ms(cpu_tee),
+            format!("{cpu_slowdown:.2}x"),
+            fmt_ms(fpga),
+            fmt_ms(fpga_tee),
+            format!("{fpga_slowdown:.2}x"),
+        ]);
+        json.push(serde_json::json!({
+            "app": w.name(),
+            "cpu_ms": cpu.as_secs_f64() * 1e3,
+            "cpu_tee_ms": cpu_tee.as_secs_f64() * 1e3,
+            "cpu_slowdown": cpu_slowdown,
+            "fpga_ms": fpga.as_secs_f64() * 1e3,
+            "fpga_tee_ms": fpga_tee.as_secs_f64() * 1e3,
+            "fpga_slowdown": fpga_slowdown,
+        }));
+    }
+
+    salus_bench::print_table(
+        &[
+            "Implementation",
+            "CPU w/o TEE",
+            "CPU w/ TEE",
+            "CPU Slowdown",
+            "FPGA w/o TEE",
+            "FPGA w/ TEE",
+            "FPGA Slowdown",
+        ],
+        &rows,
+    );
+    println!("\nPaper reference: Conv 1.01x/1.00x, Rendering 4.38x/1.05x, FaceDetect 3.50x/1.03x");
+    salus_bench::print_json("table6", serde_json::json!(json));
+}

@@ -1,0 +1,85 @@
+//! # salus-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§6), plus criterion micro-benchmarks of the substrates.
+//!
+//! | Binary              | Regenerates |
+//! |---------------------|-------------|
+//! | `table1_comparison` | Table 1 — FPGA-TEE works comparison |
+//! | `table2_analogy`    | Table 2 — SGX LA ↔ CL attestation analogy (executed live) |
+//! | `table3_secrets`    | Table 3 — per-step secret protection (attack matrix) |
+//! | `table4_apps`       | Table 4 — benchmark applications |
+//! | `table5_resources`  | Table 5 — CL resource utilisation |
+//! | `table6_slowdown`   | Table 6 — CPU/FPGA TEE slowdowns |
+//! | `fig9_boot_time`    | Figure 9 — CL boot-time breakdown |
+//! | `fig10_speedup`     | Figure 10 — normalised workload performance |
+//!
+//! Every binary prints a human-readable table followed by a `JSON:` line
+//! for tooling. Run one with `cargo run -p salus-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Formats a duration as milliseconds with sensible precision.
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 100.0 {
+        format!("{ms:.0} ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.2} ms")
+    } else {
+        format!("{:.0} µs", ms * 1e3)
+    }
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Emits the machine-readable record for EXPERIMENTS.md tooling.
+pub fn print_json(id: &str, value: serde_json::Value) {
+    println!(
+        "JSON: {}",
+        serde_json::json!({ "experiment": id, "data": value })
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(Duration::from_micros(500)), "500 µs");
+        assert_eq!(fmt_ms(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500 ms");
+    }
+}

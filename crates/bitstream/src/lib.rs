@@ -1,0 +1,57 @@
+//! # salus-bitstream
+//!
+//! Netlist → bitstream tooling for the Salus reproduction: the pieces a
+//! developer's HDK and the SM enclave's SDK need.
+//!
+//! * [`netlist`] — a synthesised design: module instances with
+//!   hierarchical paths, resource footprints (Table 5's LUT/Register/
+//!   BRAM classes), behavioural descriptors, and BRAM cells with initial
+//!   contents. The SM logic reserves one BRAM cell for `Key_attest`.
+//! * [`compile`] — compiles a netlist for a reconfigurable partition
+//!   into a full partial bitstream in the [`salus_fpga::wire`] format.
+//!   The output covers **every** frame of the partition regardless of
+//!   utilisation (the paper's Observation 2), so its size depends only
+//!   on the floorplan (§6.3).
+//! * [`placement`] — the `Loc_KeyAttest`-style record: where a named
+//!   BRAM cell landed, kept *alongside* the bitstream so later
+//!   bitstream-level manipulation needs no re-synthesis.
+//! * [`image`] — decodes loaded configuration memory back into logic
+//!   semantics; the simulation's stand-in for "the bits become gates".
+//! * [`manipulate`] — RapidWright/byteman-style manipulation: rewrite a
+//!   BRAM's initial contents directly in the bitstream bytes and fix up
+//!   the CRC, without touching RTL or rerunning placement.
+//! * [`encrypt`] — AES-GCM-256 bitstream encryption bound to a device
+//!   DNA, and the SHA-256 digest `H` the developer publishes.
+//!
+//! ## Example
+//!
+//! ```
+//! use salus_bitstream::netlist::{Netlist, Module, BramCell};
+//! use salus_bitstream::compile::compile;
+//! use salus_fpga::geometry::DeviceGeometry;
+//!
+//! let mut netlist = Netlist::new("demo");
+//! netlist.add_module(
+//!     Module::new("top/app", "accel:demo")
+//!         .with_resources(100, 200, 0)
+//!         .with_bram(BramCell::zeroed("table", 64)),
+//! );
+//! let geometry = DeviceGeometry::tiny();
+//! let compiled = compile(&netlist, geometry.partitions[0], 0).unwrap();
+//! assert!(compiled.placement.lookup("top/app/table").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod disasm;
+pub mod encrypt;
+pub mod image;
+pub mod manipulate;
+pub mod netlist;
+pub mod placement;
+
+mod error;
+
+pub use error::BitstreamError;

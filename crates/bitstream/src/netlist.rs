@@ -1,0 +1,241 @@
+//! Synthesised-design description: module instances and BRAM cells.
+//!
+//! A [`Netlist`] is what the developer's toolchain produces before
+//! bitstream generation. Modules carry a *role* string — a behavioural
+//! descriptor the loaded-logic simulation interprets (`"sm_logic"`,
+//! `"accel:conv"`, ...) — plus the resource footprint Table 5 accounts,
+//! and named BRAM cells whose initial contents end up in configuration
+//! frames. Salus's RoT storage is exactly such a BRAM cell, reserved by
+//! the SM logic at development time and filled at deployment time by
+//! bitstream manipulation.
+
+use salus_fpga::geometry::{Resources, BRAM_INIT_BYTES};
+
+use crate::BitstreamError;
+
+/// A named block RAM cell with initial contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BramCell {
+    name: String,
+    init: Vec<u8>,
+}
+
+impl BramCell {
+    /// Creates a BRAM cell with explicit initial contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `init` exceeds one BRAM's capacity
+    /// ([`BRAM_INIT_BYTES`]).
+    pub fn new(name: impl Into<String>, init: Vec<u8>) -> Result<BramCell, BitstreamError> {
+        let name = name.into();
+        if init.len() > BRAM_INIT_BYTES {
+            return Err(BitstreamError::BramTooLarge {
+                path: name,
+                bytes: init.len(),
+            });
+        }
+        Ok(BramCell { name, init })
+    }
+
+    /// Creates a zero-initialised cell reserving `bytes` of storage —
+    /// what the SM logic does for `Key_attest` at development time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds one BRAM's capacity; reservation sizes
+    /// are compile-time constants in practice.
+    pub fn zeroed(name: impl Into<String>, bytes: usize) -> BramCell {
+        BramCell::new(name, vec![0u8; bytes]).expect("reservation within BRAM capacity")
+    }
+
+    /// The cell's name within its module.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The initial contents.
+    pub fn init(&self) -> &[u8] {
+        &self.init
+    }
+}
+
+/// One module instance in the design hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    path: String,
+    role: String,
+    params: Vec<u8>,
+    resources: Resources,
+    brams: Vec<BramCell>,
+}
+
+impl Module {
+    /// Creates a module at hierarchical `path` with behavioural `role`.
+    pub fn new(path: impl Into<String>, role: impl Into<String>) -> Module {
+        Module {
+            path: path.into(),
+            role: role.into(),
+            params: Vec::new(),
+            resources: Resources::default(),
+            brams: Vec::new(),
+        }
+    }
+
+    /// Sets the LUT/register footprint and extra (non-cell) BRAMs.
+    /// Named [`BramCell`]s add to the BRAM count on top of `bram`.
+    pub fn with_resources(mut self, lut: u32, register: u32, bram: u32) -> Module {
+        self.resources = Resources {
+            lut,
+            register,
+            bram,
+        };
+        self
+    }
+
+    /// Sets an opaque behavioural parameter blob.
+    pub fn with_params(mut self, params: Vec<u8>) -> Module {
+        self.params = params;
+        self
+    }
+
+    /// Adds a named BRAM cell.
+    pub fn with_bram(mut self, cell: BramCell) -> Module {
+        self.brams.push(cell);
+        self
+    }
+
+    /// Hierarchical path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Behavioural role descriptor.
+    pub fn role(&self) -> &str {
+        &self.role
+    }
+
+    /// Behavioural parameters.
+    pub fn params(&self) -> &[u8] {
+        &self.params
+    }
+
+    /// Named BRAM cells.
+    pub fn brams(&self) -> &[BramCell] {
+        &self.brams
+    }
+
+    /// Total resources including one BRAM per named cell.
+    pub fn total_resources(&self) -> Resources {
+        self.resources.plus(Resources {
+            lut: 0,
+            register: 0,
+            bram: self.brams.len() as u32,
+        })
+    }
+}
+
+/// A complete synthesised design for one reconfigurable partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    modules: Vec<Module>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            modules: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a module instance.
+    pub fn add_module(&mut self, module: Module) -> &mut Netlist {
+        self.modules.push(module);
+        self
+    }
+
+    /// Module instances in insertion order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Total design resources.
+    pub fn total_resources(&self) -> Resources {
+        self.modules
+            .iter()
+            .fold(Resources::default(), |acc, m| acc.plus(m.total_resources()))
+    }
+
+    /// Checks hierarchical-path uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError::DuplicatePath`] naming the first duplicate.
+    pub fn validate(&self) -> Result<(), BitstreamError> {
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.modules {
+            if !seen.insert(m.path()) {
+                return Err(BitstreamError::DuplicatePath(m.path().to_owned()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_capacity_enforced() {
+        assert!(BramCell::new("k", vec![0; BRAM_INIT_BYTES]).is_ok());
+        assert!(matches!(
+            BramCell::new("k", vec![0; BRAM_INIT_BYTES + 1]),
+            Err(BitstreamError::BramTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn module_resources_count_named_brams() {
+        let m = Module::new("top/m", "x")
+            .with_resources(10, 20, 2)
+            .with_bram(BramCell::zeroed("a", 32))
+            .with_bram(BramCell::zeroed("b", 32));
+        assert_eq!(m.total_resources().bram, 4);
+        assert_eq!(m.total_resources().lut, 10);
+    }
+
+    #[test]
+    fn netlist_totals_accumulate() {
+        let mut n = Netlist::new("d");
+        n.add_module(Module::new("a", "x").with_resources(1, 2, 3));
+        n.add_module(Module::new("b", "y").with_resources(10, 20, 30));
+        assert_eq!(
+            n.total_resources(),
+            Resources {
+                lut: 11,
+                register: 22,
+                bram: 33
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_paths_rejected() {
+        let mut n = Netlist::new("d");
+        n.add_module(Module::new("same", "x"));
+        n.add_module(Module::new("same", "y"));
+        assert!(matches!(
+            n.validate(),
+            Err(BitstreamError::DuplicatePath(_))
+        ));
+    }
+}

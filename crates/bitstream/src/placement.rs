@@ -1,0 +1,151 @@
+//! Cell-location records: the `Loc_KeyAttest` metadata.
+//!
+//! During development "the developer records the hierarchical location
+//! of the RoT ... within the generated CL netlist and stores it
+//! alongside the bitstream" (§4.2). A [`CellLocation`] is that record:
+//! enough to find and rewrite the cell *directly in the bitstream
+//! bytes*, with no re-synthesis. The location is **not** fixed across
+//! designs — each compile may place the same cell elsewhere, which the
+//! paper highlights as what keeps the SM logic freely integrable.
+
+use crate::BitstreamError;
+
+/// Where one named BRAM cell landed inside the partition's frame data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellLocation {
+    /// Full hierarchical path (`module_path/cell_name`).
+    pub path: String,
+    /// Byte offset of the cell's contents within the FDRI frame payload.
+    pub byte_offset: usize,
+    /// Bytes reserved for the cell (manipulation may not exceed this).
+    pub capacity: usize,
+}
+
+/// All cell locations of one compiled bitstream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementMap {
+    entries: Vec<CellLocation>,
+}
+
+impl PlacementMap {
+    /// Creates an empty map.
+    pub fn new() -> PlacementMap {
+        PlacementMap::default()
+    }
+
+    /// Records a cell location.
+    pub fn insert(&mut self, location: CellLocation) {
+        self.entries.push(location);
+    }
+
+    /// Looks up a cell by full hierarchical path.
+    pub fn lookup(&self, path: &str) -> Option<&CellLocation> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Looks up a cell, converting a miss into an error.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError::UnknownCell`] when absent.
+    pub fn require(&self, path: &str) -> Result<&CellLocation, BitstreamError> {
+        self.lookup(path)
+            .ok_or_else(|| BitstreamError::UnknownCell(path.to_owned()))
+    }
+
+    /// All entries in placement order.
+    pub fn entries(&self) -> &[CellLocation] {
+        &self.entries
+    }
+
+    /// Canonical byte encoding (for digests and wire transfer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&(e.path.len() as u32).to_le_bytes());
+            out.extend_from_slice(e.path.as_bytes());
+            out.extend_from_slice(&(e.byte_offset as u64).to_le_bytes());
+            out.extend_from_slice(&(e.capacity as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`to_bytes`](PlacementMap::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError::UndecodableImage`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PlacementMap, BitstreamError> {
+        let undecodable = || BitstreamError::UndecodableImage("placement map");
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], BitstreamError> {
+            let slice = bytes.get(*pos..*pos + n).ok_or_else(undecodable)?;
+            *pos += n;
+            Ok(slice)
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let mut map = PlacementMap::new();
+        for _ in 0..count {
+            let path_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let path = std::str::from_utf8(take(&mut pos, path_len)?)
+                .map_err(|_| undecodable())?
+                .to_owned();
+            let byte_offset =
+                u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+            let capacity = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+            map.insert(CellLocation {
+                path,
+                byte_offset,
+                capacity,
+            });
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlacementMap {
+        let mut m = PlacementMap::new();
+        m.insert(CellLocation {
+            path: "top/sm/key_attest".to_owned(),
+            byte_offset: 4096,
+            capacity: 32,
+        });
+        m.insert(CellLocation {
+            path: "top/accel/table".to_owned(),
+            byte_offset: 8192,
+            capacity: 1024,
+        });
+        m
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let m = sample();
+        assert_eq!(m.lookup("top/sm/key_attest").unwrap().capacity, 32);
+        assert!(m.lookup("nope").is_none());
+        assert!(matches!(
+            m.require("nope"),
+            Err(BitstreamError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let m = sample();
+        let decoded = PlacementMap::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [1, 5, bytes.len() - 1] {
+            assert!(PlacementMap::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

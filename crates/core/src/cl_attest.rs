@@ -1,0 +1,215 @@
+//! The lightweight CL attestation protocol (§4.3, Figure 4a).
+//!
+//! A symmetric challenge/response analogous to SGX local attestation
+//! (Table 2): the SM enclave sends a random nonce MACed over
+//! `(nonce, DeviceDNA)` under `Key_attest`; the SM logic verifies it
+//! with the key injected into its BRAM, checks the DNA matches its own
+//! `DNA_PORTE2` reading, and answers with a MAC over `(nonce + 1, DNA)`.
+//! SipHash-2-4 is the MAC — "a light-weight add-rotate-xor based
+//! pseudorandom function generating a short 64-bit MAC" (§5.1.1).
+//!
+//! Both messages cross the shell-controlled PCIe bus; the protocol is
+//! resistant to confidentiality, integrity and freshness attacks because
+//! only the two legitimate endpoints hold `Key_attest`.
+
+use salus_crypto::siphash::SipHash24;
+
+use crate::keys::KeyAttest;
+use crate::SalusError;
+
+const REQ_LABEL: &[u8] = b"salus-cl-attest-req-v1";
+const RSP_LABEL: &[u8] = b"salus-cl-attest-rsp-v1";
+
+/// The SM enclave's challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestRequest {
+    /// Random nonce `N`.
+    pub nonce: u64,
+    /// `MAC_req = SipHash(Key_attest, N || DNA)`.
+    pub mac: u64,
+}
+
+/// The SM logic's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestResponse {
+    /// The incremented nonce `N + 1`.
+    pub value: u64,
+    /// `MAC_rsp = SipHash(Key_attest, N + 1 || DNA)`.
+    pub mac: u64,
+}
+
+fn mac_over(key: &KeyAttest, label: &[u8], value: u64, dna: u64) -> u64 {
+    let mut msg = label.to_vec();
+    msg.extend_from_slice(&value.to_le_bytes());
+    msg.extend_from_slice(&dna.to_le_bytes());
+    SipHash24::mac(key.as_bytes(), &msg)
+}
+
+/// Builds the challenge for `nonce` bound to `dna`.
+pub fn build_request(key: &KeyAttest, nonce: u64, dna: u64) -> AttestRequest {
+    AttestRequest {
+        nonce,
+        mac: mac_over(key, REQ_LABEL, nonce, dna),
+    }
+}
+
+/// SM-logic side: verifies a challenge against the locally read DNA.
+pub fn verify_request(key: &KeyAttest, request: &AttestRequest, local_dna: u64) -> bool {
+    mac_over(key, REQ_LABEL, request.nonce, local_dna) == request.mac
+}
+
+/// SM-logic side: answers a verified challenge.
+pub fn build_response(key: &KeyAttest, request: &AttestRequest, local_dna: u64) -> AttestResponse {
+    let value = request.nonce.wrapping_add(1);
+    AttestResponse {
+        value,
+        mac: mac_over(key, RSP_LABEL, value, local_dna),
+    }
+}
+
+/// SM-enclave side: verifies the response for the nonce it issued.
+pub fn verify_response(
+    key: &KeyAttest,
+    sent_nonce: u64,
+    response: &AttestResponse,
+    dna: u64,
+) -> Result<(), SalusError> {
+    if response.value != sent_nonce.wrapping_add(1) {
+        return Err(SalusError::ClAttestationFailed("nonce not incremented"));
+    }
+    if mac_over(key, RSP_LABEL, response.value, dna) != response.mac {
+        return Err(SalusError::ClAttestationFailed("response MAC"));
+    }
+    Ok(())
+}
+
+impl AttestRequest {
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.nonce.to_le_bytes());
+        out[8..].copy_from_slice(&self.mac.to_le_bytes());
+        out
+    }
+
+    /// Decodes [`to_bytes`](AttestRequest::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AttestRequest, SalusError> {
+        if bytes.len() != 16 {
+            return Err(SalusError::Malformed("attest request"));
+        }
+        Ok(AttestRequest {
+            nonce: u64::from_le_bytes(bytes[..8].try_into().expect("8")),
+            mac: u64::from_le_bytes(bytes[8..].try_into().expect("8")),
+        })
+    }
+}
+
+impl AttestResponse {
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.value.to_le_bytes());
+        out[8..].copy_from_slice(&self.mac.to_le_bytes());
+        out
+    }
+
+    /// Decodes [`to_bytes`](AttestResponse::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AttestResponse, SalusError> {
+        if bytes.len() != 16 {
+            return Err(SalusError::Malformed("attest response"));
+        }
+        Ok(AttestResponse {
+            value: u64::from_le_bytes(bytes[..8].try_into().expect("8")),
+            mac: u64::from_le_bytes(bytes[8..].try_into().expect("8")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> KeyAttest {
+        KeyAttest::from_bytes([7; 16])
+    }
+
+    #[test]
+    fn honest_roundtrip() {
+        let k = key();
+        let req = build_request(&k, 100, 0xD0A);
+        assert!(verify_request(&k, &req, 0xD0A));
+        let rsp = build_response(&k, &req, 0xD0A);
+        verify_response(&k, 100, &rsp, 0xD0A).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_fails_both_directions() {
+        let k = key();
+        let wrong = KeyAttest::from_bytes([8; 16]);
+        let req = build_request(&k, 100, 1);
+        assert!(!verify_request(&wrong, &req, 1));
+        let rsp = build_response(&wrong, &req, 1);
+        assert!(verify_response(&k, 100, &rsp, 1).is_err());
+    }
+
+    #[test]
+    fn wrong_dna_detected() {
+        // CSP hands the user a different board than advertised.
+        let k = key();
+        let req = build_request(&k, 5, 0xAAAA);
+        assert!(!verify_request(&k, &req, 0xBBBB));
+    }
+
+    #[test]
+    fn tampered_request_detected() {
+        let k = key();
+        let mut req = build_request(&k, 5, 1);
+        req.nonce ^= 1;
+        assert!(!verify_request(&k, &req, 1));
+    }
+
+    #[test]
+    fn replayed_response_for_other_nonce_rejected() {
+        let k = key();
+        let req1 = build_request(&k, 10, 1);
+        let rsp1 = build_response(&k, &req1, 1);
+        // Attacker replays rsp1 against a later challenge with nonce 20.
+        assert!(matches!(
+            verify_response(&k, 20, &rsp1, 1),
+            Err(SalusError::ClAttestationFailed("nonce not incremented"))
+        ));
+    }
+
+    #[test]
+    fn request_and_response_use_domain_separation() {
+        // A reflected request cannot serve as a response even for the
+        // matching value.
+        let k = key();
+        let req = build_request(&k, 41, 1); // MAC over (41, dna) with REQ label
+        let forged = AttestResponse {
+            value: 42,
+            mac: build_request(&k, 42, 1).mac, // REQ-label MAC over 42
+        };
+        assert!(verify_response(&k, 41, &forged, 1).is_err());
+        let _ = req;
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let k = key();
+        let req = build_request(&k, 9, 3);
+        assert_eq!(AttestRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        let rsp = build_response(&k, &req, 3);
+        assert_eq!(AttestResponse::from_bytes(&rsp.to_bytes()).unwrap(), rsp);
+        assert!(AttestRequest::from_bytes(&[0; 3]).is_err());
+        assert!(AttestResponse::from_bytes(&[0; 17]).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! The heterogeneous application development phase (§4.2).
+//!
+//! The developer integrates the manufacturer-released SM logic (HDK)
+//! with their accelerator, compiles one CL bitstream containing both,
+//! records the hierarchical locations of the SM logic's secret BRAMs
+//! (`Loc`), and publishes the digest `H` of bitstream + metadata. The
+//! SM logic "reserves a storage for the RoT" — zero-initialised BRAM
+//! cells filled at deployment time by bitstream manipulation.
+
+use salus_bitstream::compile::{compile, CompiledBitstream};
+use salus_bitstream::netlist::{BramCell, Module, Netlist};
+use salus_bitstream::placement::CellLocation;
+use salus_fpga::geometry::PartitionGeometry;
+use salus_tee::measurement::EnclaveImage;
+
+use crate::SalusError;
+
+/// Hierarchical path of the SM logic module inside every Salus CL.
+pub const SM_LOGIC_PATH: &str = "cl/sm_logic";
+
+/// Role descriptor of the SM logic.
+pub const SM_LOGIC_ROLE: &str = "sm_logic";
+
+/// BRAM cell names reserved by the SM logic.
+pub const CELL_KEY_ATTEST: &str = "key_attest";
+/// See [`CELL_KEY_ATTEST`].
+pub const CELL_KEY_SESSION: &str = "key_session";
+/// See [`CELL_KEY_ATTEST`].
+pub const CELL_CTR_SESSION: &str = "ctr_session";
+
+/// Reserved sizes of the secret cells.
+pub const KEY_ATTEST_BYTES: usize = 16;
+/// See [`KEY_ATTEST_BYTES`].
+pub const KEY_SESSION_BYTES: usize = 32;
+/// See [`KEY_ATTEST_BYTES`].
+pub const CTR_SESSION_BYTES: usize = 16;
+
+/// The manufacturer-released SM logic module (Table 5's footprint:
+/// 27 667 LUTs, 29 631 registers, 88 BRAMs).
+pub fn sm_logic_module() -> Module {
+    Module::new(SM_LOGIC_PATH, SM_LOGIC_ROLE)
+        // 88 BRAMs total: 3 named secret cells + 85 internal buffers.
+        .with_resources(27_667, 29_631, 85)
+        .with_bram(BramCell::zeroed(CELL_KEY_ATTEST, KEY_ATTEST_BYTES))
+        .with_bram(BramCell::zeroed(CELL_KEY_SESSION, KEY_SESSION_BYTES))
+        .with_bram(BramCell::zeroed(CELL_CTR_SESSION, CTR_SESSION_BYTES))
+}
+
+/// Locations of the three SM secret cells inside one compiled CL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmCellLocations {
+    /// Location of `Key_attest`.
+    pub key_attest: CellLocation,
+    /// Location of `Key_session`.
+    pub key_session: CellLocation,
+    /// Location of `Ctr_session`.
+    pub ctr_session: CellLocation,
+}
+
+impl SmCellLocations {
+    /// Resolves the locations from a compiled bitstream's placement.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::SmLogicUnavailable`] if the design lacks an SM
+    /// logic.
+    pub fn resolve(compiled: &CompiledBitstream) -> Result<SmCellLocations, SalusError> {
+        let find = |cell: &str| {
+            compiled
+                .placement
+                .lookup(&format!("{SM_LOGIC_PATH}/{cell}"))
+                .cloned()
+                .ok_or(SalusError::SmLogicUnavailable("missing secret cell"))
+        };
+        Ok(SmCellLocations {
+            key_attest: find(CELL_KEY_ATTEST)?,
+            key_session: find(CELL_KEY_SESSION)?,
+            ctr_session: find(CELL_CTR_SESSION)?,
+        })
+    }
+
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for loc in [&self.key_attest, &self.key_session, &self.ctr_session] {
+            out.extend_from_slice(&(loc.path.len() as u32).to_le_bytes());
+            out.extend_from_slice(loc.path.as_bytes());
+            out.extend_from_slice(&(loc.byte_offset as u64).to_le_bytes());
+            out.extend_from_slice(&(loc.capacity as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`to_bytes`](SmCellLocations::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SmCellLocations, SalusError> {
+        let mut pos = 0usize;
+        let mut read_loc = || -> Result<CellLocation, SalusError> {
+            let take = |pos: &mut usize, n: usize| -> Result<&[u8], SalusError> {
+                let s = bytes
+                    .get(*pos..*pos + n)
+                    .ok_or(SalusError::Malformed("sm cell locations"))?;
+                *pos += n;
+                Ok(s)
+            };
+            let path_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let path = std::str::from_utf8(take(&mut pos, path_len)?)
+                .map_err(|_| SalusError::Malformed("sm cell path utf8"))?
+                .to_owned();
+            let byte_offset =
+                u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+            let capacity = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+            Ok(CellLocation {
+                path,
+                byte_offset,
+                capacity,
+            })
+        };
+        Ok(SmCellLocations {
+            key_attest: read_loc()?,
+            key_session: read_loc()?,
+            ctr_session: read_loc()?,
+        })
+    }
+}
+
+/// The metadata the data owner sends to the user enclave at deployment:
+/// `H` and `Loc` (§4.2, step ②).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitstreamMetadata {
+    /// Digest of the expected plaintext bitstream + placement.
+    pub digest: [u8; 32],
+    /// Locations of the SM secret cells.
+    pub locations: SmCellLocations,
+    /// The target reconfigurable partition.
+    pub partition: usize,
+}
+
+impl BitstreamMetadata {
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.digest.to_vec();
+        out.extend_from_slice(&(self.partition as u64).to_le_bytes());
+        out.extend_from_slice(&self.locations.to_bytes());
+        out
+    }
+
+    /// Decodes [`to_bytes`](BitstreamMetadata::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BitstreamMetadata, SalusError> {
+        if bytes.len() < 40 {
+            return Err(SalusError::Malformed("bitstream metadata"));
+        }
+        Ok(BitstreamMetadata {
+            digest: bytes[..32].try_into().expect("32"),
+            partition: u64::from_le_bytes(bytes[32..40].try_into().expect("8")) as usize,
+            locations: SmCellLocations::from_bytes(&bytes[40..])?,
+        })
+    }
+}
+
+/// A developed CL: what the developer hands to the cloud customer.
+#[derive(Debug, Clone)]
+pub struct ClPackage {
+    /// The compiled plaintext bitstream (stored encrypted at rest in a
+    /// real deployment; integrity is what Salus protects).
+    pub compiled: CompiledBitstream,
+    /// The published digest `H`.
+    pub digest: [u8; 32],
+    /// The SM secret-cell locations `Loc`.
+    pub locations: SmCellLocations,
+}
+
+impl ClPackage {
+    /// The deployment metadata for the data owner.
+    pub fn metadata(&self) -> BitstreamMetadata {
+        BitstreamMetadata {
+            digest: self.digest,
+            locations: self.locations.clone(),
+            partition: self.compiled.partition,
+        }
+    }
+}
+
+/// The digest `H` the developer publishes: covers the plaintext wire
+/// stream, the SM secret-cell locations, and the target partition — so
+/// substituting any of the three breaks verification inside the SM
+/// enclave.
+pub fn package_digest(wire: &[u8], locations: &SmCellLocations, partition: usize) -> [u8; 32] {
+    let mut h = salus_crypto::sha256::Sha256::new();
+    h.update(b"salus-cl-package-digest-v1");
+    h.update(&(wire.len() as u64).to_le_bytes());
+    h.update(wire);
+    h.update(&locations.to_bytes());
+    h.update(&(partition as u64).to_le_bytes());
+    h.finalize()
+}
+
+/// Develops a CL: integrates the SM logic with `accelerator`, compiles
+/// for `geometry`/`partition`, and publishes digest + locations.
+///
+/// # Errors
+///
+/// Propagates compile failures (resource overflow, duplicate paths).
+pub fn develop_cl(
+    accelerator: Module,
+    geometry: PartitionGeometry,
+    partition: usize,
+) -> Result<ClPackage, SalusError> {
+    let mut netlist = Netlist::new(format!("cl-{}", accelerator.path()));
+    netlist.add_module(sm_logic_module());
+    netlist.add_module(accelerator);
+    let compiled = compile(&netlist, geometry, partition)?;
+    let locations = SmCellLocations::resolve(&compiled)?;
+    let digest = package_digest(&compiled.wire, &locations, partition);
+    Ok(ClPackage {
+        compiled,
+        digest,
+        locations,
+    })
+}
+
+/// The released user enclave application binary.
+pub fn user_enclave_image() -> EnclaveImage {
+    EnclaveImage::from_code("salus-user-enclave", b"salus user enclave application v1")
+}
+
+/// The released SM enclave application binary (the manufacturer SDK).
+pub fn sm_enclave_image() -> EnclaveImage {
+    EnclaveImage::from_code("salus-sm-enclave", b"salus secure manager enclave v1")
+}
+
+/// The CSP shell's netlist: the privileged static-region logic (DMA
+/// engines, PCIe bridge, ICAP controller, CL slot manager — §2.2),
+/// sized as fractions of the static region's capacity.
+pub fn shell_netlist(static_region: PartitionGeometry) -> Netlist {
+    let cap = static_region.capacity;
+    let frac = |v: u32, pct: u32| v * pct / 100;
+    let mut netlist = Netlist::new("csp-shell");
+    netlist.add_module(
+        Module::new("shell/pcie", "shell:pcie-bridge").with_resources(
+            frac(cap.lut, 6),
+            frac(cap.register, 5),
+            frac(cap.bram, 3),
+        ),
+    );
+    netlist.add_module(Module::new("shell/dma", "shell:dma-engine").with_resources(
+        frac(cap.lut, 4),
+        frac(cap.register, 3),
+        frac(cap.bram, 5),
+    ));
+    netlist.add_module(
+        Module::new("shell/icap_ctrl", "shell:icap-controller").with_resources(
+            frac(cap.lut, 1),
+            frac(cap.register, 1),
+            frac(cap.bram, 1),
+        ),
+    );
+    netlist.add_module(
+        Module::new("shell/slot_mgr", "shell:slot-manager").with_resources(
+            frac(cap.lut, 2),
+            frac(cap.register, 1),
+            frac(cap.bram, 1),
+        ),
+    );
+    netlist
+}
+
+/// Compiles the shell image for a device's static region (the plaintext
+/// bitstream the CSP loads at instance creation).
+///
+/// # Errors
+///
+/// Propagates compile failures.
+pub fn build_shell_image(
+    geometry: &salus_fpga::geometry::DeviceGeometry,
+) -> Result<Vec<u8>, SalusError> {
+    let compiled = salus_bitstream::compile::compile(
+        &shell_netlist(geometry.static_region),
+        geometry.static_region,
+        salus_fpga::device::STATIC_PARTITION,
+    )?;
+    Ok(compiled.wire)
+}
+
+/// A minimal loopback accelerator used by protocol tests and the
+/// quickstart example.
+pub fn loopback_accelerator() -> Module {
+    Module::new("cl/accel", "accel:loopback").with_resources(1_000, 2_000, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salus_fpga::geometry::DeviceGeometry;
+
+    #[test]
+    fn sm_logic_matches_table5_footprint() {
+        let m = sm_logic_module();
+        let r = m.total_resources();
+        assert_eq!(r.lut, 27_667);
+        assert_eq!(r.register, 29_631);
+        assert_eq!(r.bram, 88);
+    }
+
+    #[test]
+    fn develop_cl_produces_locations_and_digest() {
+        let pkg = develop_cl(
+            loopback_accelerator(),
+            DeviceGeometry::u200().partitions[0],
+            0,
+        )
+        .unwrap();
+        assert_eq!(pkg.locations.key_attest.capacity, KEY_ATTEST_BYTES);
+        assert_eq!(pkg.locations.key_session.capacity, KEY_SESSION_BYTES);
+        assert_ne!(pkg.digest, [0u8; 32]);
+    }
+
+    #[test]
+    fn locations_differ_across_designs() {
+        // The paper: "the location of the SM logic and consequently
+        // Loc_KeyAttest are dynamic across different compiled CL
+        // netlists". Our placer assigns slots in module order, so a CL
+        // whose accelerator declares BRAMs *before* the SM logic shifts
+        // the SM cells.
+        let geometry = DeviceGeometry::u200().partitions[0];
+        let a = develop_cl(loopback_accelerator(), geometry, 0).unwrap();
+
+        let mut netlist = Netlist::new("reordered");
+        netlist.add_module(
+            Module::new("cl/pre", "accel:pre")
+                .with_bram(salus_bitstream::netlist::BramCell::zeroed("buf", 64)),
+        );
+        netlist.add_module(sm_logic_module());
+        let compiled = salus_bitstream::compile::compile(&netlist, geometry, 0).unwrap();
+        let b = SmCellLocations::resolve(&compiled).unwrap();
+        assert_ne!(a.locations.key_attest.byte_offset, b.key_attest.byte_offset);
+    }
+
+    #[test]
+    fn metadata_byte_roundtrip() {
+        let pkg = develop_cl(
+            loopback_accelerator(),
+            DeviceGeometry::u200().partitions[0],
+            0,
+        )
+        .unwrap();
+        let md = pkg.metadata();
+        assert_eq!(BitstreamMetadata::from_bytes(&md.to_bytes()).unwrap(), md);
+        assert!(BitstreamMetadata::from_bytes(&[0; 10]).is_err());
+    }
+
+    #[test]
+    fn missing_sm_logic_detected() {
+        let mut netlist = Netlist::new("no-sm");
+        netlist.add_module(loopback_accelerator());
+        let compiled =
+            salus_bitstream::compile::compile(&netlist, DeviceGeometry::u200().partitions[0], 0)
+                .unwrap();
+        assert!(matches!(
+            SmCellLocations::resolve(&compiled),
+            Err(SalusError::SmLogicUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn shell_image_configures_the_static_region() {
+        use salus_fpga::device::Device;
+        let geometry = DeviceGeometry::tiny();
+        let image = build_shell_image(&geometry).unwrap();
+        let mut device = Device::manufacture(geometry, 1);
+        device.icap_load(&image).unwrap();
+        assert!(device.shell_loaded());
+        assert!(!device.partition(0).unwrap().is_configured());
+    }
+
+    #[test]
+    fn enclave_images_are_stable() {
+        assert_eq!(
+            user_enclave_image().measure(),
+            user_enclave_image().measure()
+        );
+        assert_ne!(user_enclave_image().measure(), sm_enclave_image().measure());
+    }
+}

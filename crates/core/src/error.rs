@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use salus_bitstream::BitstreamError;
+use salus_fpga::FpgaError;
+use salus_net::NetError;
+use salus_tee::TeeError;
+
+/// Errors surfaced by the Salus protocols.
+///
+/// Security-relevant detections get their own variants so experiments
+/// can assert *which* defence fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SalusError {
+    /// The fetched CL bitstream did not match the expected digest `H`.
+    DigestMismatch,
+    /// CL attestation failed: the loaded CL does not hold `Key_attest`.
+    ClAttestationFailed(&'static str),
+    /// The secure register channel rejected a transaction.
+    RegisterChannelViolation(&'static str),
+    /// Remote attestation of an enclave failed.
+    RemoteAttestationFailed(&'static str),
+    /// Local attestation between the user and SM enclaves failed.
+    LocalAttestationFailed(&'static str),
+    /// The manufacturer refused to issue a device key.
+    KeyDistributionRefused(&'static str),
+    /// The cascaded attestation report did not verify at the client.
+    CascadeReportInvalid(&'static str),
+    /// A message failed to decode.
+    Malformed(&'static str),
+    /// The SM logic is absent or undecodable on the loaded CL.
+    SmLogicUnavailable(&'static str),
+    /// Underlying TEE failure.
+    Tee(TeeError),
+    /// Underlying FPGA failure.
+    Fpga(FpgaError),
+    /// Underlying bitstream tooling failure.
+    Bitstream(BitstreamError),
+    /// Underlying network failure.
+    Net(NetError),
+}
+
+impl fmt::Display for SalusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SalusError::DigestMismatch => write!(f, "bitstream digest mismatch"),
+            SalusError::ClAttestationFailed(what) => write!(f, "cl attestation failed: {what}"),
+            SalusError::RegisterChannelViolation(what) => {
+                write!(f, "register channel violation: {what}")
+            }
+            SalusError::RemoteAttestationFailed(what) => {
+                write!(f, "remote attestation failed: {what}")
+            }
+            SalusError::LocalAttestationFailed(what) => {
+                write!(f, "local attestation failed: {what}")
+            }
+            SalusError::KeyDistributionRefused(what) => {
+                write!(f, "key distribution refused: {what}")
+            }
+            SalusError::CascadeReportInvalid(what) => {
+                write!(f, "cascade report invalid: {what}")
+            }
+            SalusError::Malformed(what) => write!(f, "malformed message: {what}"),
+            SalusError::SmLogicUnavailable(what) => write!(f, "sm logic unavailable: {what}"),
+            SalusError::Tee(e) => write!(f, "tee: {e}"),
+            SalusError::Fpga(e) => write!(f, "fpga: {e}"),
+            SalusError::Bitstream(e) => write!(f, "bitstream: {e}"),
+            SalusError::Net(e) => write!(f, "net: {e}"),
+        }
+    }
+}
+
+impl Error for SalusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SalusError::Tee(e) => Some(e),
+            SalusError::Fpga(e) => Some(e),
+            SalusError::Bitstream(e) => Some(e),
+            SalusError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TeeError> for SalusError {
+    fn from(e: TeeError) -> Self {
+        SalusError::Tee(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<FpgaError> for SalusError {
+    fn from(e: FpgaError) -> Self {
+        SalusError::Fpga(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<BitstreamError> for SalusError {
+    fn from(e: BitstreamError) -> Self {
+        SalusError::Bitstream(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NetError> for SalusError {
+    fn from(e: NetError) -> Self {
+        SalusError::Net(e)
+    }
+}

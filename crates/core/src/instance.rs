@@ -1,0 +1,323 @@
+//! Wiring of one simulated cloud deployment (the §6.1 experimental
+//! setup): a TEE-enabled host with user + SM enclaves, a shell-managed
+//! FPGA over PCIe, a manufacturer key server intra-cloud, a user client
+//! over the WAN, and the attestation service.
+
+use salus_bitstream::netlist::Module;
+use salus_fpga::geometry::DeviceGeometry;
+use salus_fpga::shell::Shell;
+use salus_net::clock::SimClock;
+use salus_net::latency::{LatencyModel, LinkClass};
+use salus_net::rpc::RpcFabric;
+use salus_tee::platform::SgxPlatform;
+use salus_tee::quote::{AttestationService, QuotingEnclave};
+
+use crate::client::UserClient;
+use crate::dev::{
+    develop_cl, loopback_accelerator, sm_enclave_image, user_enclave_image, ClPackage,
+};
+use crate::keys::KeyData;
+use crate::manufacturer::Manufacturer;
+use crate::reg_channel::HostRegChannel;
+use crate::sm_app::SmApp;
+use crate::sm_logic::SmLogic;
+use crate::timing::CostModel;
+use crate::user_app::UserApp;
+
+/// Fabric endpoint names of the deployment's parties.
+pub mod endpoints {
+    /// The data owner's laptop.
+    pub const CLIENT: &str = "user-client";
+    /// The cloud instance host.
+    pub const HOST: &str = "cloud-host";
+    /// The manufacturer key server.
+    pub const MANUFACTURER: &str = "manufacturer";
+    /// The FPGA board (reached through the shell).
+    pub const FPGA: &str = "fpga";
+    /// The user enclave's IPC endpoint.
+    pub const USER_ENCLAVE: &str = "user-enclave";
+    /// The SM enclave's IPC endpoint.
+    pub const SM_ENCLAVE: &str = "sm-enclave";
+}
+
+/// Configuration for provisioning a test bed.
+#[derive(Debug, Clone)]
+pub struct TestBedConfig {
+    /// FPGA device geometry.
+    pub geometry: DeviceGeometry,
+    /// Operation cost model.
+    pub cost: CostModel,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Deterministic seed for every party's randomness.
+    pub seed: u64,
+    /// The accelerator module integrated into the CL.
+    pub accelerator: Module,
+    /// The host platform's TCB level (defaults to fully patched).
+    pub platform_svn: u16,
+}
+
+impl TestBedConfig {
+    /// The paper-scale configuration: U200 geometry, calibrated costs.
+    pub fn paper() -> TestBedConfig {
+        TestBedConfig {
+            geometry: DeviceGeometry::u200(),
+            cost: CostModel::paper_calibrated(),
+            latency: LatencyModel::paper_calibrated(),
+            seed: 42,
+            accelerator: loopback_accelerator(),
+            platform_svn: salus_tee::quote::CURRENT_SVN,
+        }
+    }
+
+    /// A tiny, zero-cost configuration for fast functional tests.
+    pub fn quick() -> TestBedConfig {
+        TestBedConfig {
+            geometry: DeviceGeometry::tiny(),
+            cost: CostModel::zero(),
+            latency: LatencyModel::zero(),
+            seed: 42,
+            accelerator: loopback_accelerator(),
+            platform_svn: salus_tee::quote::CURRENT_SVN,
+        }
+    }
+
+    /// Replaces the accelerator (builder-style).
+    pub fn with_accelerator(mut self, accelerator: Module) -> TestBedConfig {
+        self.accelerator = accelerator;
+        self
+    }
+
+    /// Replaces the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> TestBedConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One fully wired deployment.
+pub struct TestBed {
+    /// Shared virtual clock.
+    pub clock: SimClock,
+    /// Message fabric (channels between parties).
+    pub fabric: RpcFabric,
+    /// Operation cost model.
+    pub cost: CostModel,
+    /// The host's TEE platform.
+    pub platform: SgxPlatform,
+    /// The (trusted) attestation service.
+    pub attestation: AttestationService,
+    /// The manufacturer (factory + key server).
+    pub manufacturer: Manufacturer,
+    /// The CSP shell managing the FPGA.
+    pub shell: Shell,
+    /// The developed CL package.
+    pub package: ClPackage,
+    /// Untrusted host storage holding the (plaintext) CL bitstream as
+    /// uploaded; the SM enclave verifies it against `H` before use.
+    pub cl_store: Vec<u8>,
+    /// The data owner's client.
+    pub client: UserClient,
+    /// The user enclave application.
+    pub user_app: UserApp,
+    /// The SM enclave application.
+    pub sm_app: SmApp,
+    /// The SM logic handle, available after a successful boot.
+    pub sm_logic: Option<SmLogic>,
+    /// The host register-channel endpoint, available after boot.
+    pub host_reg: Option<HostRegChannel>,
+    /// Target reconfigurable partition.
+    pub partition: usize,
+    /// The DNA string the (untrusted) CSP advertises for the rented
+    /// board. `None` means the CSP reports the true value; attacks set
+    /// it to model a lying CSP.
+    pub advertised_dna_override: Option<u64>,
+}
+
+impl std::fmt::Debug for TestBed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestBed")
+            .field("booted", &self.sm_logic.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TestBed {
+    /// Provisions a full deployment from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator does not fit the configured geometry —
+    /// a configuration error, not a runtime condition.
+    pub fn provision(config: TestBedConfig) -> TestBed {
+        let clock = SimClock::new();
+        let fabric = RpcFabric::new(clock.clone(), config.latency.clone());
+        fabric.set_route(endpoints::CLIENT, endpoints::HOST, LinkClass::Wan);
+        fabric.set_route(
+            endpoints::HOST,
+            endpoints::MANUFACTURER,
+            LinkClass::IntraCloud,
+        );
+        fabric.set_route(endpoints::HOST, endpoints::FPGA, LinkClass::Pcie);
+        fabric.set_route(
+            endpoints::USER_ENCLAVE,
+            endpoints::SM_ENCLAVE,
+            LinkClass::Loopback,
+        );
+
+        // Manufacturing domain.
+        let mut attestation = AttestationService::new(b"salus-provisioning-secret");
+        let platform =
+            SgxPlatform::with_svn(&config.seed.to_le_bytes(), config.seed, config.platform_svn);
+        attestation.register_platform(config.seed);
+        let mut qe = QuotingEnclave::load(&platform).expect("QE loads");
+        qe.provision(attestation.provisioning_secret());
+
+        let user_image = user_enclave_image();
+        let sm_image = sm_enclave_image();
+        let mut manufacturer = Manufacturer::new(
+            &config.seed.to_le_bytes(),
+            attestation.clone(),
+            sm_image.measure(),
+        );
+        let device = manufacturer.manufacture_device(config.geometry.clone(), config.seed);
+        // Instance creation: the CSP loads its shell into the static
+        // region before handing the board to the tenant.
+        let shell_image = crate::dev::build_shell_image(&config.geometry)
+            .expect("shell compiles for configured geometry");
+        let shell = Shell::provision(device, &shell_image).expect("shell image loads");
+
+        // Development domain.
+        let partition = 0;
+        let package = develop_cl(
+            config.accelerator.clone(),
+            config.geometry.partitions[partition],
+            partition,
+        )
+        .expect("accelerator fits configured geometry");
+        let cl_store = package.compiled.wire.clone();
+
+        // Cloud instance domain.
+        let user_enclave = platform.load_enclave(&user_image).expect("EPC space");
+        let sm_enclave = platform.load_enclave(&sm_image).expect("EPC space");
+        let user_app = UserApp::new(user_enclave, qe.clone(), sm_image.measure());
+        let sm_app = SmApp::new(sm_enclave, qe, user_image.measure());
+
+        // Data owner domain.
+        let mut key_seed = [0u8; 32];
+        key_seed[..8].copy_from_slice(&config.seed.to_le_bytes());
+        let client = UserClient::new(
+            user_image.measure(),
+            sm_image.measure(),
+            attestation.clone(),
+            package.metadata(),
+            KeyData::from_bytes(key_seed),
+            &config.seed.to_le_bytes(),
+        );
+
+        TestBed {
+            clock,
+            fabric,
+            cost: config.cost,
+            platform,
+            attestation,
+            manufacturer,
+            shell,
+            package,
+            cl_store,
+            client,
+            user_app,
+            sm_app,
+            sm_logic: None,
+            host_reg: None,
+            partition,
+            advertised_dna_override: None,
+        }
+    }
+
+    /// A tiny zero-cost bed for examples and doc tests.
+    pub fn quick_demo() -> TestBed {
+        TestBed::provision(TestBedConfig::quick())
+    }
+
+    /// The paper-scale bed (U200 geometry, calibrated costs).
+    pub fn paper_scale() -> TestBed {
+        TestBed::provision(TestBedConfig::paper())
+    }
+
+    /// Performs a secure register write through the attested channel.
+    ///
+    /// # Errors
+    ///
+    /// State errors before boot; channel violations under attack.
+    pub fn secure_reg_write(&mut self, addr: u32, value: u64) -> Result<(), crate::SalusError> {
+        self.secure_reg_op(crate::reg_channel::RegisterOp::Write { addr, value })
+            .map(|_| ())
+    }
+
+    /// Performs a secure register read through the attested channel.
+    ///
+    /// # Errors
+    ///
+    /// State errors before boot; channel violations under attack.
+    pub fn secure_reg_read(&mut self, addr: u32) -> Result<u64, crate::SalusError> {
+        self.secure_reg_op(crate::reg_channel::RegisterOp::Read { addr })
+    }
+
+    fn secure_reg_op(
+        &mut self,
+        op: crate::reg_channel::RegisterOp,
+    ) -> Result<u64, crate::SalusError> {
+        let host_reg = self
+            .host_reg
+            .as_mut()
+            .ok_or(crate::SalusError::RegisterChannelViolation("not booted"))?;
+        let logic = self
+            .sm_logic
+            .as_mut()
+            .ok_or(crate::SalusError::SmLogicUnavailable("not booted"))?;
+        let sealed = host_reg.seal_op(op);
+
+        // The transaction crosses the shell-controlled PCIe bus.
+        let channel = self.fabric.channel(endpoints::HOST, endpoints::FPGA);
+        let observed = channel.transmit(&sealed.to_bytes())?;
+        let observed = crate::reg_channel::SealedRegMsg::from_bytes(&observed)?;
+        let response = logic.handle_register(&observed)?;
+
+        let back = self
+            .fabric
+            .channel(endpoints::FPGA, endpoints::HOST)
+            .transmit(&response.to_bytes())?;
+        let back = crate::reg_channel::SealedRegMsg::from_bytes(&back)?;
+        host_reg.open_response(&back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_builds_consistent_bed() {
+        let bed = TestBed::quick_demo();
+        assert_eq!(bed.manufacturer.device_count(), 1);
+        assert!(!bed.client.platform_attested());
+        assert!(bed.sm_logic.is_none());
+        assert_eq!(bed.cl_store, bed.package.compiled.wire);
+    }
+
+    #[test]
+    fn register_ops_before_boot_fail() {
+        let mut bed = TestBed::quick_demo();
+        assert!(bed.secure_reg_write(0, 1).is_err());
+        assert!(bed.secure_reg_read(0).is_err());
+    }
+
+    #[test]
+    fn provision_is_deterministic() {
+        let a = TestBed::quick_demo();
+        let b = TestBed::quick_demo();
+        assert_eq!(a.package.digest, b.package.digest);
+        assert_eq!(a.shell.advertised_dna(), b.shell.advertised_dna());
+    }
+}

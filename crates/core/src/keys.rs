@@ -1,0 +1,109 @@
+//! Key-material newtypes used across the Salus protocols.
+//!
+//! Distinct types keep the five keys of the design from being confused
+//! at compile time. None of them implement `Debug`-printing of their
+//! bytes.
+
+/// The dynamically injected root-of-trust: a 128-bit SipHash key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct KeyAttest(pub(crate) [u8; 16]);
+
+/// The session key protecting register transactions (AES-256).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct KeySession(pub(crate) [u8; 32]);
+
+/// The session counter seed injected alongside the session key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct CtrSession(pub(crate) u64);
+
+/// The per-device bitstream encryption key (AES-GCM-256).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct KeyDevice(pub(crate) [u8; 32]);
+
+/// The data owner's symmetric data key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct KeyData(pub(crate) [u8; 32]);
+
+macro_rules! key_impls {
+    ($name:ident, $len:expr) => {
+        impl $name {
+            /// Wraps raw key bytes.
+            pub fn from_bytes(bytes: [u8; $len]) -> $name {
+                $name(bytes)
+            }
+
+            /// The raw key bytes. Handle with care.
+            pub fn as_bytes(&self) -> &[u8; $len] {
+                &self.0
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(<redacted>)"))
+            }
+        }
+    };
+}
+
+key_impls!(KeyAttest, 16);
+key_impls!(KeySession, 32);
+key_impls!(KeyDevice, 32);
+key_impls!(KeyData, 32);
+
+impl CtrSession {
+    /// Wraps a counter seed.
+    pub fn from_seed(seed: u64) -> CtrSession {
+        CtrSession(seed)
+    }
+
+    /// The counter value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Canonical 16-byte BRAM encoding (seed || zero padding).
+    pub fn to_bram_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out
+    }
+
+    /// Decodes [`to_bram_bytes`](CtrSession::to_bram_bytes) output.
+    pub fn from_bram_bytes(bytes: &[u8; 16]) -> CtrSession {
+        CtrSession(u64::from_le_bytes(bytes[..8].try_into().expect("8")))
+    }
+}
+
+impl std::fmt::Debug for CtrSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CtrSession(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_redacts_key_bytes() {
+        let k = KeyAttest::from_bytes([0xAB; 16]);
+        assert_eq!(format!("{k:?}"), "KeyAttest(<redacted>)");
+        let k = KeyDevice::from_bytes([0xCD; 32]);
+        assert!(!format!("{k:?}").contains("205"));
+    }
+
+    #[test]
+    fn ctr_session_bram_roundtrip() {
+        let c = CtrSession::from_seed(0x0123_4567_89AB_CDEF);
+        assert_eq!(CtrSession::from_bram_bytes(&c.to_bram_bytes()), c);
+    }
+
+    #[test]
+    fn distinct_types_hold_distinct_bytes() {
+        let a = KeySession::from_bytes([1; 32]);
+        let b = KeySession::from_bytes([2; 32]);
+        assert_ne!(a, b);
+        assert_eq!(a.as_bytes(), &[1; 32]);
+    }
+}

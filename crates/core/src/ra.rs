@@ -1,0 +1,315 @@
+//! Remote-attestation key exchange (§5.2.1).
+//!
+//! "During remote attestation, the user/SM enclave generates an
+//! asymmetric key pair and issues the user client/manufacturer server
+//! the public key and its digest carried by an Intel SGX DCAP quote."
+//! This module implements that pattern once, for both uses:
+//!
+//! 1. the enclave binds `SHA-256(pubkey || challenge)` into a quote's
+//!    report data,
+//! 2. the verifier checks the quote with the attestation service and the
+//!    expected MRENCLAVE, then
+//! 3. sends secrets encrypted under an ECDH-derived AES-GCM key.
+
+use salus_crypto::gcm::AesGcm256;
+use salus_crypto::hmac::hkdf;
+use salus_crypto::sha256::Sha256;
+use salus_crypto::x25519::{PublicKey, StaticSecret};
+use salus_tee::enclave::Enclave;
+use salus_tee::measurement::Measurement;
+use salus_tee::quote::{AttestationService, Quote, QuotingEnclave};
+use salus_tee::report::ReportData;
+
+use crate::SalusError;
+
+/// Domain label bound into RA report data.
+const RA_LABEL: &[u8] = b"salus-ra-kex-v1";
+
+/// Builds the report data binding `pubkey` and `challenge`.
+pub fn ra_report_data(pubkey: &[u8; 32], challenge: &[u8; 32], extra: &[u8; 32]) -> ReportData {
+    let mut h = Sha256::new();
+    h.update(RA_LABEL);
+    h.update(pubkey);
+    h.update(challenge);
+    let mut data = [0u8; 64];
+    data[..32].copy_from_slice(&h.finalize());
+    data[32..].copy_from_slice(extra);
+    data
+}
+
+/// The enclave side of an RA key exchange.
+pub struct RaResponder {
+    secret: StaticSecret,
+    pubkey: [u8; 32],
+}
+
+impl std::fmt::Debug for RaResponder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaResponder").finish_non_exhaustive()
+    }
+}
+
+impl RaResponder {
+    /// Generates a fresh key pair inside `enclave`.
+    pub fn new(enclave: &Enclave) -> RaResponder {
+        let secret = StaticSecret::from_bytes(enclave.random_array());
+        let pubkey = *PublicKey::from(&secret).as_bytes();
+        RaResponder { secret, pubkey }
+    }
+
+    /// The public key to be bound into the quote.
+    pub fn pubkey(&self) -> [u8; 32] {
+        self.pubkey
+    }
+
+    /// Produces the quote for this exchange, binding `challenge` and an
+    /// `extra` 32-byte slot (the cascaded-attestation proof hash; zeroes
+    /// when unused).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quoting-enclave failures.
+    pub fn quote(
+        &self,
+        enclave: &Enclave,
+        qe: &QuotingEnclave,
+        challenge: &[u8; 32],
+        extra: &[u8; 32],
+    ) -> Result<Quote, SalusError> {
+        let data = ra_report_data(&self.pubkey, challenge, extra);
+        salus_tee::quote::generate_quote(enclave, qe, data).map_err(SalusError::Tee)
+    }
+
+    /// Decrypts a message the verifier encrypted to this exchange's
+    /// public key.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] / [`SalusError::RemoteAttestationFailed`]
+    /// on bad envelopes.
+    pub fn decrypt(&self, envelope: &RaEnvelope) -> Result<Vec<u8>, SalusError> {
+        let shared = self
+            .secret
+            .diffie_hellman(&PublicKey::from_bytes(envelope.sender_pub));
+        let key = derive_ra_key(&shared, &envelope.sender_pub, &self.pubkey);
+        AesGcm256::new(&key)
+            .open(&envelope.nonce, RA_LABEL, &envelope.sealed)
+            .map_err(|_| SalusError::RemoteAttestationFailed("envelope decryption"))
+    }
+}
+
+/// An encrypted message from verifier to attested enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaEnvelope {
+    /// The verifier's ephemeral public key.
+    pub sender_pub: [u8; 32],
+    /// GCM nonce.
+    pub nonce: [u8; 12],
+    /// Ciphertext || tag.
+    pub sealed: Vec<u8>,
+}
+
+impl RaEnvelope {
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(44 + self.sealed.len());
+        out.extend_from_slice(&self.sender_pub);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.sealed);
+        out
+    }
+
+    /// Decodes [`to_bytes`](RaEnvelope::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] on short input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RaEnvelope, SalusError> {
+        if bytes.len() < 44 + 16 {
+            return Err(SalusError::Malformed("ra envelope"));
+        }
+        Ok(RaEnvelope {
+            sender_pub: bytes[..32].try_into().expect("32"),
+            nonce: bytes[32..44].try_into().expect("12"),
+            sealed: bytes[44..].to_vec(),
+        })
+    }
+}
+
+/// The verifier side: checks a quote and encrypts secrets to it.
+#[derive(Debug, Clone)]
+pub struct RaVerifier {
+    expected_mrenclave: Measurement,
+}
+
+impl RaVerifier {
+    /// Creates a verifier that only accepts enclaves measuring as
+    /// `expected_mrenclave`.
+    pub fn new(expected_mrenclave: Measurement) -> RaVerifier {
+        RaVerifier { expected_mrenclave }
+    }
+
+    /// Verifies `quote` against the attestation service, the expected
+    /// measurement, and this exchange's `challenge`. Returns the
+    /// enclave's bound public key and the `extra` 32-byte slot.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::RemoteAttestationFailed`] with the failing check.
+    pub fn verify(
+        &self,
+        service: &AttestationService,
+        quote: &Quote,
+        enclave_pub: &[u8; 32],
+        challenge: &[u8; 32],
+    ) -> Result<[u8; 32], SalusError> {
+        service
+            .verify_quote(quote)
+            .map_err(|_| SalusError::RemoteAttestationFailed("quote signature/platform"))?;
+        if quote.mrenclave != self.expected_mrenclave {
+            return Err(SalusError::RemoteAttestationFailed("unexpected MRENCLAVE"));
+        }
+        let extra: [u8; 32] = quote.report_data[32..].try_into().expect("32");
+        let expected = ra_report_data(enclave_pub, challenge, &extra);
+        if quote.report_data != expected {
+            return Err(SalusError::RemoteAttestationFailed("report data binding"));
+        }
+        Ok(extra)
+    }
+
+    /// Encrypts `plaintext` to the attested enclave's `enclave_pub`.
+    /// `entropy` supplies the ephemeral scalar and nonce (the caller's
+    /// RNG; 44 bytes consumed).
+    pub fn encrypt_to(enclave_pub: &[u8; 32], plaintext: &[u8], entropy: &[u8; 44]) -> RaEnvelope {
+        let secret = StaticSecret::from_bytes(entropy[..32].try_into().expect("32"));
+        let sender_pub = *PublicKey::from(&secret).as_bytes();
+        let nonce: [u8; 12] = entropy[32..].try_into().expect("12");
+        let shared = secret.diffie_hellman(&PublicKey::from_bytes(*enclave_pub));
+        let key = derive_ra_key(&shared, &sender_pub, enclave_pub);
+        RaEnvelope {
+            sender_pub,
+            nonce,
+            sealed: AesGcm256::new(&key).seal(&nonce, RA_LABEL, plaintext),
+        }
+    }
+}
+
+fn derive_ra_key(shared: &[u8; 32], sender_pub: &[u8; 32], enclave_pub: &[u8; 32]) -> [u8; 32] {
+    let mut salt = sender_pub.to_vec();
+    salt.extend_from_slice(enclave_pub);
+    hkdf(&salt, shared, b"salus-ra-envelope-key-v1", 32)
+        .try_into()
+        .expect("32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salus_tee::measurement::EnclaveImage;
+    use salus_tee::platform::SgxPlatform;
+
+    struct Setup {
+        enclave: Enclave,
+        qe: QuotingEnclave,
+        service: AttestationService,
+    }
+
+    fn setup() -> Setup {
+        let mut service = AttestationService::new(b"prov");
+        let platform = SgxPlatform::new(b"m", 7);
+        service.register_platform(7);
+        let mut qe = QuotingEnclave::load(&platform).unwrap();
+        qe.provision(service.provisioning_secret());
+        let enclave = platform
+            .load_enclave(&EnclaveImage::from_code("app", b"app"))
+            .unwrap();
+        Setup {
+            enclave,
+            qe,
+            service,
+        }
+    }
+
+    #[test]
+    fn full_ra_kex_roundtrip() {
+        let s = setup();
+        let responder = RaResponder::new(&s.enclave);
+        let challenge = [5u8; 32];
+        let quote = responder
+            .quote(&s.enclave, &s.qe, &challenge, &[0; 32])
+            .unwrap();
+
+        let verifier = RaVerifier::new(s.enclave.measurement());
+        let extra = verifier
+            .verify(&s.service, &quote, &responder.pubkey(), &challenge)
+            .unwrap();
+        assert_eq!(extra, [0; 32]);
+
+        let envelope =
+            RaVerifier::encrypt_to(&responder.pubkey(), b"H || Loc metadata", &[9u8; 44]);
+        assert_eq!(responder.decrypt(&envelope).unwrap(), b"H || Loc metadata");
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let s = setup();
+        let responder = RaResponder::new(&s.enclave);
+        let challenge = [5u8; 32];
+        let quote = responder
+            .quote(&s.enclave, &s.qe, &challenge, &[0; 32])
+            .unwrap();
+        let verifier = RaVerifier::new(Measurement([0xEE; 32]));
+        assert!(matches!(
+            verifier.verify(&s.service, &quote, &responder.pubkey(), &challenge),
+            Err(SalusError::RemoteAttestationFailed("unexpected MRENCLAVE"))
+        ));
+    }
+
+    #[test]
+    fn substituted_pubkey_rejected() {
+        let s = setup();
+        let responder = RaResponder::new(&s.enclave);
+        let challenge = [5u8; 32];
+        let quote = responder
+            .quote(&s.enclave, &s.qe, &challenge, &[0; 32])
+            .unwrap();
+        let verifier = RaVerifier::new(s.enclave.measurement());
+        // MITM substitutes its own public key alongside the real quote.
+        let mitm_pub = [0x42u8; 32];
+        assert!(verifier
+            .verify(&s.service, &quote, &mitm_pub, &challenge)
+            .is_err());
+    }
+
+    #[test]
+    fn stale_challenge_rejected() {
+        let s = setup();
+        let responder = RaResponder::new(&s.enclave);
+        let quote = responder
+            .quote(&s.enclave, &s.qe, &[1; 32], &[0; 32])
+            .unwrap();
+        let verifier = RaVerifier::new(s.enclave.measurement());
+        assert!(verifier
+            .verify(&s.service, &quote, &responder.pubkey(), &[2; 32])
+            .is_err());
+    }
+
+    #[test]
+    fn envelope_tampering_rejected() {
+        let s = setup();
+        let responder = RaResponder::new(&s.enclave);
+        let mut env = RaVerifier::encrypt_to(&responder.pubkey(), b"secret", &[9u8; 44]);
+        let n = env.sealed.len();
+        env.sealed[n - 1] ^= 1;
+        assert!(responder.decrypt(&env).is_err());
+    }
+
+    #[test]
+    fn envelope_byte_roundtrip() {
+        let s = setup();
+        let responder = RaResponder::new(&s.enclave);
+        let env = RaVerifier::encrypt_to(&responder.pubkey(), b"x", &[3u8; 44]);
+        assert_eq!(RaEnvelope::from_bytes(&env.to_bytes()).unwrap(), env);
+        assert!(RaEnvelope::from_bytes(&[0; 5]).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! The qualitative comparison behind Table 1.
+//!
+//! Structured data (not prose) so the Table 1 harness can print the
+//! same rows the paper does, and tests can assert the Salus row's
+//! properties actually hold in this implementation.
+
+/// TEE architecture type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeeType {
+    /// Heterogeneous CPU-FPGA TEE.
+    Heterogeneous,
+    /// Standalone FPGA TEE.
+    Standalone,
+}
+
+impl std::fmt::Display for TeeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeeType::Heterogeneous => write!(f, "HE"),
+            TeeType::Standalone => write!(f, "SA"),
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaTeeWork {
+    /// System name.
+    pub name: &'static str,
+    /// TEE architecture type.
+    pub tee_type: TeeType,
+    /// Works without extra secure hardware (COTS-deployable).
+    pub no_extra_hardware: bool,
+    /// IP development phase independent of the deployment phase.
+    pub independent_dev_and_deploy: bool,
+}
+
+/// Table 1's rows, in the paper's order.
+pub const TABLE1: [FpgaTeeWork; 5] = [
+    FpgaTeeWork {
+        name: "SGX-FPGA",
+        tee_type: TeeType::Heterogeneous,
+        no_extra_hardware: true,
+        independent_dev_and_deploy: false,
+    },
+    FpgaTeeWork {
+        name: "ShEF",
+        tee_type: TeeType::Standalone,
+        no_extra_hardware: false,
+        independent_dev_and_deploy: true,
+    },
+    FpgaTeeWork {
+        name: "MeetGo",
+        tee_type: TeeType::Standalone,
+        no_extra_hardware: false,
+        independent_dev_and_deploy: true,
+    },
+    FpgaTeeWork {
+        name: "Ambassy",
+        tee_type: TeeType::Standalone,
+        no_extra_hardware: false,
+        independent_dev_and_deploy: true,
+    },
+    FpgaTeeWork {
+        name: "Salus",
+        tee_type: TeeType::Heterogeneous,
+        no_extra_hardware: true,
+        independent_dev_and_deploy: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salus_row_is_the_only_fully_checked_one() {
+        let full: Vec<_> = TABLE1
+            .iter()
+            .filter(|w| w.no_extra_hardware && w.independent_dev_and_deploy)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].name, "Salus");
+    }
+
+    #[test]
+    fn salus_claims_hold_in_this_implementation() {
+        // "No extra hardware": the device model is a COTS part — the
+        // only Salus-specific piece is the readback-disabled ICAP, a
+        // firmware-level change, not additional hardware.
+        // "Independent dev & deploy": develop_cl never sees a device or
+        // a device key; deployment never re-synthesises.
+        use crate::dev::{develop_cl, loopback_accelerator};
+        use salus_fpga::geometry::DeviceGeometry;
+        // Development requires no device at all:
+        let pkg = develop_cl(
+            loopback_accelerator(),
+            DeviceGeometry::tiny().partitions[0],
+            0,
+        )
+        .unwrap();
+        assert!(!pkg.compiled.wire.is_empty());
+    }
+}

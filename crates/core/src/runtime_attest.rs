@@ -1,0 +1,162 @@
+//! Runtime re-attestation — the paper's §2.1 future work.
+//!
+//! "Salus only focuses on protecting integrity of the CL during
+//! bitstream loading, ignoring runtime attacks, e.g., runtime bitstream
+//! replacement. Runtime attestation ... will be studied later."
+//!
+//! This extension studies it: because the injected `Key_attest` lives in
+//! the loaded configuration frames, the boot-time CL attestation
+//! protocol re-runs at *any* time with a fresh nonce. A periodic
+//! heartbeat therefore detects runtime bitstream replacement: any reload
+//! — even of a previously valid encrypted bitstream — destroys the
+//! current session's `Key_attest` and the next heartbeat fails.
+
+use crate::cl_attest::{AttestRequest, AttestResponse};
+use crate::instance::{endpoints, TestBed};
+use crate::SalusError;
+
+/// Outcome of one heartbeat round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heartbeat {
+    /// The CL still holds this session's `Key_attest`.
+    Alive,
+    /// Attestation failed — the CL changed since boot (or the channel
+    /// was attacked). The platform must be considered compromised and
+    /// re-booted.
+    Compromised,
+}
+
+/// Runs one runtime re-attestation round over the shell-controlled PCIe
+/// channel. Requires a booted bed.
+///
+/// # Errors
+///
+/// Returns state errors if the bed was never booted; attestation
+/// *failures* are reported as [`Heartbeat::Compromised`], not errors —
+/// a monitor wants to observe them, not abort.
+pub fn heartbeat(bed: &mut TestBed) -> Result<Heartbeat, SalusError> {
+    if bed.sm_logic.is_none() {
+        return Err(SalusError::SmLogicUnavailable("not booted"));
+    }
+
+    let request = bed.sm_app.attest_request()?;
+    let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
+    let observed = match h2f.transmit(&request.to_bytes()) {
+        Ok(bytes) => bytes,
+        Err(_) => return Ok(Heartbeat::Compromised),
+    };
+    let observed = match AttestRequest::from_bytes(&observed) {
+        Ok(r) => r,
+        Err(_) => return Ok(Heartbeat::Compromised),
+    };
+
+    // Re-bind on every heartbeat: the SM logic must be decodable from
+    // the *current* frames.
+    let logic = match crate::sm_logic::SmLogic::bind(bed.shell.device(), bed.partition) {
+        Ok(l) => l,
+        Err(_) => return Ok(Heartbeat::Compromised),
+    };
+    let response = match logic.handle_attestation(&observed) {
+        Ok(r) => r,
+        Err(_) => return Ok(Heartbeat::Compromised),
+    };
+
+    let f2h = bed.fabric.channel(endpoints::FPGA, endpoints::HOST);
+    let observed = match f2h.transmit(&response.to_bytes()) {
+        Ok(bytes) => bytes,
+        Err(_) => return Ok(Heartbeat::Compromised),
+    };
+    let observed = match AttestResponse::from_bytes(&observed) {
+        Ok(r) => r,
+        Err(_) => return Ok(Heartbeat::Compromised),
+    };
+
+    match bed.sm_app.process_attest_response(&observed) {
+        Ok(()) => Ok(Heartbeat::Alive),
+        Err(_) => Ok(Heartbeat::Compromised),
+    }
+}
+
+/// Runs `rounds` heartbeats and returns how many reported
+/// [`Heartbeat::Alive`].
+///
+/// # Errors
+///
+/// Propagates state errors from [`heartbeat`].
+pub fn monitor(bed: &mut TestBed, rounds: usize) -> Result<usize, SalusError> {
+    let mut alive = 0;
+    for _ in 0..rounds {
+        if heartbeat(bed)? == Heartbeat::Alive {
+            alive += 1;
+        }
+    }
+    Ok(alive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::secure_boot;
+    use crate::instance::TestBedConfig;
+    use salus_fpga::shell::LoadAttack;
+
+    fn booted_bed() -> TestBed {
+        let mut bed = TestBed::provision(TestBedConfig::quick());
+        secure_boot(&mut bed).unwrap();
+        bed
+    }
+
+    #[test]
+    fn heartbeats_stay_alive_on_an_untouched_cl() {
+        let mut bed = booted_bed();
+        assert_eq!(monitor(&mut bed, 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn heartbeat_requires_boot() {
+        let mut bed = TestBed::provision(TestBedConfig::quick());
+        assert!(heartbeat(&mut bed).is_err());
+    }
+
+    #[test]
+    fn runtime_bitstream_replacement_is_detected() {
+        let mut bed = booted_bed();
+        assert_eq!(heartbeat(&mut bed).unwrap(), Heartbeat::Alive);
+
+        // The shell replays the *same* encrypted bitstream it observed
+        // at boot — a perfectly valid stream for this device. But the
+        // replay carries the boot-time injection, while the SM enclave
+        // has advanced: re-run the deployment path to inject fresh keys
+        // first, making the replay stale.
+        let old = bed.shell.observed_bitstreams()[0].clone();
+        secure_boot(&mut bed).unwrap(); // fresh session, fresh keys
+        assert_eq!(heartbeat(&mut bed).unwrap(), Heartbeat::Alive);
+
+        // Runtime replacement: shell silently reloads the old stream.
+        bed.shell.set_load_attack(LoadAttack::Replace(old.clone()));
+        bed.shell.deploy_bitstream(&old).unwrap();
+
+        assert_eq!(heartbeat(&mut bed).unwrap(), Heartbeat::Compromised);
+    }
+
+    #[test]
+    fn heartbeat_detects_and_recovers_from_channel_attacks() {
+        let mut bed = booted_bed();
+        // A bus attack on the heartbeat itself is observed…
+        bed.fabric
+            .channel(
+                crate::instance::endpoints::HOST,
+                crate::instance::endpoints::FPGA,
+            )
+            .interpose(salus_net::adversary::BitFlipper::new(0, 2));
+        assert_eq!(heartbeat(&mut bed).unwrap(), Heartbeat::Compromised);
+        // Channel restored → alive again.
+        bed.fabric
+            .channel(
+                crate::instance::endpoints::HOST,
+                crate::instance::endpoints::FPGA,
+            )
+            .clear_adversary();
+        assert_eq!(heartbeat(&mut bed).unwrap(), Heartbeat::Alive);
+    }
+}

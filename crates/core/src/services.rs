@@ -1,0 +1,224 @@
+//! RPC service bindings (the gRPC layer of §5.2).
+//!
+//! The boot driver moves bytes over raw channels for deterministic
+//! phase accounting; this module provides the service-style face the
+//! paper describes — the manufacturer's key-distribution service
+//! registered as RPC methods on the fabric, callable from any endpoint,
+//! with the same adversary surface (requests and responses cross
+//! interposable channels).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use salus_net::rpc::RpcFabric;
+use salus_net::NetError;
+use salus_tee::quote::Quote;
+
+use crate::instance::endpoints;
+use crate::manufacturer::Manufacturer;
+use crate::ra::RaEnvelope;
+use crate::SalusError;
+
+/// Method name for starting a key request.
+pub const METHOD_KEY_BEGIN: &str = "manufacturer.key.begin";
+/// Method name for redeeming a key request.
+pub const METHOD_KEY_REDEEM: &str = "manufacturer.key.redeem";
+
+/// Registers the manufacturer's key-distribution service on `fabric`.
+pub fn serve_manufacturer(fabric: &RpcFabric, manufacturer: Arc<Mutex<Manufacturer>>) {
+    let begin_mfr = Arc::clone(&manufacturer);
+    fabric.register_handler(
+        endpoints::MANUFACTURER,
+        METHOD_KEY_BEGIN,
+        Box::new(move |payload| {
+            let dna = u64::from_le_bytes(
+                payload
+                    .try_into()
+                    .map_err(|_| "malformed dna request".to_owned())?,
+            );
+            let challenge = begin_mfr
+                .lock()
+                .begin_key_request(dna)
+                .map_err(|e| e.to_string())?;
+            Ok(challenge.to_vec())
+        }),
+    );
+
+    fabric.register_handler(
+        endpoints::MANUFACTURER,
+        METHOD_KEY_REDEEM,
+        Box::new(move |payload| {
+            if payload.len() < 8 + 32 + 32 {
+                return Err("malformed redeem request".to_owned());
+            }
+            let dna = u64::from_le_bytes(payload[..8].try_into().expect("8"));
+            let challenge: [u8; 32] = payload[8..40].try_into().expect("32");
+            let pubkey: [u8; 32] = payload[payload.len() - 32..].try_into().expect("32");
+            let quote =
+                Quote::from_bytes(&payload[40..payload.len() - 32]).map_err(|e| e.to_string())?;
+            let envelope = manufacturer
+                .lock()
+                .redeem_key_request(dna, challenge, &quote, &pubkey)
+                .map_err(|e| e.to_string())?;
+            Ok(envelope.to_bytes())
+        }),
+    );
+}
+
+/// Client stub for the manufacturer service, called from `from`.
+#[derive(Debug, Clone)]
+pub struct ManufacturerClient {
+    fabric: RpcFabric,
+    from: String,
+}
+
+impl ManufacturerClient {
+    /// Creates a stub originating calls from endpoint `from`.
+    pub fn new(fabric: RpcFabric, from: impl Into<String>) -> ManufacturerClient {
+        ManufacturerClient {
+            fabric,
+            from: from.into(),
+        }
+    }
+
+    /// Starts a key request for `dna`, returning the RA challenge.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or service-side refusals.
+    pub fn begin_key_request(&self, dna: u64) -> Result<[u8; 32], SalusError> {
+        let response = self
+            .fabric
+            .call(
+                &self.from,
+                endpoints::MANUFACTURER,
+                METHOD_KEY_BEGIN,
+                &dna.to_le_bytes(),
+            )
+            .map_err(map_net)?;
+        response
+            .try_into()
+            .map_err(|_| SalusError::Malformed("challenge length"))
+    }
+
+    /// Redeems a key request with the SM enclave's quote.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or service-side refusals.
+    pub fn redeem(
+        &self,
+        dna: u64,
+        challenge: [u8; 32],
+        quote: &Quote,
+        pubkey: &[u8; 32],
+    ) -> Result<RaEnvelope, SalusError> {
+        let mut payload = dna.to_le_bytes().to_vec();
+        payload.extend_from_slice(&challenge);
+        payload.extend_from_slice(&quote.to_bytes());
+        payload.extend_from_slice(pubkey);
+        let response = self
+            .fabric
+            .call(
+                &self.from,
+                endpoints::MANUFACTURER,
+                METHOD_KEY_REDEEM,
+                &payload,
+            )
+            .map_err(map_net)?;
+        RaEnvelope::from_bytes(&response)
+    }
+}
+
+fn map_net(e: NetError) -> SalusError {
+    match e {
+        NetError::Remote(msg) => SalusError::KeyDistributionRefused(match msg {
+            m if m.contains("unknown device") => "unknown device",
+            m if m.contains("unknown challenge") => "unknown challenge",
+            _ => "service refused",
+        }),
+        other => SalusError::Net(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{TestBed, TestBedConfig};
+
+    fn rpc_bed() -> (TestBed, ManufacturerClient) {
+        let mut bed = TestBed::provision(TestBedConfig::quick());
+        // Move the manufacturer behind the RPC fabric.
+        let manufacturer = std::mem::replace(
+            &mut bed.manufacturer,
+            Manufacturer::new(b"unused", bed.attestation.clone(), bed.sm_app.measurement()),
+        );
+        serve_manufacturer(&bed.fabric, Arc::new(Mutex::new(manufacturer)));
+        let client = ManufacturerClient::new(bed.fabric.clone(), endpoints::HOST);
+        (bed, client)
+    }
+
+    #[test]
+    fn key_distribution_over_rpc() {
+        let (mut bed, client) = rpc_bed();
+        let dna = bed.shell.advertised_dna();
+        bed.sm_app.set_target_device(dna);
+
+        let challenge = client.begin_key_request(dna).unwrap();
+        let (quote, pubkey) = bed.sm_app.key_request_quote(challenge).unwrap();
+        let envelope = client.redeem(dna, challenge, &quote, &pubkey).unwrap();
+        bed.sm_app.receive_device_key(&envelope).unwrap();
+    }
+
+    #[test]
+    fn rpc_refusals_map_to_salus_errors() {
+        let (_bed, client) = rpc_bed();
+        assert!(matches!(
+            client.begin_key_request(0xDEAD),
+            Err(SalusError::KeyDistributionRefused("unknown device"))
+        ));
+    }
+
+    #[test]
+    fn rpc_requests_cross_adversarial_channels() {
+        use salus_net::adversary::Snooper;
+        let (mut bed, client) = rpc_bed();
+        let dna = bed.shell.advertised_dna();
+        bed.sm_app.set_target_device(dna);
+
+        let handle = bed
+            .fabric
+            .channel(endpoints::MANUFACTURER, endpoints::HOST)
+            .interpose(Snooper::new());
+
+        let challenge = client.begin_key_request(dna).unwrap();
+        let (quote, pubkey) = bed.sm_app.key_request_quote(challenge).unwrap();
+        let envelope = client.redeem(dna, challenge, &quote, &pubkey).unwrap();
+        bed.sm_app.receive_device_key(&envelope).unwrap();
+
+        // The snooper saw the envelope but it is encrypted: the raw key
+        // bytes never cross. (We can't know the key here — but we can
+        // check the envelope was observed and is not trivially short.)
+        assert!(handle.with(|s| s.observed.len() >= 2));
+        assert!(handle.with(|s| s.saw_bytes(&envelope.to_bytes()[..16])));
+    }
+
+    #[test]
+    fn tampered_rpc_response_detected_downstream() {
+        use salus_net::adversary::BitFlipper;
+        let (mut bed, client) = rpc_bed();
+        let dna = bed.shell.advertised_dna();
+        bed.sm_app.set_target_device(dna);
+
+        let challenge = client.begin_key_request(dna).unwrap();
+        let (quote, pubkey) = bed.sm_app.key_request_quote(challenge).unwrap();
+        // Flip a byte in the second manufacturer→host message (the
+        // envelope response).
+        bed.fabric
+            .channel(endpoints::MANUFACTURER, endpoints::HOST)
+            .interpose(BitFlipper::new(0, 60));
+        let envelope = client.redeem(dna, challenge, &quote, &pubkey).unwrap();
+        assert!(bed.sm_app.receive_device_key(&envelope).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Calibrated virtual-time costs for the secure boot flow (Figure 9).
+//!
+//! The paper's §6.3 breakdown: total boot 18.8 s on top of VM creation,
+//! dominated by bitstream manipulation (73.2%) because RapidWright runs
+//! untailored inside an Occlum enclave; verification + encryption take
+//! 725 ms combined; device-key distribution 1709 ms; user RA 2568 ms;
+//! local attestation 836 µs; CL attestation 1.3 ms. The constants here
+//! are chosen so the same operations on the same bitstream size land on
+//! those values; everything scales with input size, so experiments that
+//! shrink the RP legitimately get faster boots.
+
+use std::time::Duration;
+
+use salus_net::clock::SimClock;
+
+/// A modelled operation whose virtual-time cost the [`CostModel`] knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// SHA-256 digest check of a fetched bitstream, by size.
+    BitstreamVerify(usize),
+    /// Bitstream-level BRAM rewrite inside the enclave, by size
+    /// (the RapidWright-in-Occlum path — the paper's dominant cost).
+    BitstreamManipulate(usize),
+    /// AES-GCM encryption of the bitstream inside the enclave, by size.
+    BitstreamEncrypt(usize),
+    /// ICAP programming of a partial bitstream, by size.
+    IcapProgram(usize),
+    /// DCAP quote generation inside an enclave.
+    QuoteGeneration,
+    /// DCAP quote verification round trip to the attestation service
+    /// (`wan` selects laptop→DCAP vs intra-cloud→DCAP).
+    QuoteVerification {
+        /// Whether the verifier reaches the DCAP service over the WAN.
+        wan: bool,
+    },
+    /// One X25519 + report exchange side of local attestation.
+    LocalAttestSide,
+    /// SM-logic SipHash MAC over one attestation message.
+    SmLogicMac,
+    /// Enclave ECALL/OCALL boundary crossing.
+    EnclaveTransition,
+}
+
+/// Maps operations to virtual-time costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Bitstream digest-check throughput (bytes/s).
+    pub verify_bytes_per_sec: u64,
+    /// In-enclave bitstream manipulation throughput (bytes/s).
+    pub manipulate_bytes_per_sec: u64,
+    /// In-enclave AES-GCM throughput (bytes/s).
+    pub encrypt_bytes_per_sec: u64,
+    /// ICAP programming throughput (bytes/s).
+    pub icap_bytes_per_sec: u64,
+    /// Quote generation latency.
+    pub quote_generation: Duration,
+    /// Quote verification via DCAP over the WAN.
+    pub quote_verification_wan: Duration,
+    /// Quote verification via DCAP intra-cloud.
+    pub quote_verification_intra: Duration,
+    /// Per-side local attestation compute (ECDH + report).
+    pub local_attest_side: Duration,
+    /// SM-logic MAC latency per message.
+    pub sm_logic_mac: Duration,
+    /// Enclave boundary crossing.
+    pub enclave_transition: Duration,
+}
+
+impl CostModel {
+    /// Constants calibrated to the paper's Figure 9 (see module docs).
+    pub fn paper_calibrated() -> CostModel {
+        CostModel {
+            // 4 889 568-byte partial bitstream:
+            //   verify ≈ 300 ms, manipulate ≈ 13.78 s, encrypt ≈ 425 ms.
+            verify_bytes_per_sec: 16_300_000,
+            manipulate_bytes_per_sec: 355_000,
+            encrypt_bytes_per_sec: 11_500_000,
+            icap_bytes_per_sec: 400_000_000,
+            quote_generation: Duration::from_millis(380),
+            quote_verification_wan: Duration::from_millis(864),
+            quote_verification_intra: Duration::from_millis(1328),
+            local_attest_side: Duration::from_micros(380),
+            sm_logic_mac: Duration::from_micros(400),
+            enclave_transition: Duration::from_micros(12),
+        }
+    }
+
+    /// A zero-cost model for purely functional tests.
+    pub fn zero() -> CostModel {
+        CostModel {
+            verify_bytes_per_sec: u64::MAX,
+            manipulate_bytes_per_sec: u64::MAX,
+            encrypt_bytes_per_sec: u64::MAX,
+            icap_bytes_per_sec: u64::MAX,
+            quote_generation: Duration::ZERO,
+            quote_verification_wan: Duration::ZERO,
+            quote_verification_intra: Duration::ZERO,
+            local_attest_side: Duration::ZERO,
+            sm_logic_mac: Duration::ZERO,
+            enclave_transition: Duration::ZERO,
+        }
+    }
+
+    /// The virtual-time cost of `op`.
+    pub fn cost(&self, op: Op) -> Duration {
+        let by_rate = |bytes: usize, rate: u64| {
+            if rate == u64::MAX {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos((bytes as u128 * 1_000_000_000 / rate as u128) as u64)
+            }
+        };
+        match op {
+            Op::BitstreamVerify(b) => by_rate(b, self.verify_bytes_per_sec),
+            Op::BitstreamManipulate(b) => by_rate(b, self.manipulate_bytes_per_sec),
+            Op::BitstreamEncrypt(b) => by_rate(b, self.encrypt_bytes_per_sec),
+            Op::IcapProgram(b) => by_rate(b, self.icap_bytes_per_sec),
+            Op::QuoteGeneration => self.quote_generation,
+            Op::QuoteVerification { wan } => {
+                if wan {
+                    self.quote_verification_wan
+                } else {
+                    self.quote_verification_intra
+                }
+            }
+            Op::LocalAttestSide => self.local_attest_side,
+            Op::SmLogicMac => self.sm_logic_mac,
+            Op::EnclaveTransition => self.enclave_transition,
+        }
+    }
+
+    /// Charges `op` to `clock` and returns the charged duration.
+    pub fn charge(&self, clock: &SimClock, op: Op) -> Duration {
+        let d = self.cost(op);
+        clock.advance(d);
+        d
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_BITSTREAM_BYTES: usize = 4_889_568;
+
+    #[test]
+    fn manipulation_dominates_like_the_paper() {
+        let m = CostModel::paper_calibrated();
+        let manip = m.cost(Op::BitstreamManipulate(PAPER_BITSTREAM_BYTES));
+        let verify = m.cost(Op::BitstreamVerify(PAPER_BITSTREAM_BYTES));
+        let encrypt = m.cost(Op::BitstreamEncrypt(PAPER_BITSTREAM_BYTES));
+        // ~13.8 s manipulation.
+        assert!(manip > Duration::from_secs(13) && manip < Duration::from_secs(15));
+        // verify + encrypt ≈ 725 ms.
+        let ve = verify + encrypt;
+        assert!(ve > Duration::from_millis(650) && ve < Duration::from_millis(800));
+        // Manipulation ≈ 73% of (manip + ve + attestation costs).
+        assert!(manip > (verify + encrypt) * 10);
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        let m = CostModel::paper_calibrated();
+        assert_eq!(
+            m.cost(Op::BitstreamManipulate(2_000_000)).as_nanos() / 2,
+            m.cost(Op::BitstreamManipulate(1_000_000)).as_nanos()
+        );
+    }
+
+    #[test]
+    fn wan_verification_slower_model_is_explicit() {
+        let m = CostModel::paper_calibrated();
+        // WAN path adds the laptop RTTs separately via the latency model;
+        // the DCAP service-side constants are comparable.
+        assert!(m.cost(Op::QuoteVerification { wan: true }) > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let clock = SimClock::new();
+        let m = CostModel::zero();
+        m.charge(&clock, Op::BitstreamManipulate(1 << 30));
+        m.charge(&clock, Op::QuoteGeneration);
+        assert_eq!(clock.now_ns(), 0);
+    }
+
+    #[test]
+    fn charge_advances_clock() {
+        let clock = SimClock::new();
+        let m = CostModel::paper_calibrated();
+        let d = m.charge(&clock, Op::QuoteGeneration);
+        assert_eq!(clock.now(), d);
+    }
+}

@@ -1,0 +1,265 @@
+//! The user enclave application and cascaded attestation (§4.4).
+//!
+//! The user enclave fronts the data owner: it answers the remote-
+//! attestation request, locally attests the SM enclave, forwards the
+//! bitstream metadata, and — this is the cascaded-attestation core —
+//! **defers its final remote-attestation report until the CL attestation
+//! has completed**, binding the results of every backward stage into the
+//! report. One round trip then proves the whole heterogeneous platform.
+
+use salus_crypto::sha256::Sha256;
+use salus_tee::enclave::Enclave;
+use salus_tee::local::{initiate, HandshakeMsg, PendingChannel, SecureChannel};
+use salus_tee::measurement::Measurement;
+use salus_tee::quote::{Quote, QuotingEnclave};
+
+use crate::dev::BitstreamMetadata;
+use crate::keys::KeyData;
+use crate::ra::{RaEnvelope, RaResponder};
+use crate::SalusError;
+
+/// The cascade proof hash bound into the final quote's report data:
+/// covers the SM enclave identity and the attested CL's digest.
+pub fn cascade_hash(sm_measurement: &Measurement, cl_digest: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"salus-cascade-v1");
+    h.update(sm_measurement.as_bytes());
+    h.update(cl_digest);
+    h.update(&[1u8]); // CL attestation result flag
+    h.finalize()
+}
+
+/// The user enclave application.
+pub struct UserApp {
+    enclave: Enclave,
+    qe: QuotingEnclave,
+    expected_sm: Measurement,
+    ra: Option<RaResponder>,
+    pending_la: Option<PendingChannel>,
+    la: Option<SecureChannel>,
+    metadata: Option<BitstreamMetadata>,
+    final_challenge: Option<[u8; 32]>,
+    sm_attested: bool,
+    cl_attested: bool,
+    key_data: Option<KeyData>,
+}
+
+impl std::fmt::Debug for UserApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserApp")
+            .field("sm_attested", &self.sm_attested)
+            .field("cl_attested", &self.cl_attested)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UserApp {
+    /// Boots the user application inside `enclave`.
+    pub fn new(enclave: Enclave, qe: QuotingEnclave, expected_sm: Measurement) -> UserApp {
+        UserApp {
+            enclave,
+            qe,
+            expected_sm,
+            ra: None,
+            pending_la: None,
+            la: None,
+            metadata: None,
+            final_challenge: None,
+            sm_attested: false,
+            cl_attested: false,
+            key_data: None,
+        }
+    }
+
+    /// The user enclave's measurement.
+    pub fn measurement(&self) -> Measurement {
+        self.enclave.measurement()
+    }
+
+    /// Whether both backward stages have been attested.
+    pub fn platform_attested(&self) -> bool {
+        self.sm_attested && self.cl_attested
+    }
+
+    /// The RA public key the client should encrypt to.
+    ///
+    /// # Errors
+    ///
+    /// State error before [`handle_ra_request`](UserApp::handle_ra_request).
+    pub fn ra_pubkey(&self) -> Result<[u8; 32], SalusError> {
+        Ok(self
+            .ra
+            .as_ref()
+            .ok_or(SalusError::RemoteAttestationFailed("no ra state"))?
+            .pubkey())
+    }
+
+    /// Answers the client's initial RA request with a quote binding a
+    /// fresh key-exchange public key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quoting failures.
+    pub fn handle_ra_request(&mut self, challenge: [u8; 32]) -> Result<Quote, SalusError> {
+        let responder = RaResponder::new(&self.enclave);
+        let quote = responder.quote(&self.enclave, &self.qe, &challenge, &[0; 32])?;
+        self.ra = Some(responder);
+        Ok(quote)
+    }
+
+    /// Receives the encrypted metadata + final challenge from the
+    /// client.
+    ///
+    /// # Errors
+    ///
+    /// Decryption or decoding failures.
+    pub fn receive_metadata(&mut self, envelope: &RaEnvelope) -> Result<(), SalusError> {
+        let responder = self
+            .ra
+            .as_ref()
+            .ok_or(SalusError::RemoteAttestationFailed("no ra state"))?;
+        let bytes = responder.decrypt(envelope)?;
+        if bytes.len() < 32 {
+            return Err(SalusError::Malformed("metadata envelope"));
+        }
+        let (md, challenge) = bytes.split_at(bytes.len() - 32);
+        self.metadata = Some(BitstreamMetadata::from_bytes(md)?);
+        self.final_challenge = Some(challenge.try_into().expect("32"));
+        Ok(())
+    }
+
+    /// The metadata for the SM enclave (after LA).
+    ///
+    /// # Errors
+    ///
+    /// State errors.
+    pub fn metadata(&self) -> Result<&BitstreamMetadata, SalusError> {
+        self.metadata
+            .as_ref()
+            .ok_or(SalusError::Malformed("no metadata"))
+    }
+
+    /// Starts local attestation toward the SM enclave.
+    pub fn la_initiate(&mut self) -> HandshakeMsg {
+        let (pending, msg) = initiate(&self.enclave, self.expected_sm);
+        self.pending_la = Some(pending);
+        msg
+    }
+
+    /// Completes local attestation with the SM enclave's reply.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::LocalAttestationFailed`] if the SM enclave is not
+    /// the expected binary on this platform.
+    pub fn la_finish(&mut self, reply: &HandshakeMsg) -> Result<(), SalusError> {
+        let pending = self
+            .pending_la
+            .take()
+            .ok_or(SalusError::LocalAttestationFailed("no pending handshake"))?;
+        let channel = pending
+            .finish(reply)
+            .map_err(|_| SalusError::LocalAttestationFailed("user-side handshake"))?;
+        self.la = Some(channel);
+        self.sm_attested = true;
+        Ok(())
+    }
+
+    /// Seals the metadata for the SM enclave over the LA channel.
+    ///
+    /// # Errors
+    ///
+    /// State errors.
+    pub fn metadata_for_sm(&mut self) -> Result<Vec<u8>, SalusError> {
+        let bytes = self
+            .metadata
+            .as_ref()
+            .ok_or(SalusError::Malformed("no metadata"))?
+            .to_bytes();
+        let channel = self
+            .la
+            .as_mut()
+            .ok_or(SalusError::LocalAttestationFailed("no channel"))?;
+        Ok(channel.seal(&bytes))
+    }
+
+    /// Receives the CL-attestation result from the SM enclave.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::CascadeReportInvalid`] when the result does not
+    /// confirm the expected CL.
+    pub fn receive_cl_result(&mut self, sealed: &[u8]) -> Result<(), SalusError> {
+        let metadata_digest = self
+            .metadata
+            .as_ref()
+            .ok_or(SalusError::Malformed("no metadata"))?
+            .digest;
+        let channel = self
+            .la
+            .as_mut()
+            .ok_or(SalusError::LocalAttestationFailed("no channel"))?;
+        let msg = channel
+            .open(sealed)
+            .map_err(|_| SalusError::LocalAttestationFailed("cl result message"))?;
+        let expected_prefix = b"CL_OK:";
+        if msg.len() != expected_prefix.len() + 32 || !msg.starts_with(expected_prefix) {
+            return Err(SalusError::CascadeReportInvalid("cl result format"));
+        }
+        if msg[expected_prefix.len()..] != metadata_digest {
+            return Err(SalusError::CascadeReportInvalid("cl digest mismatch"));
+        }
+        self.cl_attested = true;
+        Ok(())
+    }
+
+    /// Generates the deferred final RA report: the quote's report data
+    /// binds the cascade hash covering the SM enclave and the attested
+    /// CL. Only valid once every backward stage succeeded.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::CascadeReportInvalid`] before full attestation.
+    pub fn final_quote(&mut self) -> Result<Quote, SalusError> {
+        if !self.platform_attested() {
+            return Err(SalusError::CascadeReportInvalid("stages incomplete"));
+        }
+        let challenge = self
+            .final_challenge
+            .ok_or(SalusError::CascadeReportInvalid("no final challenge"))?;
+        let digest = self
+            .metadata
+            .as_ref()
+            .ok_or(SalusError::Malformed("no metadata"))?
+            .digest;
+        let extra = cascade_hash(&self.expected_sm, &digest);
+        let responder = self
+            .ra
+            .as_ref()
+            .ok_or(SalusError::RemoteAttestationFailed("no ra state"))?;
+        responder.quote(&self.enclave, &self.qe, &challenge, &extra)
+    }
+
+    /// Receives the data owner's encrypted data key after the final RA.
+    ///
+    /// # Errors
+    ///
+    /// Decryption failures.
+    pub fn receive_data_key(&mut self, envelope: &RaEnvelope) -> Result<(), SalusError> {
+        let responder = self
+            .ra
+            .as_ref()
+            .ok_or(SalusError::RemoteAttestationFailed("no ra state"))?;
+        let bytes = responder.decrypt(envelope)?;
+        let key: [u8; 32] = bytes
+            .try_into()
+            .map_err(|_| SalusError::Malformed("data key length"))?;
+        self.key_data = Some(KeyData::from_bytes(key));
+        Ok(())
+    }
+
+    /// The received data key, if any.
+    pub fn data_key(&self) -> Option<&KeyData> {
+        self.key_data.as_ref()
+    }
+}

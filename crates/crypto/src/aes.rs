@@ -1,0 +1,353 @@
+//! AES block cipher (FIPS 197), supporting 128- and 256-bit keys.
+//!
+//! This is a straightforward table-free byte-oriented implementation: the
+//! S-box is a constant lookup table and MixColumns is computed with
+//! xtime chains. It favours auditability over raw speed — the same
+//! trade-off the paper makes for the SM logic ("compact and easily
+//! inspectable codebase").
+//!
+//! ```
+//! use salus_crypto::aes::Aes128;
+//!
+//! // FIPS 197 Appendix B example.
+//! let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+//! let cipher = Aes128::new(&key);
+//! let mut block = [0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+//!                  0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34];
+//! cipher.encrypt_block(&mut block);
+//! assert_eq!(block[0], 0x39);
+//! ```
+
+/// AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+
+/// A 16-byte AES block.
+pub type Block = [u8; BLOCK_SIZE];
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn mul(a: u8, mut b: u8) -> u8 {
+    let mut result = 0u8;
+    let mut a = a;
+    while a != 0 {
+        if a & 1 != 0 {
+            result ^= b;
+        }
+        b = xtime(b);
+        a >>= 1;
+    }
+    result
+}
+
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+fn shift_rows(s: &mut Block) {
+    let t = *s;
+    for c in 0..4 {
+        for r in 1..4 {
+            s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut Block) {
+    let t = *s;
+    for c in 0..4 {
+        for r in 1..4 {
+            s[4 * ((c + r) % 4) + r] = t[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(s: &mut Block) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        s[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(s: &mut Block) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = mul(0x0e, col[0]) ^ mul(0x0b, col[1]) ^ mul(0x0d, col[2]) ^ mul(0x09, col[3]);
+        s[4 * c + 1] =
+            mul(0x09, col[0]) ^ mul(0x0e, col[1]) ^ mul(0x0b, col[2]) ^ mul(0x0d, col[3]);
+        s[4 * c + 2] =
+            mul(0x0d, col[0]) ^ mul(0x09, col[1]) ^ mul(0x0e, col[2]) ^ mul(0x0b, col[3]);
+        s[4 * c + 3] =
+            mul(0x0b, col[0]) ^ mul(0x0d, col[1]) ^ mul(0x09, col[2]) ^ mul(0x0e, col[3]);
+    }
+}
+
+fn add_round_key(s: &mut Block, rk: &Block) {
+    for (b, k) in s.iter_mut().zip(rk.iter()) {
+        *b ^= k;
+    }
+}
+
+/// Expanded AES key schedule for an arbitrary supported key size.
+#[derive(Clone)]
+struct KeySchedule {
+    round_keys: Vec<Block>,
+}
+
+impl KeySchedule {
+    fn new(key: &[u8]) -> KeySchedule {
+        let nk = key.len() / 4; // words in key: 4 (AES-128) or 8 (AES-256)
+        debug_assert!(nk == 4 || nk == 6 || nk == 8);
+        let nr = nk + 6; // rounds: 10 / 12 / 14
+        let total_words = 4 * (nr + 1);
+
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        KeySchedule { round_keys }
+    }
+
+    fn encrypt_block(&self, block: &mut Block) {
+        let nr = self.round_keys.len() - 1;
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..nr {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[nr]);
+    }
+
+    fn decrypt_block(&self, block: &mut Block) {
+        let nr = self.round_keys.len() - 1;
+        add_round_key(block, &self.round_keys[nr]);
+        for round in (1..nr).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+macro_rules! aes_variant {
+    ($name:ident, $key_len:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            schedule: KeySchedule,
+        }
+
+        impl $name {
+            /// Expands `key` into a round-key schedule.
+            pub fn new(key: &[u8; $key_len]) -> $name {
+                $name {
+                    schedule: KeySchedule::new(key),
+                }
+            }
+
+            /// Encrypts one 16-byte block in place.
+            pub fn encrypt_block(&self, block: &mut Block) {
+                self.schedule.encrypt_block(block);
+            }
+
+            /// Decrypts one 16-byte block in place.
+            pub fn decrypt_block(&self, block: &mut Block) {
+                self.schedule.decrypt_block(block);
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Never print key material.
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+aes_variant!(
+    Aes128,
+    16,
+    "AES with a 128-bit key (10 rounds). See the [module docs](self) for an example."
+);
+aes_variant!(
+    Aes256,
+    32,
+    "AES with a 256-bit key (14 rounds), as used for `Key_device` bitstream encryption."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_aes128() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let cipher = Aes128::new(&key);
+        let mut block: Block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
+            ]
+        );
+        cipher.decrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                0x07, 0x34
+            ]
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let cipher = Aes128::new(&key);
+        let mut block: Block = core::array::from_fn(|i| (i as u8) * 0x11);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let cipher = Aes256::new(&key);
+        let mut block: Block = core::array::from_fn(|i| (i as u8) * 0x11);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                0x60, 0x89
+            ]
+        );
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, core::array::from_fn(|i| (i as u8) * 0x11));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many_keys() {
+        for seed in 0u8..16 {
+            let key: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(7) ^ seed);
+            let cipher = Aes256::new(&key);
+            let original: Block = core::array::from_fn(|i| (i as u8).wrapping_add(seed));
+            let mut block = original;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original, "encryption must change the block");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn inv_sbox_is_inverse() {
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+    }
+}

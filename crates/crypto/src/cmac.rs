@@ -1,0 +1,156 @@
+//! AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//!
+//! Intel SGX local attestation MACs the `EREPORT` structure with
+//! AES-CMAC under the report key (Figure 1 of the paper); the
+//! `salus-tee` SGX model uses this module for exactly that.
+//!
+//! ```
+//! use salus_crypto::cmac::aes128_cmac;
+//!
+//! let tag = aes128_cmac(&[0u8; 16], b"report body");
+//! assert_eq!(tag.len(), 16);
+//! ```
+
+use crate::aes::{Aes128, Block, BLOCK_SIZE};
+
+fn left_shift_one(block: &Block) -> Block {
+    let mut out = [0u8; BLOCK_SIZE];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_SIZE).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    out
+}
+
+fn generate_subkeys(cipher: &Aes128) -> (Block, Block) {
+    const RB: u8 = 0x87;
+    let mut l = [0u8; BLOCK_SIZE];
+    cipher.encrypt_block(&mut l);
+
+    let mut k1 = left_shift_one(&l);
+    if l[0] & 0x80 != 0 {
+        k1[15] ^= RB;
+    }
+    let mut k2 = left_shift_one(&k1);
+    if k1[0] & 0x80 != 0 {
+        k2[15] ^= RB;
+    }
+    (k1, k2)
+}
+
+/// Computes the AES-128-CMAC of `message` under `key`.
+pub fn aes128_cmac(key: &[u8; 16], message: &[u8]) -> Block {
+    let cipher = Aes128::new(key);
+    let (k1, k2) = generate_subkeys(&cipher);
+
+    let n_blocks = message.len().div_ceil(BLOCK_SIZE).max(1);
+    let complete_last = !message.is_empty() && message.len().is_multiple_of(BLOCK_SIZE);
+
+    let mut x = [0u8; BLOCK_SIZE];
+    for i in 0..n_blocks - 1 {
+        let chunk = &message[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE];
+        for (b, m) in x.iter_mut().zip(chunk.iter()) {
+            *b ^= m;
+        }
+        cipher.encrypt_block(&mut x);
+    }
+
+    let last_start = (n_blocks - 1) * BLOCK_SIZE;
+    let mut last = [0u8; BLOCK_SIZE];
+    if complete_last {
+        last.copy_from_slice(&message[last_start..]);
+        for (l, k) in last.iter_mut().zip(k1.iter()) {
+            *l ^= k;
+        }
+    } else {
+        let rem = &message[last_start.min(message.len())..];
+        last[..rem.len()].copy_from_slice(rem);
+        last[rem.len()] = 0x80;
+        for (l, k) in last.iter_mut().zip(k2.iter()) {
+            *l ^= k;
+        }
+    }
+
+    for (b, l) in x.iter_mut().zip(last.iter()) {
+        *b ^= l;
+    }
+    cipher.encrypt_block(&mut x);
+    x
+}
+
+/// Verifies an AES-128-CMAC tag in constant time.
+pub fn aes128_cmac_verify(key: &[u8; 16], message: &[u8], tag: &[u8]) -> bool {
+    crate::ct::eq(&aes128_cmac(key, message), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    const MSG: [u8; 64] = [
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17,
+        0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+        0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19, 0x1a,
+        0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b,
+        0xe6, 0x6c, 0x37, 0x10,
+    ];
+
+    // RFC 4493 test vectors.
+    #[test]
+    fn rfc4493_empty() {
+        assert_eq!(
+            aes128_cmac(&KEY, b""),
+            [
+                0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,
+                0x67, 0x46
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc4493_16_bytes() {
+        assert_eq!(
+            aes128_cmac(&KEY, &MSG[..16]),
+            [
+                0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a,
+                0x28, 0x7c
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc4493_40_bytes() {
+        assert_eq!(
+            aes128_cmac(&KEY, &MSG[..40]),
+            [
+                0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14, 0x97,
+                0xc8, 0x27
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc4493_64_bytes() {
+        assert_eq!(
+            aes128_cmac(&KEY, &MSG),
+            [
+                0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79, 0x36,
+                0x3c, 0xfe
+            ]
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = aes128_cmac(&KEY, b"report");
+        assert!(aes128_cmac_verify(&KEY, b"report", &tag));
+        assert!(!aes128_cmac_verify(&KEY, b"reporT", &tag));
+        assert!(!aes128_cmac_verify(&[0u8; 16], b"report", &tag));
+    }
+}

@@ -1,0 +1,62 @@
+//! Constant-time comparison helpers.
+//!
+//! MAC and tag verification throughout the system must not leak the
+//! position of the first mismatching byte; the shell-controlled channel
+//! makes timing observable in the threat model.
+
+/// Compares two byte slices in constant time (for equal lengths).
+///
+/// Returns `false` immediately if lengths differ — length is public
+/// information for every tag format used in Salus.
+///
+/// ```
+/// assert!(salus_crypto::ct::eq(b"abc", b"abc"));
+/// assert!(!salus_crypto::ct::eq(b"abc", b"abd"));
+/// assert!(!salus_crypto::ct::eq(b"abc", b"ab"));
+/// ```
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Conditionally swaps two equal-length byte buffers when `swap` is true,
+/// without branching on the secret condition (used by the X25519 ladder).
+pub fn cswap(swap: bool, a: &mut [u64], b: &mut [u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let mask = (swap as u64).wrapping_neg();
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = mask & (*x ^ *y);
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn cswap_swaps_or_not() {
+        let mut a = [1u64, 2, 3];
+        let mut b = [9u64, 8, 7];
+        cswap(false, &mut a, &mut b);
+        assert_eq!(a, [1, 2, 3]);
+        cswap(true, &mut a, &mut b);
+        assert_eq!(a, [9, 8, 7]);
+        assert_eq!(b, [1, 2, 3]);
+    }
+}

@@ -1,0 +1,27 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations in this crate.
+///
+/// Only operations that can genuinely fail (authenticated decryption,
+/// key/point validation) return this; everything else is infallible by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An authentication tag did not verify (AEAD open or MAC check).
+    AuthenticationFailed,
+    /// A key, nonce, or point had an invalid length or encoding.
+    InvalidInput(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}

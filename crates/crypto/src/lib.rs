@@ -1,0 +1,60 @@
+//! # salus-crypto
+//!
+//! From-scratch cryptographic primitives backing the Salus reproduction.
+//!
+//! The paper's secure-manager stack (SM enclave application and SM logic)
+//! "solely utilize\[s\] well-known cryptographic functionalities like AES
+//! encryption, SHA, and HMAC" plus a SipHash MAC engine on the FPGA and
+//! ECDH for the enclave-to-enclave channel. This crate provides exactly
+//! those primitives with no external dependencies, so the whole trusted
+//! codebase stays compact and inspectable — the property the paper relies
+//! on for the SM HDK/SDK to be open-sourceable and verifiable.
+//!
+//! ## Contents
+//!
+//! * [`aes`] — AES-128/256 block cipher (FIPS 197)
+//! * [`ctr`] — AES-CTR streaming mode (the accelerators' memory shim)
+//! * [`gcm`] — AES-GCM authenticated encryption (bitstream encryption,
+//!   matching the Vivado scheme per XAPP1267)
+//! * [`cmac`] — AES-CMAC (RFC 4493; SGX local-attestation report MAC)
+//! * [`sha256`] — SHA-256 (FIPS 180-4; bitstream digests, measurements)
+//! * [`hmac`] — HMAC-SHA256 and HKDF (RFC 2104 / RFC 5869)
+//! * [`siphash`] — SipHash-2-4 (the SM logic's lightweight MAC engine)
+//! * [`drbg`] — HMAC-DRBG (NIST SP 800-90A; enclave-side randomness)
+//! * [`merkle`] — keyed Merkle tree (the DRAM-integrity extension)
+//! * [`x25519`] — X25519 Diffie-Hellman (RFC 7748; enclave key exchange)
+//! * [`ct`] — constant-time comparison helpers
+//!
+//! ## Example
+//!
+//! ```
+//! use salus_crypto::{gcm::AesGcm256, drbg::HmacDrbg};
+//!
+//! let mut rng = HmacDrbg::new(b"seed material", b"salus-example");
+//! let key = rng.generate_array::<32>();
+//! let nonce = rng.generate_array::<12>();
+//!
+//! let cipher = AesGcm256::new(&key);
+//! let sealed = cipher.seal(&nonce, b"device-dna", b"bitstream bytes");
+//! let opened = cipher.open(&nonce, b"device-dna", &sealed).unwrap();
+//! assert_eq!(opened, b"bitstream bytes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cmac;
+pub mod ct;
+pub mod ctr;
+pub mod drbg;
+pub mod gcm;
+pub mod hmac;
+pub mod merkle;
+pub mod sha256;
+pub mod siphash;
+pub mod x25519;
+
+mod error;
+
+pub use error::CryptoError;

@@ -1,0 +1,217 @@
+//! Binary Merkle tree over fixed-size chunks (SHA-256).
+//!
+//! The paper's threat model delegates device-memory confidentiality *and
+//! integrity* to the developer ("there are many research efforts
+//! targeting to provide efficient and flexible memory integrity and
+//! confidentiality protection", §3.1 — citing Bonsai-Merkle-tree
+//! designs). This module provides the integrity half for the
+//! reproduction's DRAM shim: a keyed Merkle tree whose root functions as
+//! the authenticated state of an untrusted memory region, with
+//! incremental single-chunk updates.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::{Digest, Sha256};
+
+/// A Merkle tree over `chunk_count` fixed-size chunks.
+///
+/// Leaves are keyed hashes (preventing cross-tree confusion), inner
+/// nodes are SHA-256 over child pairs with domain separation. The tree
+/// is stored as a flat array of `2 * padded_leaves` digests.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    key: [u8; 32],
+    chunk_size: usize,
+    leaves: usize,
+    /// nodes[1] is the root; nodes[i] has children nodes[2i], nodes[2i+1].
+    nodes: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `data`, split into `chunk_size`-byte chunks
+    /// (the last chunk may be short), keyed by `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn build(key: &[u8; 32], data: &[u8], chunk_size: usize) -> MerkleTree {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let leaves = data.len().div_ceil(chunk_size).max(1);
+        let padded = leaves.next_power_of_two();
+        let mut nodes = vec![[0u8; 32]; 2 * padded];
+
+        let mut tree = MerkleTree {
+            key: *key,
+            chunk_size,
+            leaves,
+            nodes: Vec::new(),
+        };
+        for i in 0..padded {
+            let start = i * chunk_size;
+            let chunk = data
+                .get(start..data.len().min(start + chunk_size))
+                .unwrap_or(&[]);
+            nodes[padded + i] = tree.leaf_hash(i, chunk);
+        }
+        for i in (1..padded).rev() {
+            nodes[i] = Self::inner_hash(&nodes[2 * i], &nodes[2 * i + 1]);
+        }
+        tree.nodes = nodes;
+        tree
+    }
+
+    fn padded(&self) -> usize {
+        self.nodes.len() / 2
+    }
+
+    /// The chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of (real) leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves
+    }
+
+    /// The authenticated root.
+    pub fn root(&self) -> Digest {
+        self.nodes[1]
+    }
+
+    fn leaf_hash(&self, index: usize, chunk: &[u8]) -> Digest {
+        let mut message = Vec::with_capacity(16 + chunk.len());
+        message.extend_from_slice(b"merkle-leaf-v1");
+        message.extend_from_slice(&(index as u64).to_le_bytes());
+        message.extend_from_slice(chunk);
+        hmac_sha256(&self.key, &message)
+    }
+
+    fn inner_hash(left: &Digest, right: &Digest) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"merkle-node-v1");
+        h.update(left);
+        h.update(right);
+        h.finalize()
+    }
+
+    /// Recomputes the path after chunk `index` changed to `chunk`,
+    /// returning the new root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_chunk(&mut self, index: usize, chunk: &[u8]) -> Digest {
+        assert!(index < self.padded(), "chunk index out of range");
+        let padded = self.padded();
+        let mut node = padded + index;
+        self.nodes[node] = self.leaf_hash(index, chunk);
+        while node > 1 {
+            node /= 2;
+            self.nodes[node] = Self::inner_hash(&self.nodes[2 * node], &self.nodes[2 * node + 1]);
+        }
+        self.root()
+    }
+
+    /// Verifies that `chunk` is the current contents of `index` under
+    /// `root` — the check a verifier with only the root performs, using
+    /// the authentication path.
+    pub fn verify_chunk(&self, root: &Digest, index: usize, chunk: &[u8]) -> bool {
+        if index >= self.padded() {
+            return false;
+        }
+        let mut acc = self.leaf_hash(index, chunk);
+        let mut node = self.padded() + index;
+        while node > 1 {
+            let sibling = self.nodes[node ^ 1];
+            acc = if node.is_multiple_of(2) {
+                Self::inner_hash(&acc, &sibling)
+            } else {
+                Self::inner_hash(&sibling, &acc)
+            };
+            node /= 2;
+        }
+        crate::ct::eq(&acc, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(data: &[u8]) -> MerkleTree {
+        MerkleTree::build(&[7; 32], data, 16)
+    }
+
+    #[test]
+    fn root_changes_with_any_chunk() {
+        let data = vec![1u8; 100];
+        let t = tree(&data);
+        for i in 0..t.leaf_count() {
+            let mut modified = data.clone();
+            modified[i * 16] ^= 1;
+            let m = tree(&modified);
+            assert_ne!(t.root(), m.root(), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_rebuild() {
+        let mut data = vec![2u8; 200];
+        let mut t = tree(&data);
+        data[37] = 99;
+        let chunk_index = 37 / 16;
+        let chunk = &data[chunk_index * 16..(chunk_index + 1) * 16];
+        let updated_root = t.update_chunk(chunk_index, chunk);
+        assert_eq!(updated_root, tree(&data).root());
+    }
+
+    #[test]
+    fn verify_chunk_accepts_current_and_rejects_stale() {
+        let data = vec![3u8; 64];
+        let mut t = tree(&data);
+        let root = t.root();
+        assert!(t.verify_chunk(&root, 1, &data[16..32]));
+        assert!(!t.verify_chunk(&root, 1, &[0u8; 16]));
+        // Stale root after an update.
+        let new_root = t.update_chunk(1, &[9u8; 16]);
+        assert!(!t.verify_chunk(&root, 1, &[9u8; 16]));
+        assert!(t.verify_chunk(&new_root, 1, &[9u8; 16]));
+    }
+
+    #[test]
+    fn different_keys_different_roots() {
+        let data = vec![4u8; 64];
+        let a = MerkleTree::build(&[1; 32], &data, 16);
+        let b = MerkleTree::build(&[2; 32], &data, 16);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn non_power_of_two_and_ragged_tail() {
+        // 5 chunks, last one short.
+        let data = vec![5u8; 16 * 4 + 7];
+        let t = tree(&data);
+        assert_eq!(t.leaf_count(), 5);
+        assert!(t.verify_chunk(&t.root(), 4, &data[64..]));
+    }
+
+    #[test]
+    fn empty_data_builds() {
+        let t = tree(&[]);
+        assert_eq!(t.leaf_count(), 1);
+        assert!(t.verify_chunk(&t.root(), 0, &[]));
+    }
+
+    #[test]
+    fn swapped_chunks_detected() {
+        // Chunk-index binding: swapping two equal-looking positions of
+        // different content fails verification.
+        let mut data = vec![0u8; 64];
+        data[0..16].fill(0xAA);
+        data[16..32].fill(0xBB);
+        let t = tree(&data);
+        let root = t.root();
+        assert!(!t.verify_chunk(&root, 0, &data[16..32]));
+        assert!(!t.verify_chunk(&root, 1, &data[0..16]));
+    }
+}

@@ -1,0 +1,396 @@
+//! X25519 Diffie-Hellman (RFC 7748).
+//!
+//! The paper's user and SM enclaves "exchange a symmetric key using
+//! Elliptic-Curve Diffie-Hellman (ECDH)" during local attestation
+//! (§5.2.2), and the remote-attestation flows bind an asymmetric key
+//! pair into each DCAP quote (§5.2.1). This module provides the curve
+//! operation; key-schedule derivation from the shared secret lives in
+//! [`crate::hmac`].
+//!
+//! Field arithmetic is 4×64-bit limbs modulo `2^255 - 19` with lazy
+//! reduction; the scalar ladder is the constant-time Montgomery ladder
+//! from the RFC using [`crate::ct::cswap`].
+//!
+//! ```
+//! use salus_crypto::x25519::{PublicKey, StaticSecret};
+//!
+//! let a = StaticSecret::from_bytes([1u8; 32]);
+//! let b = StaticSecret::from_bytes([2u8; 32]);
+//! let shared_ab = a.diffie_hellman(&PublicKey::from(&b));
+//! let shared_ba = b.diffie_hellman(&PublicKey::from(&a));
+//! assert_eq!(shared_ab, shared_ba);
+//! ```
+
+use crate::ct::cswap;
+
+/// Field element modulo `2^255 - 19`, 4 little-endian 64-bit limbs,
+/// kept loosely reduced (< 2^256) between operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fe([u64; 4]);
+
+const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+impl Fe {
+    const ZERO: Fe = Fe([0, 0, 0, 0]);
+    const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff; // mask the top bit per RFC 7748
+        Fe(limbs)
+    }
+
+    /// Canonical little-endian encoding (fully reduced mod p).
+    fn to_bytes(self) -> [u8; 32] {
+        let mut limbs = self.reduce_once().0;
+        // Subtract p once more if still >= p.
+        let mut borrow = 0i128;
+        let mut candidate = [0u64; 4];
+        for i in 0..4 {
+            let diff = limbs[i] as i128 - P[i] as i128 + borrow;
+            candidate[i] = diff as u64;
+            borrow = if diff < 0 { -1 } else { 0 };
+        }
+        if borrow == 0 {
+            limbs = candidate;
+        }
+        let mut out = [0u8; 32];
+        for (i, limb) in limbs.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Folds any value < 2^256 down below 2^255 + small, then below p + ε.
+    fn reduce_once(self) -> Fe {
+        let mut limbs = self.0;
+        // Fold bit 255 and above: 2^255 ≡ 19 (mod p).
+        let top = limbs[3] >> 63;
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut carry = (top as u128) * 19;
+        for limb in limbs.iter_mut() {
+            let acc = *limb as u128 + carry;
+            *limb = acc as u64;
+            carry = acc >> 64;
+        }
+        Fe(limbs)
+    }
+
+    fn add(self, other: Fe) -> Fe {
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        #[allow(clippy::needless_range_loop)] // indexes three arrays in lockstep
+        for i in 0..4 {
+            let acc = self.0[i] as u128 + other.0[i] as u128 + carry;
+            out[i] = acc as u64;
+            carry = acc >> 64;
+        }
+        // carry is 0 or 1; 2^256 ≡ 38 (mod p)
+        let mut acc = out[0] as u128 + carry * 38;
+        out[0] = acc as u64;
+        let mut c = acc >> 64;
+        for limb in out.iter_mut().skip(1) {
+            if c == 0 {
+                break;
+            }
+            acc = *limb as u128 + c;
+            *limb = acc as u64;
+            c = acc >> 64;
+        }
+        Fe(out).reduce_once()
+    }
+
+    fn sub(self, other: Fe) -> Fe {
+        // self + 2p - other, keeping everything positive.
+        let two_p: [u64; 4] = [
+            0xffff_ffff_ffff_ffda,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+        ];
+        let mut out = [0u64; 4];
+        let mut carry = 0i128;
+        for i in 0..4 {
+            let acc = self.0[i] as i128 + two_p[i] as i128 - other.0[i] as i128 + carry;
+            out[i] = acc as u64;
+            carry = acc >> 64;
+        }
+        // carry in {0,1}: fold 2^256 ≡ 38.
+        let mut acc = out[0] as u128 + (carry as u128) * 38;
+        out[0] = acc as u64;
+        let mut c = acc >> 64;
+        for limb in out.iter_mut().skip(1) {
+            if c == 0 {
+                break;
+            }
+            acc = *limb as u128 + c;
+            *limb = acc as u64;
+            c = acc >> 64;
+        }
+        Fe(out).reduce_once()
+    }
+
+    fn mul(self, other: Fe) -> Fe {
+        let a = &self.0;
+        let b = &other.0;
+        let mut wide = [0u128; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = wide[i + j] + (a[i] as u128) * (b[j] as u128) + carry;
+                wide[i + j] = cur & 0xffff_ffff_ffff_ffff;
+                carry = cur >> 64;
+            }
+            wide[i + 4] += carry;
+        }
+        // Fold high 256 bits: 2^256 ≡ 38 (mod p).
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let acc = wide[i] + wide[i + 4] * 38 + carry;
+            out[i] = acc as u64;
+            carry = acc >> 64;
+        }
+        // carry < 38 * 2^64 / 2^64 + ... small; fold again.
+        let mut acc = out[0] as u128 + carry * 38;
+        out[0] = acc as u64;
+        let mut c = acc >> 64;
+        for limb in out.iter_mut().skip(1) {
+            if c == 0 {
+                break;
+            }
+            acc = *limb as u128 + c;
+            *limb = acc as u64;
+            c = acc >> 64;
+        }
+        Fe(out).reduce_once()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        #[allow(clippy::needless_range_loop)] // indexes two arrays in lockstep
+        for i in 0..4 {
+            let acc = (self.0[i] as u128) * (k as u128) + carry;
+            out[i] = acc as u64;
+            carry = acc >> 64;
+        }
+        let mut acc = out[0] as u128 + carry * 38;
+        out[0] = acc as u64;
+        let mut c = acc >> 64;
+        for limb in out.iter_mut().skip(1) {
+            if c == 0 {
+                break;
+            }
+            acc = *limb as u128 + c;
+            *limb = acc as u64;
+            c = acc >> 64;
+        }
+        Fe(out).reduce_once()
+    }
+
+    /// Inversion via Fermat: `self^(p-2)`.
+    fn invert(self) -> Fe {
+        // p - 2 limbs
+        let exp: [u64; 4] = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        let mut result = Fe::ONE;
+        for i in (0..255).rev() {
+            result = result.square();
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+}
+
+/// An X25519 public key (a curve u-coordinate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey([u8; 32]);
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({})", crate::sha256::to_hex(&self.0[..8]))
+    }
+}
+
+impl PublicKey {
+    /// Wraps raw public-key bytes received from a peer.
+    pub fn from_bytes(bytes: [u8; 32]) -> PublicKey {
+        PublicKey(bytes)
+    }
+
+    /// The raw 32-byte encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// An X25519 private scalar.
+#[derive(Clone)]
+pub struct StaticSecret([u8; 32]);
+
+impl std::fmt::Debug for StaticSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticSecret").finish_non_exhaustive()
+    }
+}
+
+impl StaticSecret {
+    /// Creates a secret from raw bytes (clamped internally per RFC 7748).
+    pub fn from_bytes(bytes: [u8; 32]) -> StaticSecret {
+        StaticSecret(bytes)
+    }
+
+    /// Computes the shared secret with a peer's public key.
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> [u8; 32] {
+        scalar_mult(&self.0, &peer.0)
+    }
+}
+
+impl From<&StaticSecret> for PublicKey {
+    fn from(secret: &StaticSecret) -> PublicKey {
+        PublicKey(scalar_mult(&secret.0, &BASEPOINT))
+    }
+}
+
+/// The X25519 base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// RFC 7748 X25519 scalar multiplication.
+pub fn scalar_mult(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = false;
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1 == 1;
+        swap ^= k_t;
+        cswap(swap, &mut x2.0, &mut x3.0);
+        cswap(swap, &mut z2.0, &mut z3.0);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+
+    cswap(swap, &mut x2.0, &mut x3.0);
+    cswap(swap, &mut z2.0, &mut z3.0);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expected = unhex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(scalar_mult(&scalar, &u), expected);
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expected = unhex32("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(scalar_mult(&scalar, &u), expected);
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv =
+            unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let alice_pub_expected =
+            unhex32("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+        let bob_priv = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_pub_expected =
+            unhex32("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+        let shared_expected =
+            unhex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+
+        let alice = StaticSecret::from_bytes(alice_priv);
+        let bob = StaticSecret::from_bytes(bob_priv);
+        assert_eq!(PublicKey::from(&alice).0, alice_pub_expected);
+        assert_eq!(PublicKey::from(&bob).0, bob_pub_expected);
+        assert_eq!(
+            alice.diffie_hellman(&PublicKey::from_bytes(bob_pub_expected)),
+            shared_expected
+        );
+        assert_eq!(
+            bob.diffie_hellman(&PublicKey::from_bytes(alice_pub_expected)),
+            shared_expected
+        );
+    }
+
+    #[test]
+    fn field_invert() {
+        let x = Fe([12345, 0, 0, 0]);
+        assert_eq!(x.mul(x.invert()).to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    #[test]
+    fn field_add_sub_roundtrip() {
+        let a = Fe([u64::MAX, u64::MAX, 5, 7]);
+        let b = Fe([3, 0, u64::MAX, 1]);
+        assert_eq!(a.add(b).sub(b).to_bytes(), a.reduce_once().to_bytes());
+    }
+}

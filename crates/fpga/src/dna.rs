@@ -1,0 +1,90 @@
+//! DeviceDNA: the factory-programmed 57-bit device identifier.
+//!
+//! Xilinx UltraScale devices expose a unique, read-only identifier via
+//! the `DNA_PORTE2` primitive. Salus binds the CL attestation to it —
+//! the SM logic MACs over `DeviceDNA` so the SM enclave can check "the
+//! FPGA ID assigned by the CSP matches the one used by the user-rented
+//! FPGA" (§4.3).
+
+/// Number of significant bits in a DeviceDNA value.
+pub const DNA_BITS: u32 = 57;
+
+/// A 57-bit factory-programmed device identifier.
+///
+/// ```
+/// use salus_fpga::dna::DeviceDna;
+///
+/// let dna = DeviceDna::from_serial(42);
+/// assert_eq!(DeviceDna::from_serial(42), dna);
+/// assert_ne!(DeviceDna::from_serial(43), dna);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceDna(u64);
+
+impl DeviceDna {
+    /// Derives the DNA burned into the device with manufacturing serial
+    /// number `serial`. The derivation is an arbitrary but fixed mixing
+    /// function — what matters is uniqueness and read-only-ness.
+    pub fn from_serial(serial: u64) -> DeviceDna {
+        // SplitMix64 finalizer, masked to 57 bits.
+        let mut z = serial.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        DeviceDna(z & ((1u64 << DNA_BITS) - 1))
+    }
+
+    /// Reconstructs a DNA from its raw 57-bit value (e.g. received over
+    /// the wire). Upper bits are masked off.
+    pub fn from_raw(raw: u64) -> DeviceDna {
+        DeviceDna(raw & ((1u64 << DNA_BITS) - 1))
+    }
+
+    /// Reads the raw 57-bit value (the `DNA_PORTE2` shift-out).
+    pub fn read(&self) -> u64 {
+        self.0
+    }
+
+    /// Canonical 8-byte little-endian encoding for MAC inputs.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+}
+
+impl std::fmt::Display for DeviceDna {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DNA:{:015X}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_in_57_bits() {
+        for serial in 0..1000u64 {
+            assert!(DeviceDna::from_serial(serial).read() < (1 << DNA_BITS));
+        }
+    }
+
+    #[test]
+    fn unique_for_distinct_serials() {
+        let mut seen = std::collections::HashSet::new();
+        for serial in 0..10_000u64 {
+            assert!(seen.insert(DeviceDna::from_serial(serial).read()));
+        }
+    }
+
+    #[test]
+    fn byte_encoding_roundtrip() {
+        let dna = DeviceDna::from_serial(123);
+        assert_eq!(DeviceDna::from_raw(u64::from_le_bytes(dna.to_bytes())), dna);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let s = DeviceDna::from_serial(1).to_string();
+        assert!(s.starts_with("DNA:"));
+    }
+}

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the FPGA device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// The bitstream wire format could not be parsed.
+    MalformedBitstream(&'static str),
+    /// The bitstream CRC check failed during loading.
+    CrcMismatch,
+    /// An encrypted payload failed to authenticate/decrypt.
+    DecryptionFailed,
+    /// No decryption key has been fused into the device.
+    NoDeviceKey,
+    /// The eFUSE has already been programmed (write-once).
+    EfuseAlreadyProgrammed,
+    /// Configuration readback was attempted but is disabled on this ICAP.
+    ReadbackDisabled,
+    /// A frame address fell outside the addressed partition.
+    FrameOutOfRange {
+        /// The offending frame index.
+        index: u32,
+        /// Number of frames in the partition.
+        limit: u32,
+    },
+    /// The referenced partition does not exist.
+    NoSuchPartition(usize),
+    /// A partial bitstream did not cover every frame of the partition,
+    /// violating the full-overwrite invariant (Observation 2).
+    IncompleteReconfiguration {
+        /// Frames actually written.
+        written: u32,
+        /// Frames in the partition.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::MalformedBitstream(what) => write!(f, "malformed bitstream: {what}"),
+            FpgaError::CrcMismatch => write!(f, "bitstream crc mismatch"),
+            FpgaError::DecryptionFailed => write!(f, "bitstream decryption failed"),
+            FpgaError::NoDeviceKey => write!(f, "no device key fused"),
+            FpgaError::EfuseAlreadyProgrammed => write!(f, "efuse already programmed"),
+            FpgaError::ReadbackDisabled => write!(f, "configuration readback is disabled"),
+            FpgaError::FrameOutOfRange { index, limit } => {
+                write!(f, "frame {index} out of range (limit {limit})")
+            }
+            FpgaError::NoSuchPartition(i) => write!(f, "no such partition: {i}"),
+            FpgaError::IncompleteReconfiguration { written, expected } => write!(
+                f,
+                "partial reconfiguration wrote {written} of {expected} frames"
+            ),
+        }
+    }
+}
+
+impl Error for FpgaError {}

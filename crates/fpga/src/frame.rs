@@ -1,0 +1,250 @@
+//! Configuration memory: fixed-size frames per partition.
+//!
+//! The key structural invariant (the paper's Observation 2) lives here:
+//! a partial reconfiguration must supply **every** frame of the target
+//! partition, and [`ConfigMemory::reconfigure`] rejects anything less.
+//! There is no way to update a strict subset of a partition's frames —
+//! exactly why a preserved RoT implies a preserved CL.
+
+use crate::geometry::{PartitionGeometry, FRAME_BYTES};
+use crate::FpgaError;
+
+/// One configuration frame's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    bytes: [u8; FRAME_BYTES],
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame {
+            bytes: [0; FRAME_BYTES],
+        }
+    }
+}
+
+impl Frame {
+    /// Creates a frame from exactly [`FRAME_BYTES`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bytes` has the wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Frame, FpgaError> {
+        let bytes: [u8; FRAME_BYTES] = bytes
+            .try_into()
+            .map_err(|_| FpgaError::MalformedBitstream("frame payload length"))?;
+        Ok(Frame { bytes })
+    }
+
+    /// The frame's raw bytes.
+    pub fn as_bytes(&self) -> &[u8; FRAME_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable access (used by bitstream manipulation before loading —
+    /// never by the shell after loading).
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; FRAME_BYTES] {
+        &mut self.bytes
+    }
+}
+
+/// The configuration memory of one partition.
+#[derive(Debug, Clone)]
+pub struct ConfigMemory {
+    geometry: PartitionGeometry,
+    frames: Vec<Frame>,
+    configured: bool,
+}
+
+impl ConfigMemory {
+    /// Blank (erased) configuration memory for `geometry`.
+    pub fn blank(geometry: PartitionGeometry) -> ConfigMemory {
+        ConfigMemory {
+            geometry,
+            frames: vec![Frame::default(); geometry.total_frames() as usize],
+            configured: false,
+        }
+    }
+
+    /// The partition geometry.
+    pub fn geometry(&self) -> PartitionGeometry {
+        self.geometry
+    }
+
+    /// Whether a full configuration has been loaded.
+    pub fn is_configured(&self) -> bool {
+        self.configured
+    }
+
+    /// Total frame count.
+    pub fn frame_count(&self) -> u32 {
+        self.frames.len() as u32
+    }
+
+    /// Reads one frame (internal fabric access — *not* shell readback;
+    /// the ICAP gate for readback is in [`crate::icap`]).
+    pub fn frame(&self, index: u32) -> Result<&Frame, FpgaError> {
+        self.frames
+            .get(index as usize)
+            .ok_or(FpgaError::FrameOutOfRange {
+                index,
+                limit: self.frame_count(),
+            })
+    }
+
+    /// Replaces the **entire** partition contents. `frames` must cover
+    /// every frame — partial writes are structurally impossible, which is
+    /// Observation 2.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::IncompleteReconfiguration`] when the count mismatches.
+    pub fn reconfigure(&mut self, frames: Vec<Frame>) -> Result<(), FpgaError> {
+        if frames.len() != self.frames.len() {
+            return Err(FpgaError::IncompleteReconfiguration {
+                written: frames.len() as u32,
+                expected: self.frame_count(),
+            });
+        }
+        self.frames = frames;
+        self.configured = true;
+        Ok(())
+    }
+
+    /// Clears the partition back to the erased state.
+    pub fn erase(&mut self) {
+        for f in &mut self.frames {
+            *f = Frame::default();
+        }
+        self.configured = false;
+    }
+
+    /// Reads `len` bytes starting at byte offset `offset` within frame
+    /// `frame_index`, crossing frame boundaries as needed. Used by loaded
+    /// logic (e.g. the SM logic reading its key BRAM).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range reads return [`FpgaError::FrameOutOfRange`].
+    pub fn read_bytes(
+        &self,
+        frame_index: u32,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, FpgaError> {
+        let start = frame_index as usize * FRAME_BYTES + offset;
+        let end = start + len;
+        let flat_len = self.frames.len() * FRAME_BYTES;
+        if end > flat_len {
+            return Err(FpgaError::FrameOutOfRange {
+                index: (end / FRAME_BYTES) as u32,
+                limit: self.frame_count(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut pos = start;
+        while pos < end {
+            let frame = &self.frames[pos / FRAME_BYTES];
+            let in_frame = pos % FRAME_BYTES;
+            let take = (FRAME_BYTES - in_frame).min(end - pos);
+            out.extend_from_slice(&frame.as_bytes()[in_frame..in_frame + take]);
+            pos += take;
+        }
+        Ok(out)
+    }
+
+    /// Flattens all frames into one byte vector (used for digesting the
+    /// loaded image in tests).
+    pub fn flatten(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.frames.len() * FRAME_BYTES);
+        for f in &self.frames {
+            out.extend_from_slice(f.as_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DeviceGeometry;
+
+    fn tiny_mem() -> ConfigMemory {
+        ConfigMemory::blank(DeviceGeometry::tiny().partitions[0])
+    }
+
+    fn full_frames(mem: &ConfigMemory, fill: u8) -> Vec<Frame> {
+        (0..mem.frame_count())
+            .map(|_| Frame::from_bytes(&[fill; FRAME_BYTES]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn blank_memory_is_unconfigured_zeroes() {
+        let mem = tiny_mem();
+        assert!(!mem.is_configured());
+        assert_eq!(mem.frame(0).unwrap().as_bytes()[0], 0);
+    }
+
+    #[test]
+    fn reconfigure_requires_every_frame() {
+        let mut mem = tiny_mem();
+        let mut frames = full_frames(&mem, 0xAB);
+        frames.pop();
+        assert!(matches!(
+            mem.reconfigure(frames),
+            Err(FpgaError::IncompleteReconfiguration { .. })
+        ));
+        assert!(!mem.is_configured());
+
+        let frames = full_frames(&mem, 0xAB);
+        mem.reconfigure(frames).unwrap();
+        assert!(mem.is_configured());
+        assert_eq!(mem.frame(0).unwrap().as_bytes()[5], 0xAB);
+    }
+
+    #[test]
+    fn reconfigure_overwrites_all_previous_state() {
+        let mut mem = tiny_mem();
+        mem.reconfigure(full_frames(&mem, 0x11)).unwrap();
+        mem.reconfigure(full_frames(&mem, 0x22)).unwrap();
+        for i in 0..mem.frame_count() {
+            assert!(mem.frame(i).unwrap().as_bytes().iter().all(|&b| b == 0x22));
+        }
+    }
+
+    #[test]
+    fn read_bytes_crosses_frame_boundaries() {
+        let mut mem = tiny_mem();
+        let mut frames = full_frames(&mem, 0);
+        frames[0].as_bytes_mut()[FRAME_BYTES - 1] = 0xAA;
+        frames[1].as_bytes_mut()[0] = 0xBB;
+        mem.reconfigure(frames).unwrap();
+        let got = mem.read_bytes(0, FRAME_BYTES - 1, 2).unwrap();
+        assert_eq!(got, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn read_bytes_rejects_overflow() {
+        let mem = tiny_mem();
+        let last = mem.frame_count() - 1;
+        assert!(mem.read_bytes(last, FRAME_BYTES - 1, 2).is_err());
+        assert!(mem.read_bytes(mem.frame_count(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn erase_resets() {
+        let mut mem = tiny_mem();
+        mem.reconfigure(full_frames(&mem, 0xFF)).unwrap();
+        mem.erase();
+        assert!(!mem.is_configured());
+        assert!(mem.flatten().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn frame_from_bytes_validates_length() {
+        assert!(Frame::from_bytes(&[0u8; FRAME_BYTES]).is_ok());
+        assert!(Frame::from_bytes(&[0u8; FRAME_BYTES - 1]).is_err());
+        assert!(Frame::from_bytes(&[0u8; FRAME_BYTES + 1]).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Device and partition geometry, and the resource model behind Table 5.
+//!
+//! The paper reserves "one super logic region as the RP, occupying
+//! approximately one-third of the FPGA resources"; the resulting CL
+//! budget is 355 040 LUTs, 710 080 registers and 696 BRAMs (Table 5).
+//! A partial bitstream's size "is only determined by the area reserved
+//! for the CL during floor planning" (§6.3), which this module encodes
+//! as a fixed frame count per partition.
+
+use std::time::Duration;
+
+/// Resource capacity or utilisation in the three classes Table 5 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flop registers.
+    pub register: u32,
+    /// 36 Kb block RAMs.
+    pub bram: u32,
+}
+
+impl Resources {
+    /// Component-wise sum.
+    pub fn plus(self, other: Resources) -> Resources {
+        Resources {
+            lut: self.lut + other.lut,
+            register: self.register + other.register,
+            bram: self.bram + other.bram,
+        }
+    }
+
+    /// True if `self` fits within `capacity` in every class.
+    pub fn fits_in(self, capacity: Resources) -> bool {
+        self.lut <= capacity.lut && self.register <= capacity.register && self.bram <= capacity.bram
+    }
+
+    /// Percentage utilisation of each class against `capacity`,
+    /// rounded to the nearest integer (the format Table 5 uses).
+    pub fn percent_of(self, capacity: Resources) -> (u32, u32, u32) {
+        let pct = |used: u32, cap: u32| {
+            if cap == 0 {
+                0
+            } else {
+                ((used as u64 * 100 + cap as u64 / 2) / cap as u64) as u32
+            }
+        };
+        (
+            pct(self.lut, capacity.lut),
+            pct(self.register, capacity.register),
+            pct(self.bram, capacity.bram),
+        )
+    }
+}
+
+/// Number of 32-bit words per configuration frame (UltraScale-style).
+pub const FRAME_WORDS: usize = 93;
+
+/// Bytes per configuration frame.
+pub const FRAME_BYTES: usize = FRAME_WORDS * 4;
+
+/// Frames of BRAM-content configuration per 36 Kb BRAM
+/// (36 Kb ≈ 4608 bytes ⇒ ⌈4608 / 372⌉ = 13 frames).
+pub const FRAMES_PER_BRAM: u32 = 13;
+
+/// Usable initialisation bytes per BRAM (36 Kb).
+pub const BRAM_INIT_BYTES: usize = 4608;
+
+/// Geometry of one reconfigurable (or static) partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionGeometry {
+    /// Frames of CLB/interconnect configuration.
+    pub logic_frames: u32,
+    /// Resource capacity of the partition.
+    pub capacity: Resources,
+}
+
+impl PartitionGeometry {
+    /// Frames dedicated to BRAM contents.
+    pub fn bram_frames(&self) -> u32 {
+        self.capacity.bram * FRAMES_PER_BRAM
+    }
+
+    /// Total frames: every one of these is rewritten on partial
+    /// reconfiguration (Observation 2).
+    pub fn total_frames(&self) -> u32 {
+        self.logic_frames + self.bram_frames()
+    }
+
+    /// Size of a full partial bitstream body for this partition.
+    pub fn config_bytes(&self) -> usize {
+        self.total_frames() as usize * FRAME_BYTES
+    }
+}
+
+/// Whole-device geometry: a static region (shell) and reconfigurable
+/// partitions (CLs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceGeometry {
+    /// Geometry of the CSP shell's static region.
+    pub static_region: PartitionGeometry,
+    /// Geometry of each reconfigurable partition, in index order.
+    pub partitions: Vec<PartitionGeometry>,
+    /// Fabric clock frequency the loaded logic runs at.
+    pub clock_hz: u64,
+    /// On-board DRAM size (the unsecure, shell-visible memory the
+    /// accelerators DMA through). Scaled down from the physical 64 GiB
+    /// for simulation.
+    pub dram_bytes: usize,
+}
+
+impl DeviceGeometry {
+    /// An Alveo U200-like device with a single RP of one super logic
+    /// region, matching Table 5's CL budget.
+    pub fn u200() -> DeviceGeometry {
+        let rp = PartitionGeometry {
+            logic_frames: 4096,
+            capacity: Resources {
+                lut: 355_040,
+                register: 710_080,
+                bram: 696,
+            },
+        };
+        let shell = PartitionGeometry {
+            logic_frames: 8192,
+            capacity: Resources {
+                lut: 710_080,
+                register: 1_420_160,
+                bram: 1_464,
+            },
+        };
+        DeviceGeometry {
+            static_region: shell,
+            partitions: vec![rp],
+            clock_hz: 250_000_000,
+            dram_bytes: 64 << 20,
+        }
+    }
+
+    /// A small geometry for fast unit tests. Large enough to hold the
+    /// full-size SM logic plus a modest accelerator, but with only a few
+    /// hundred frames so compile/load loops stay cheap.
+    pub fn tiny() -> DeviceGeometry {
+        let rp = PartitionGeometry {
+            logic_frames: 64,
+            capacity: Resources {
+                lut: 40_960,
+                register: 81_920,
+                bram: 96,
+            },
+        };
+        DeviceGeometry {
+            static_region: rp,
+            partitions: vec![rp],
+            clock_hz: 100_000_000,
+            dram_bytes: 4 << 20,
+        }
+    }
+
+    /// A multi-RP variant of [`u200`](DeviceGeometry::u200) used by the
+    /// §4.7 extension experiments: the SLR is split into `n` equal RPs.
+    pub fn u200_multi_rp(n: usize) -> DeviceGeometry {
+        assert!(n >= 1, "need at least one partition");
+        let base = DeviceGeometry::u200();
+        let full = base.partitions[0];
+        let part = PartitionGeometry {
+            logic_frames: full.logic_frames / n as u32,
+            capacity: Resources {
+                lut: full.capacity.lut / n as u32,
+                register: full.capacity.register / n as u32,
+                bram: full.capacity.bram / n as u32,
+            },
+        };
+        DeviceGeometry {
+            static_region: base.static_region,
+            partitions: vec![part; n],
+            clock_hz: base.clock_hz,
+            dram_bytes: base.dram_bytes,
+        }
+    }
+
+    /// Converts a cycle count at the fabric clock into wall time.
+    pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
+        Duration::from_nanos((cycles as u128 * 1_000_000_000 / self.clock_hz as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u200_matches_table5_budget() {
+        let g = DeviceGeometry::u200();
+        let cap = g.partitions[0].capacity;
+        assert_eq!(cap.lut, 355_040);
+        assert_eq!(cap.register, 710_080);
+        assert_eq!(cap.bram, 696);
+    }
+
+    #[test]
+    fn partial_bitstream_size_independent_of_logic() {
+        // Observation 2 corollary: size depends only on geometry.
+        let g = DeviceGeometry::u200();
+        let rp = g.partitions[0];
+        assert_eq!(rp.config_bytes(), rp.config_bytes());
+        assert_eq!(
+            rp.total_frames(),
+            rp.logic_frames + rp.capacity.bram * FRAMES_PER_BRAM
+        );
+        // ~4.9 MB — same order as a single-SLR partial bitstream.
+        assert!(rp.config_bytes() > 4_000_000 && rp.config_bytes() < 6_000_000);
+    }
+
+    #[test]
+    fn percent_rounding_matches_table5_style() {
+        let cap = DeviceGeometry::u200().partitions[0].capacity;
+        let sm = Resources {
+            lut: 27_667,
+            register: 29_631,
+            bram: 88,
+        };
+        // Table 5: SM Logic = 8% LUT, 4% Register, 13% BRAM.
+        assert_eq!(sm.percent_of(cap), (8, 4, 13));
+    }
+
+    #[test]
+    fn fits_in_checks_every_class() {
+        let cap = Resources {
+            lut: 10,
+            register: 10,
+            bram: 1,
+        };
+        assert!(Resources {
+            lut: 10,
+            register: 10,
+            bram: 1
+        }
+        .fits_in(cap));
+        assert!(!Resources {
+            lut: 11,
+            register: 0,
+            bram: 0
+        }
+        .fits_in(cap));
+        assert!(!Resources {
+            lut: 0,
+            register: 0,
+            bram: 2
+        }
+        .fits_in(cap));
+    }
+
+    #[test]
+    fn multi_rp_divides_resources() {
+        let g = DeviceGeometry::u200_multi_rp(2);
+        assert_eq!(g.partitions.len(), 2);
+        assert_eq!(g.partitions[0].capacity.bram, 348);
+    }
+
+    #[test]
+    fn cycles_to_duration_at_250mhz() {
+        let g = DeviceGeometry::u200();
+        assert_eq!(g.cycles_to_duration(250_000_000), Duration::from_secs(1));
+        assert_eq!(g.cycles_to_duration(250), Duration::from_micros(1));
+    }
+}

@@ -1,0 +1,388 @@
+//! The Internal Configuration Access Port (ICAP) state machine.
+//!
+//! The ICAP is the only path into configuration memory. Two properties
+//! matter for Salus:
+//!
+//! 1. **Internal decryption**: encrypted (`ENC`) payloads are opened with
+//!    the fused device key, which only this engine can read. The shell
+//!    pushes ciphertext through the ICAP but never sees plaintext.
+//! 2. **Readback disable**: the paper requires "a new ICAP IP with
+//!    readback disabled" (§5.1.2). [`Icap::salus`] models that IP:
+//!    `FDRO` read requests fail with [`FpgaError::ReadbackDisabled`].
+//!    [`Icap::standard`] models today's COTS ICAP where the malicious
+//!    shell *can* scan the loaded CL — the weakness all prior FPGA-TEE
+//!    work shares, demonstrated by the `readback_attack` experiments.
+
+use crate::frame::Frame;
+use crate::geometry::FRAME_BYTES;
+use crate::keys::DeviceKey;
+use crate::wire::{self, Cmd, Packet, Reg};
+use crate::FpgaError;
+
+/// The device state the ICAP engine operates on.
+///
+/// Implemented by [`crate::device::Device`]; the indirection keeps the
+/// packet state machine independently testable.
+pub trait ConfigSink {
+    /// Reads the fused decryption key (configuration-engine privilege).
+    fn device_key(&self) -> Result<DeviceKey, FpgaError>;
+    /// The device's DNA (used as AAD for envelope decryption).
+    fn dna_raw(&self) -> u64;
+    /// Commits a full set of frames to partition `index`.
+    fn commit_partition(&mut self, index: usize, frames: Vec<Frame>) -> Result<(), FpgaError>;
+    /// Flattens partition `index` for readback.
+    fn read_partition(&self, index: usize) -> Result<Vec<u8>, FpgaError>;
+}
+
+/// Summary of one committed partition load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Partition index that was reconfigured.
+    pub partition: usize,
+    /// Number of frames written.
+    pub frames_written: u32,
+    /// Whether the stream arrived through an encrypted envelope.
+    pub encrypted: bool,
+}
+
+/// Outcome of processing one wire stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Partition loads committed by the stream.
+    pub loads: Vec<LoadSummary>,
+    /// Readback data, if the stream requested any and readback is
+    /// enabled.
+    pub readback: Vec<u8>,
+}
+
+/// The ICAP engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Icap {
+    readback_enabled: bool,
+}
+
+impl Icap {
+    /// A COTS ICAP: readback enabled (vulnerable to shell snooping).
+    pub fn standard() -> Icap {
+        Icap {
+            readback_enabled: true,
+        }
+    }
+
+    /// The Salus manufacturer-released ICAP IP: readback disabled.
+    pub fn salus() -> Icap {
+        Icap {
+            readback_enabled: false,
+        }
+    }
+
+    /// Whether configuration readback is possible.
+    pub fn readback_enabled(&self) -> bool {
+        self.readback_enabled
+    }
+
+    /// Processes a complete wire stream against `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates format errors, CRC mismatches, decryption failures,
+    /// incomplete reconfigurations, and disabled-readback attempts.
+    pub fn process<S: ConfigSink>(
+        &self,
+        sink: &mut S,
+        stream: &[u8],
+    ) -> Result<LoadOutcome, FpgaError> {
+        let mut outcome = LoadOutcome::default();
+        self.process_inner(sink, stream, false, &mut outcome)?;
+        Ok(outcome)
+    }
+
+    fn process_inner<S: ConfigSink>(
+        &self,
+        sink: &mut S,
+        stream: &[u8],
+        encrypted: bool,
+        outcome: &mut LoadOutcome,
+    ) -> Result<(), FpgaError> {
+        let packets = wire::parse(stream)?;
+
+        let mut far: u32 = 0;
+        let mut wcfg = false;
+        let mut crc_bytes: Vec<u8> = Vec::new();
+        let mut pending: Vec<u8> = Vec::new();
+
+        for packet in packets {
+            match packet {
+                Packet::Nop => {}
+                Packet::Write {
+                    reg: Reg::Cmd,
+                    payload,
+                } => {
+                    let cmd = payload
+                        .first()
+                        .copied()
+                        .and_then(Cmd::from_word)
+                        .ok_or(FpgaError::MalformedBitstream("bad CMD payload"))?;
+                    match cmd {
+                        Cmd::Wcfg => wcfg = true,
+                        Cmd::Rcrc => crc_bytes.clear(),
+                        Cmd::Rcfg | Cmd::Null | Cmd::Desync => {}
+                    }
+                }
+                Packet::Write {
+                    reg: Reg::Far,
+                    payload,
+                } => {
+                    far = *payload
+                        .first()
+                        .ok_or(FpgaError::MalformedBitstream("empty FAR"))?;
+                    crc_bytes.extend_from_slice(&far.to_be_bytes());
+                }
+                Packet::Write {
+                    reg: Reg::Fdri,
+                    payload,
+                } => {
+                    if !wcfg {
+                        return Err(FpgaError::MalformedBitstream("FDRI outside WCFG"));
+                    }
+                    let bytes = wire::words_to_bytes(&payload);
+                    crc_bytes.extend_from_slice(&bytes);
+                    pending.extend_from_slice(&bytes);
+                }
+                Packet::Write {
+                    reg: Reg::Crc,
+                    payload,
+                } => {
+                    let expected = *payload
+                        .first()
+                        .ok_or(FpgaError::MalformedBitstream("empty CRC"))?;
+                    if wire::crc32(&crc_bytes) != expected {
+                        return Err(FpgaError::CrcMismatch);
+                    }
+                    // CRC verified: commit the pending frames.
+                    let partition = (far >> 24) as usize;
+                    if !pending.len().is_multiple_of(FRAME_BYTES) {
+                        return Err(FpgaError::MalformedBitstream(
+                            "frame data not frame aligned",
+                        ));
+                    }
+                    let frames: Vec<Frame> = pending
+                        .chunks_exact(FRAME_BYTES)
+                        .map(Frame::from_bytes)
+                        .collect::<Result<_, _>>()?;
+                    let count = frames.len() as u32;
+                    sink.commit_partition(partition, frames)?;
+                    outcome.loads.push(LoadSummary {
+                        partition,
+                        frames_written: count,
+                        encrypted,
+                    });
+                    pending.clear();
+                    crc_bytes.clear();
+                }
+                Packet::Write {
+                    reg: Reg::Enc,
+                    payload,
+                } => {
+                    let envelope = wire::words_to_bytes(&payload);
+                    let key = sink.device_key()?;
+                    let inner = wire::open_envelope(&key, sink.dna_raw(), &envelope)?;
+                    self.process_inner(sink, &inner, true, outcome)?;
+                }
+                Packet::Write {
+                    reg: Reg::Idcode, ..
+                } => {}
+                Packet::Write { reg: Reg::Fdro, .. } => {
+                    return Err(FpgaError::MalformedBitstream("write to FDRO"));
+                }
+                Packet::Read {
+                    reg: Reg::Fdro,
+                    words,
+                } => {
+                    if !self.readback_enabled {
+                        return Err(FpgaError::ReadbackDisabled);
+                    }
+                    let partition = (far >> 24) as usize;
+                    let data = sink.read_partition(partition)?;
+                    let take = (words * 4).min(data.len());
+                    outcome.readback.extend_from_slice(&data[..take]);
+                }
+                Packet::Read { .. } => {
+                    return Err(FpgaError::MalformedBitstream("read from non-FDRO register"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{bytes_to_words, WireWriter};
+
+    /// In-memory sink with one 2-frame partition.
+    struct TestSink {
+        key: Option<DeviceKey>,
+        dna: u64,
+        committed: Vec<(usize, Vec<Frame>)>,
+        frames_in_partition: usize,
+    }
+
+    impl TestSink {
+        fn new() -> TestSink {
+            TestSink {
+                key: Some([9u8; 32]),
+                dna: 0x1234,
+                committed: Vec::new(),
+                frames_in_partition: 2,
+            }
+        }
+    }
+
+    impl ConfigSink for TestSink {
+        fn device_key(&self) -> Result<DeviceKey, FpgaError> {
+            self.key.ok_or(FpgaError::NoDeviceKey)
+        }
+        fn dna_raw(&self) -> u64 {
+            self.dna
+        }
+        fn commit_partition(&mut self, index: usize, frames: Vec<Frame>) -> Result<(), FpgaError> {
+            if frames.len() != self.frames_in_partition {
+                return Err(FpgaError::IncompleteReconfiguration {
+                    written: frames.len() as u32,
+                    expected: self.frames_in_partition as u32,
+                });
+            }
+            self.committed.push((index, frames));
+            Ok(())
+        }
+        fn read_partition(&self, _index: usize) -> Result<Vec<u8>, FpgaError> {
+            Ok(vec![0xCC; self.frames_in_partition * FRAME_BYTES])
+        }
+    }
+
+    fn plain_stream(partition: u32, frame_data: &[u8]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        let far = partition << 24;
+        w.write_cmd(Cmd::Rcrc).write_reg(Reg::Far, &[far]);
+        w.write_cmd(Cmd::Wcfg);
+        w.write_long(Reg::Fdri, &bytes_to_words(frame_data));
+        let mut crc_input = far.to_be_bytes().to_vec();
+        crc_input.extend_from_slice(frame_data);
+        let crc = wire::crc32(&crc_input);
+        w.write_reg(Reg::Crc, &[crc]);
+        w.finish()
+    }
+
+    #[test]
+    fn plaintext_load_commits_frames() {
+        let mut sink = TestSink::new();
+        let data = vec![0xAB; 2 * FRAME_BYTES];
+        let outcome = Icap::salus()
+            .process(&mut sink, &plain_stream(0, &data))
+            .unwrap();
+        assert_eq!(outcome.loads.len(), 1);
+        assert!(!outcome.loads[0].encrypted);
+        assert_eq!(sink.committed.len(), 1);
+        assert_eq!(sink.committed[0].1[0].as_bytes()[0], 0xAB);
+    }
+
+    #[test]
+    fn crc_mismatch_rejected() {
+        let mut sink = TestSink::new();
+        let data = vec![0xAB; 2 * FRAME_BYTES];
+        let mut stream = plain_stream(0, &data);
+        // Corrupt one frame byte: CRC should now fail.
+        let idx = stream.len() / 2;
+        stream[idx] ^= 0xFF;
+        let err = Icap::salus().process(&mut sink, &stream).unwrap_err();
+        assert_eq!(err, FpgaError::CrcMismatch);
+        assert!(sink.committed.is_empty());
+    }
+
+    #[test]
+    fn incomplete_frames_rejected() {
+        let mut sink = TestSink::new();
+        let data = vec![0xAB; FRAME_BYTES]; // only 1 of 2 frames
+        let err = Icap::salus()
+            .process(&mut sink, &plain_stream(0, &data))
+            .unwrap_err();
+        assert!(matches!(err, FpgaError::IncompleteReconfiguration { .. }));
+    }
+
+    #[test]
+    fn encrypted_load_roundtrips() {
+        let mut sink = TestSink::new();
+        let data = vec![0x5A; 2 * FRAME_BYTES];
+        let inner = plain_stream(1, &data);
+        let stream = wire::build_encrypted_stream(&[9u8; 32], &[3u8; 12], 0x1234, &inner);
+        let outcome = Icap::salus().process(&mut sink, &stream).unwrap();
+        assert_eq!(outcome.loads.len(), 1);
+        assert!(outcome.loads[0].encrypted);
+        assert_eq!(outcome.loads[0].partition, 1);
+    }
+
+    #[test]
+    fn encrypted_load_wrong_key_fails() {
+        let mut sink = TestSink::new();
+        let inner = plain_stream(0, &vec![0u8; 2 * FRAME_BYTES]);
+        let stream = wire::build_encrypted_stream(&[8u8; 32], &[3u8; 12], 0x1234, &inner);
+        assert_eq!(
+            Icap::salus().process(&mut sink, &stream).unwrap_err(),
+            FpgaError::DecryptionFailed
+        );
+    }
+
+    #[test]
+    fn encrypted_load_wrong_dna_fails() {
+        let mut sink = TestSink::new();
+        let inner = plain_stream(0, &vec![0u8; 2 * FRAME_BYTES]);
+        // Sealed for another device's DNA.
+        let stream = wire::build_encrypted_stream(&[9u8; 32], &[3u8; 12], 0x9999, &inner);
+        assert_eq!(
+            Icap::salus().process(&mut sink, &stream).unwrap_err(),
+            FpgaError::DecryptionFailed
+        );
+    }
+
+    #[test]
+    fn encrypted_load_without_key_fails() {
+        let mut sink = TestSink::new();
+        sink.key = None;
+        let inner = plain_stream(0, &vec![0u8; 2 * FRAME_BYTES]);
+        let stream = wire::build_encrypted_stream(&[9u8; 32], &[3u8; 12], 0x1234, &inner);
+        assert_eq!(
+            Icap::salus().process(&mut sink, &stream).unwrap_err(),
+            FpgaError::NoDeviceKey
+        );
+    }
+
+    #[test]
+    fn readback_gated_by_icap_variant() {
+        let mut req = WireWriter::new();
+        req.write_cmd(Cmd::Rcfg).read_request(Reg::Fdro, 4);
+        let stream = req.finish();
+
+        let mut sink = TestSink::new();
+        assert_eq!(
+            Icap::salus().process(&mut sink, &stream).unwrap_err(),
+            FpgaError::ReadbackDisabled
+        );
+
+        let outcome = Icap::standard().process(&mut sink, &stream).unwrap();
+        assert_eq!(outcome.readback.len(), 16);
+        assert!(outcome.readback.iter().all(|&b| b == 0xCC));
+    }
+
+    #[test]
+    fn fdri_outside_wcfg_rejected() {
+        let mut w = WireWriter::new();
+        w.write_long(Reg::Fdri, &[0; 4]);
+        let mut sink = TestSink::new();
+        assert!(matches!(
+            Icap::salus().process(&mut sink, &w.finish()).unwrap_err(),
+            FpgaError::MalformedBitstream(_)
+        ));
+    }
+}

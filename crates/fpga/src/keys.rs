@@ -1,0 +1,126 @@
+//! On-device key storage: eFUSE (write-once) and BBRAM (volatile).
+//!
+//! The bitstream-decryption key (`Key_device`) is "injected into every
+//! manufactured FPGA during the manufacturing process" (§4.2) into one
+//! of these stores. Critically, the stored key is readable **only** by
+//! the internal configuration engine ([`crate::icap`]); there is no
+//! accessor reachable from shell- or CL-level code paths, mirroring the
+//! hardware isolation the paper's trust argument relies on.
+
+use crate::FpgaError;
+
+/// A 256-bit AES key as stored on the device.
+pub type DeviceKey = [u8; 32];
+
+/// Which physical store holds the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySlot {
+    /// One-time-programmable fuses; survives power cycles.
+    Efuse,
+    /// Battery-backed RAM; cleared by [`KeyStore::clear_bbram`].
+    Bbram,
+}
+
+/// The device's key storage block.
+#[derive(Clone, Default)]
+pub struct KeyStore {
+    efuse: Option<DeviceKey>,
+    bbram: Option<DeviceKey>,
+}
+
+impl std::fmt::Debug for KeyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key material must never appear in debug output.
+        f.debug_struct("KeyStore")
+            .field("efuse_programmed", &self.efuse.is_some())
+            .field("bbram_loaded", &self.bbram.is_some())
+            .finish()
+    }
+}
+
+impl KeyStore {
+    /// An unprogrammed key store.
+    pub fn new() -> KeyStore {
+        KeyStore::default()
+    }
+
+    /// Programs the eFUSE key. Write-once: a second attempt fails.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::EfuseAlreadyProgrammed`] on repeated programming.
+    pub fn program_efuse(&mut self, key: DeviceKey) -> Result<(), FpgaError> {
+        if self.efuse.is_some() {
+            return Err(FpgaError::EfuseAlreadyProgrammed);
+        }
+        self.efuse = Some(key);
+        Ok(())
+    }
+
+    /// Loads (or reloads) the BBRAM key.
+    pub fn load_bbram(&mut self, key: DeviceKey) {
+        self.bbram = Some(key);
+    }
+
+    /// Clears the volatile BBRAM key (battery removal / tamper response).
+    pub fn clear_bbram(&mut self) {
+        self.bbram = None;
+    }
+
+    /// Whether either slot holds a key.
+    pub fn has_key(&self) -> bool {
+        self.efuse.is_some() || self.bbram.is_some()
+    }
+
+    /// Retrieves the decryption key, preferring eFUSE.
+    ///
+    /// This method is `pub(crate)`: only the internal configuration
+    /// engine may read key material, by construction.
+    pub(crate) fn configuration_engine_key(&self) -> Result<DeviceKey, FpgaError> {
+        self.efuse.or(self.bbram).ok_or(FpgaError::NoDeviceKey)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efuse_is_write_once() {
+        let mut ks = KeyStore::new();
+        ks.program_efuse([1; 32]).unwrap();
+        assert_eq!(
+            ks.program_efuse([2; 32]),
+            Err(FpgaError::EfuseAlreadyProgrammed)
+        );
+        assert_eq!(ks.configuration_engine_key().unwrap(), [1; 32]);
+    }
+
+    #[test]
+    fn bbram_is_reloadable_and_clearable() {
+        let mut ks = KeyStore::new();
+        ks.load_bbram([3; 32]);
+        assert_eq!(ks.configuration_engine_key().unwrap(), [3; 32]);
+        ks.load_bbram([4; 32]);
+        assert_eq!(ks.configuration_engine_key().unwrap(), [4; 32]);
+        ks.clear_bbram();
+        assert_eq!(ks.configuration_engine_key(), Err(FpgaError::NoDeviceKey));
+    }
+
+    #[test]
+    fn efuse_takes_priority() {
+        let mut ks = KeyStore::new();
+        ks.load_bbram([5; 32]);
+        ks.program_efuse([6; 32]).unwrap();
+        assert_eq!(ks.configuration_engine_key().unwrap(), [6; 32]);
+    }
+
+    #[test]
+    fn debug_never_prints_key_bytes() {
+        let mut ks = KeyStore::new();
+        ks.program_efuse([0xAB; 32]).unwrap();
+        let dbg = format!("{ks:?}");
+        assert!(!dbg.contains("171")); // 0xAB
+        assert!(dbg.contains("efuse_programmed: true"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # salus-fpga
+//!
+//! A behavioural model of a cloud FPGA device (Xilinx Alveo U200-like)
+//! sufficient to reproduce the Salus paper's FPGA-side mechanisms:
+//!
+//! * [`geometry`] — device/partition geometry and the resource budget of
+//!   the reconfigurable partition (Table 5's "Total CL Resource").
+//! * [`frame`] — configuration memory organised as fixed-size frames;
+//!   partial reconfiguration overwrites **every** frame of a partition
+//!   (the paper's Observation 2).
+//! * [`dna`] — the 57-bit factory-programmed DeviceDNA exposed through a
+//!   `DNA_PORTE2`-style read port.
+//! * [`keys`] — eFUSE / BBRAM storage for the AES bitstream-decryption
+//!   key (`Key_device`), write-once and readable only by the internal
+//!   configuration engine.
+//! * [`wire`] — the bitstream wire format: sync word, type-1/type-2
+//!   configuration packets, CRC, and the encrypted-payload envelope.
+//! * [`icap`] — the Internal Configuration Access Port: consumes wire
+//!   streams, decrypts AES-GCM payloads with the fused key, writes
+//!   frames, and (crucially for Salus) can have **readback disabled**.
+//! * [`device`] — the assembled device: DNA + keys + config memory +
+//!   partitions + ICAP.
+//! * [`shell`] — the CSP-maintained shell: the *privileged, potentially
+//!   malicious* software-defined logic that owns ICAP access and fronts
+//!   all host↔CL traffic.
+//!
+//! ## Example
+//!
+//! ```
+//! use salus_fpga::device::Device;
+//! use salus_fpga::geometry::DeviceGeometry;
+//!
+//! let device = Device::manufacture(DeviceGeometry::u200(), 7);
+//! assert_eq!(device.dna().read(), Device::manufacture(DeviceGeometry::u200(), 7).dna().read());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod dna;
+pub mod frame;
+pub mod geometry;
+pub mod icap;
+pub mod keys;
+pub mod shell;
+pub mod wire;
+
+mod error;
+
+pub use error::FpgaError;

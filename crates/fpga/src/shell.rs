@@ -1,0 +1,290 @@
+//! The CSP-maintained shell: privileged and potentially malicious.
+//!
+//! The shell "functions as a privileged OS, responsible for CL
+//! deployment, I/O monitoring, and resource management" (§1). It is the
+//! adversary of the Salus threat model: everything the host sends to the
+//! CL passes through it, and it alone drives the ICAP. This model
+//! faithfully gives the shell that power — plus explicit attack switches
+//! that the security experiments flip — while the device's internal
+//! decryption and readback gating bound what the attacks can achieve.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::Device;
+use crate::icap::LoadOutcome;
+use crate::FpgaError;
+
+/// Attack posture for the next CL deployment through the shell.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum LoadAttack {
+    /// Forward the bitstream unchanged.
+    #[default]
+    Honest,
+    /// Flip one byte at `offset` before loading (integrity attack).
+    CorruptByte(usize),
+    /// Load attacker-supplied bytes instead (CL replacement attack).
+    Replace(Vec<u8>),
+}
+
+/// The shell instance managing one device.
+#[derive(Clone)]
+pub struct Shell {
+    device: Arc<Mutex<Device>>,
+    state: Arc<Mutex<ShellState>>,
+}
+
+#[derive(Debug, Default)]
+struct ShellState {
+    next_load_attack: LoadAttack,
+    observed_bitstreams: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Shell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shell")
+            .field(
+                "observed_bitstreams",
+                &self.state.lock().observed_bitstreams.len(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shell {
+    /// Boots a shell onto `device` (the CSP's instance-creation step).
+    pub fn new(device: Device) -> Shell {
+        Shell {
+            device: Arc::new(Mutex::new(device)),
+            state: Arc::new(Mutex::new(ShellState::default())),
+        }
+    }
+
+    /// Instance creation with an explicit shell image: the CSP loads its
+    /// shell bitstream into the static region (a privileged plaintext
+    /// load — the CSP owns the board at this point), then hands the
+    /// managed device to the instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ICAP failures loading the shell image.
+    pub fn provision(mut device: Device, shell_image: &[u8]) -> Result<Shell, FpgaError> {
+        device.icap_load(shell_image)?;
+        if !device.shell_loaded() {
+            return Err(FpgaError::MalformedBitstream(
+                "shell image did not configure",
+            ));
+        }
+        Ok(Shell::new(device))
+    }
+
+    /// Whether the static region holds a configured shell.
+    pub fn is_loaded(&self) -> bool {
+        self.device.lock().shell_loaded()
+    }
+
+    /// Shared handle to the managed device. The *simulation* uses this
+    /// for fabric-internal accesses (loaded-logic behaviour); shell-level
+    /// code paths in the experiments only ever use the `Shell` API.
+    pub fn device(&self) -> Arc<Mutex<Device>> {
+        Arc::clone(&self.device)
+    }
+
+    /// Reads the DNA the CSP advertises for this board.
+    pub fn advertised_dna(&self) -> u64 {
+        self.device.lock().dna().read()
+    }
+
+    /// Arms an attack on the next deployment.
+    pub fn set_load_attack(&self, attack: LoadAttack) {
+        self.state.lock().next_load_attack = attack;
+    }
+
+    /// Deploys a CL bitstream received from the host: the shell observes
+    /// the bytes (it always can), applies any armed attack, and pushes
+    /// the result through the ICAP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every ICAP failure (CRC, decryption, incomplete
+    /// reconfiguration, ...).
+    pub fn deploy_bitstream(&self, bitstream: &[u8]) -> Result<LoadOutcome, FpgaError> {
+        let mut to_load = bitstream.to_vec();
+        {
+            let mut state = self.state.lock();
+            state.observed_bitstreams.push(to_load.clone());
+            match std::mem::take(&mut state.next_load_attack) {
+                LoadAttack::Honest => {}
+                LoadAttack::CorruptByte(offset) => {
+                    if !to_load.is_empty() {
+                        let off = offset.min(to_load.len() - 1);
+                        to_load[off] ^= 0x01;
+                    }
+                }
+                LoadAttack::Replace(other) => to_load = other,
+            }
+        }
+        self.device.lock().icap_load(&to_load)
+    }
+
+    /// The shell tries to scan the loaded CL via configuration readback
+    /// (§5.1.2's attack). Succeeds only on a COTS (readback-enabled)
+    /// ICAP.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::ReadbackDisabled`] on a Salus ICAP.
+    pub fn snoop_configuration(&self, partition: usize) -> Result<Vec<u8>, FpgaError> {
+        self.device.lock().attempt_readback(partition)
+    }
+
+    /// Host-initiated DMA write into device DRAM (the direct unsecure
+    /// memory channel). The shell sees — and could tamper with — every
+    /// byte; Salus expects the CL and host to encrypt sensitive data.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range accesses.
+    pub fn dma_write(&self, offset: usize, data: &[u8]) -> Result<(), FpgaError> {
+        self.device.lock().dram_write(offset, data)
+    }
+
+    /// Host-initiated DMA read from device DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range accesses.
+    pub fn dma_read(&self, offset: usize, len: usize) -> Result<Vec<u8>, FpgaError> {
+        self.device.lock().dram_read(offset, len)
+    }
+
+    /// The shell snoops device DRAM directly (always possible — DRAM is
+    /// outside the TEE boundary).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range accesses.
+    pub fn snoop_dram(&self, offset: usize, len: usize) -> Result<Vec<u8>, FpgaError> {
+        self.device.lock().dram_read(offset, len)
+    }
+
+    /// The shell tampers with device DRAM directly.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range accesses.
+    pub fn tamper_dram(&self, offset: usize, data: &[u8]) -> Result<(), FpgaError> {
+        self.device.lock().dram_write(offset, data)
+    }
+
+    /// Every bitstream the shell has seen cross it, verbatim.
+    pub fn observed_bitstreams(&self) -> Vec<Vec<u8>> {
+        self.state.lock().observed_bitstreams.clone()
+    }
+
+    /// Whether any observed bitstream contains `needle` in plaintext —
+    /// the leakage check used by confidentiality experiments.
+    pub fn observed_bytes_contain(&self, needle: &[u8]) -> bool {
+        if needle.is_empty() {
+            return true;
+        }
+        self.state
+            .lock()
+            .observed_bitstreams
+            .iter()
+            .any(|b| b.windows(needle.len()).any(|w| w == needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{DeviceGeometry, FRAME_BYTES};
+    use crate::wire::{self, bytes_to_words, Cmd, Reg, WireWriter};
+
+    fn shell_with_tiny_device() -> Shell {
+        Shell::new(Device::manufacture(DeviceGeometry::tiny(), 3))
+    }
+
+    fn plain_stream(shell: &Shell, fill: u8) -> Vec<u8> {
+        let frames = shell.device().lock().partition(0).unwrap().frame_count() as usize;
+        let data = vec![fill; frames * FRAME_BYTES];
+        let mut w = WireWriter::new();
+        w.write_cmd(Cmd::Rcrc)
+            .write_reg(Reg::Far, &[0])
+            .write_cmd(Cmd::Wcfg)
+            .write_long(Reg::Fdri, &bytes_to_words(&data));
+        let mut crc_input = 0u32.to_be_bytes().to_vec();
+        crc_input.extend_from_slice(&data);
+        w.write_reg(Reg::Crc, &[wire::crc32(&crc_input)]);
+        w.finish()
+    }
+
+    #[test]
+    fn honest_shell_deploys() {
+        let shell = shell_with_tiny_device();
+        let stream = plain_stream(&shell, 0x31);
+        shell.deploy_bitstream(&stream).unwrap();
+        assert!(shell.device().lock().partition(0).unwrap().is_configured());
+    }
+
+    #[test]
+    fn shell_observes_everything() {
+        let shell = shell_with_tiny_device();
+        let stream = plain_stream(&shell, 0x31);
+        shell.deploy_bitstream(&stream).unwrap();
+        assert_eq!(shell.observed_bitstreams().len(), 1);
+        assert!(shell.observed_bytes_contain(&[0x31, 0x31, 0x31, 0x31]));
+    }
+
+    #[test]
+    fn corruption_attack_detected_by_crc() {
+        let shell = shell_with_tiny_device();
+        let stream = plain_stream(&shell, 0x31);
+        // Offset well into the FDRI payload.
+        shell.set_load_attack(LoadAttack::CorruptByte(stream.len() / 2));
+        assert_eq!(
+            shell.deploy_bitstream(&stream).unwrap_err(),
+            FpgaError::CrcMismatch
+        );
+    }
+
+    #[test]
+    fn attack_is_one_shot() {
+        let shell = shell_with_tiny_device();
+        let stream = plain_stream(&shell, 0x31);
+        shell.set_load_attack(LoadAttack::CorruptByte(stream.len() / 2));
+        let _ = shell.deploy_bitstream(&stream);
+        // Next deployment goes through honestly.
+        shell.deploy_bitstream(&stream).unwrap();
+    }
+
+    #[test]
+    fn replacement_attack_loads_attacker_bits() {
+        // On a *plaintext* flow the shell can replace the CL wholesale —
+        // the vulnerability Salus's encrypted flow removes.
+        let shell = shell_with_tiny_device();
+        let honest = plain_stream(&shell, 0x31);
+        let evil = plain_stream(&shell, 0x66);
+        shell.set_load_attack(LoadAttack::Replace(evil));
+        shell.deploy_bitstream(&honest).unwrap();
+        let device = shell.device();
+        let guard = device.lock();
+        assert_eq!(
+            guard.partition(0).unwrap().frame(0).unwrap().as_bytes()[0],
+            0x66
+        );
+    }
+
+    #[test]
+    fn snoop_fails_on_salus_icap() {
+        let shell = shell_with_tiny_device();
+        let stream = plain_stream(&shell, 0x31);
+        shell.deploy_bitstream(&stream).unwrap();
+        assert_eq!(
+            shell.snoop_configuration(0).unwrap_err(),
+            FpgaError::ReadbackDisabled
+        );
+    }
+}

@@ -1,0 +1,510 @@
+//! Bitstream wire format: sync word, configuration packets, CRC, and the
+//! encrypted envelope.
+//!
+//! The format is a simplified Xilinx UltraScale stream: dummy padding, a
+//! sync word, then type-1/type-2 packets addressing configuration
+//! registers (CMD, FAR, FDRI, CRC, ...). Encrypted bitstreams wrap the
+//! whole inner plaintext stream in one AES-GCM envelope addressed to the
+//! `ENC` register; only the internal configuration engine (which alone
+//! can read the fused key) can open it — the property Salus repurposes
+//! to keep the RoT confidential from the shell.
+
+use salus_crypto::gcm::AesGcm256;
+
+use crate::FpgaError;
+
+/// The Xilinx sync word.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+
+/// Dummy padding word.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+
+/// Configuration registers addressable by type-1 packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Crc = 0x00,
+    Far = 0x01,
+    Fdri = 0x02,
+    Fdro = 0x03,
+    Cmd = 0x04,
+    Idcode = 0x0C,
+    /// Encrypted-payload envelope (Salus: carries the GCM-sealed inner
+    /// stream).
+    Enc = 0x1A,
+}
+
+impl Reg {
+    fn from_addr(addr: u16) -> Option<Reg> {
+        Some(match addr {
+            0x00 => Reg::Crc,
+            0x01 => Reg::Far,
+            0x02 => Reg::Fdri,
+            0x03 => Reg::Fdro,
+            0x04 => Reg::Cmd,
+            0x0C => Reg::Idcode,
+            0x1A => Reg::Enc,
+            _ => return None,
+        })
+    }
+}
+
+/// CMD register command codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+#[allow(missing_docs)]
+pub enum Cmd {
+    Null = 0x0,
+    Wcfg = 0x1,
+    Rcfg = 0x4,
+    Rcrc = 0x7,
+    Desync = 0xD,
+}
+
+impl Cmd {
+    pub(crate) fn from_word(w: u32) -> Option<Cmd> {
+        Some(match w {
+            0x0 => Cmd::Null,
+            0x1 => Cmd::Wcfg,
+            0x4 => Cmd::Rcfg,
+            0x7 => Cmd::Rcrc,
+            0xD => Cmd::Desync,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed configuration packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Write `payload` words to `reg`.
+    Write {
+        /// Target register.
+        reg: Reg,
+        /// Payload words.
+        payload: Vec<u32>,
+    },
+    /// Request a read of `words` words from `reg` (readback).
+    Read {
+        /// Source register.
+        reg: Reg,
+        /// Number of words requested.
+        words: usize,
+    },
+    /// A no-op packet.
+    Nop,
+}
+
+const TYPE1: u32 = 0b001 << 29;
+const TYPE2: u32 = 0b010 << 29;
+const OP_NOP: u32 = 0b00 << 27;
+const OP_READ: u32 = 0b01 << 27;
+const OP_WRITE: u32 = 0b10 << 27;
+const TYPE1_COUNT_MASK: u32 = 0x7FF;
+const TYPE2_COUNT_MASK: u32 = 0x07FF_FFFF;
+
+/// Serializes configuration packets into a byte stream.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    words: Vec<u32>,
+}
+
+impl WireWriter {
+    /// Starts a stream with dummy padding and the sync word.
+    pub fn new() -> WireWriter {
+        let mut w = WireWriter { words: Vec::new() };
+        for _ in 0..8 {
+            w.words.push(DUMMY_WORD);
+        }
+        w.words.push(SYNC_WORD);
+        w
+    }
+
+    fn type1_header(op: u32, reg: Reg, count: u32) -> u32 {
+        debug_assert!(count <= TYPE1_COUNT_MASK);
+        TYPE1 | op | ((reg as u32) << 13) | count
+    }
+
+    /// Writes `payload` to `reg` via a type-1 packet (≤ 2047 words).
+    pub fn write_reg(&mut self, reg: Reg, payload: &[u32]) -> &mut Self {
+        assert!(
+            payload.len() as u32 <= TYPE1_COUNT_MASK,
+            "type-1 payload too long"
+        );
+        self.words
+            .push(Self::type1_header(OP_WRITE, reg, payload.len() as u32));
+        self.words.extend_from_slice(payload);
+        self
+    }
+
+    /// Writes a command to the CMD register.
+    pub fn write_cmd(&mut self, cmd: Cmd) -> &mut Self {
+        self.write_reg(Reg::Cmd, &[cmd as u32])
+    }
+
+    /// Writes a long payload to `reg` via a type-1 header followed by a
+    /// type-2 packet (used for FDRI frame data and ENC envelopes).
+    pub fn write_long(&mut self, reg: Reg, payload: &[u32]) -> &mut Self {
+        assert!(
+            payload.len() as u32 <= TYPE2_COUNT_MASK,
+            "type-2 payload too long"
+        );
+        self.words.push(Self::type1_header(OP_WRITE, reg, 0));
+        self.words.push(TYPE2 | OP_WRITE | payload.len() as u32);
+        self.words.extend_from_slice(payload);
+        self
+    }
+
+    /// Emits a readback request for `words` words of `reg`.
+    pub fn read_request(&mut self, reg: Reg, words: usize) -> &mut Self {
+        self.words.push(Self::type1_header(OP_READ, reg, 0));
+        self.words.push(TYPE2 | OP_READ | words as u32);
+        self
+    }
+
+    /// Finishes the stream (desync) and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.write_cmd(Cmd::Desync);
+        let mut bytes = Vec::with_capacity(self.words.len() * 4);
+        for w in &self.words {
+            bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        bytes
+    }
+}
+
+/// Packs bytes into big-endian words, zero-padding the tail, returning
+/// the words and the original byte length.
+pub fn bytes_to_words(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks(4)
+        .map(|c| {
+            let mut w = [0u8; 4];
+            w[..c.len()].copy_from_slice(c);
+            u32::from_be_bytes(w)
+        })
+        .collect()
+}
+
+/// Unpacks big-endian words into bytes (no length trimming).
+pub fn words_to_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+    out
+}
+
+/// Parses a wire stream into packets.
+///
+/// # Errors
+///
+/// Returns [`FpgaError::MalformedBitstream`] for truncated or
+/// unrecognised streams.
+pub fn parse(bytes: &[u8]) -> Result<Vec<Packet>, FpgaError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(FpgaError::MalformedBitstream("length not word aligned"));
+    }
+    let words: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+
+    // Skip dummy words, find sync.
+    let mut i = 0;
+    while i < words.len() && words[i] == DUMMY_WORD {
+        i += 1;
+    }
+    if i >= words.len() || words[i] != SYNC_WORD {
+        return Err(FpgaError::MalformedBitstream("missing sync word"));
+    }
+    i += 1;
+
+    let mut packets = Vec::new();
+    while i < words.len() {
+        let header = words[i];
+        i += 1;
+        let ptype = header >> 29;
+        let op = header & (0b11 << 27);
+        match ptype {
+            0b001 => {
+                let reg = Reg::from_addr(((header >> 13) & 0x3FFF) as u16)
+                    .ok_or(FpgaError::MalformedBitstream("unknown register"))?;
+                let count = (header & TYPE1_COUNT_MASK) as usize;
+                match op {
+                    OP_NOP => packets.push(Packet::Nop),
+                    OP_WRITE => {
+                        if count == 0 {
+                            // Followed by a type-2 packet carrying the data.
+                            let t2 = *words
+                                .get(i)
+                                .ok_or(FpgaError::MalformedBitstream("truncated type-2"))?;
+                            i += 1;
+                            if t2 >> 29 != 0b010 {
+                                return Err(FpgaError::MalformedBitstream("expected type-2"));
+                            }
+                            let t2_op = t2 & (0b11 << 27);
+                            let t2_count = (t2 & TYPE2_COUNT_MASK) as usize;
+                            if t2_op == OP_READ {
+                                packets.push(Packet::Read {
+                                    reg,
+                                    words: t2_count,
+                                });
+                            } else {
+                                if i + t2_count > words.len() {
+                                    return Err(FpgaError::MalformedBitstream(
+                                        "truncated type-2 payload",
+                                    ));
+                                }
+                                packets.push(Packet::Write {
+                                    reg,
+                                    payload: words[i..i + t2_count].to_vec(),
+                                });
+                                i += t2_count;
+                            }
+                        } else {
+                            if i + count > words.len() {
+                                return Err(FpgaError::MalformedBitstream(
+                                    "truncated type-1 payload",
+                                ));
+                            }
+                            packets.push(Packet::Write {
+                                reg,
+                                payload: words[i..i + count].to_vec(),
+                            });
+                            i += count;
+                        }
+                    }
+                    OP_READ => {
+                        if count == 0 {
+                            // Long-form read: a type-2 word carries the count.
+                            let t2 = *words
+                                .get(i)
+                                .ok_or(FpgaError::MalformedBitstream("truncated type-2 read"))?;
+                            i += 1;
+                            if t2 >> 29 != 0b010 || t2 & (0b11 << 27) != OP_READ {
+                                return Err(FpgaError::MalformedBitstream("expected type-2 read"));
+                            }
+                            packets.push(Packet::Read {
+                                reg,
+                                words: (t2 & TYPE2_COUNT_MASK) as usize,
+                            });
+                        } else {
+                            packets.push(Packet::Read { reg, words: count });
+                        }
+                    }
+                    _ => return Err(FpgaError::MalformedBitstream("bad opcode")),
+                }
+            }
+            _ => return Err(FpgaError::MalformedBitstream("unexpected packet type")),
+        }
+    }
+    Ok(packets)
+}
+
+/// CRC-32 (IEEE 802.3, reflected) used for bitstream integrity words.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Envelope layout constants: `nonce (12 B) || GCM(ciphertext || tag)`.
+pub const ENC_NONCE_BYTES: usize = 12;
+
+/// Seals an inner plaintext wire stream for a device: the AAD binds the
+/// target device's DNA, so an envelope cannot be re-targeted.
+pub fn seal_envelope(
+    key: &[u8; 32],
+    nonce: &[u8; ENC_NONCE_BYTES],
+    device_dna: u64,
+    inner_plain: &[u8],
+) -> Vec<u8> {
+    let mut envelope = Vec::with_capacity(ENC_NONCE_BYTES + inner_plain.len() + 16 + 8);
+    envelope.extend_from_slice(nonce);
+    envelope.extend_from_slice(&(inner_plain.len() as u64).to_be_bytes());
+    let sealed = AesGcm256::new(key).seal(nonce, &device_dna.to_le_bytes(), inner_plain);
+    envelope.extend_from_slice(&sealed);
+    envelope
+}
+
+/// Opens an envelope produced by [`seal_envelope`]. Internal-use by the
+/// configuration engine.
+pub(crate) fn open_envelope(
+    key: &[u8; 32],
+    device_dna: u64,
+    envelope: &[u8],
+) -> Result<Vec<u8>, FpgaError> {
+    if envelope.len() < ENC_NONCE_BYTES + 8 + 16 {
+        return Err(FpgaError::MalformedBitstream("envelope too short"));
+    }
+    let nonce = &envelope[..ENC_NONCE_BYTES];
+    let inner_len = u64::from_be_bytes(
+        envelope[ENC_NONCE_BYTES..ENC_NONCE_BYTES + 8]
+            .try_into()
+            .expect("8"),
+    ) as usize;
+    let sealed = &envelope[ENC_NONCE_BYTES + 8..];
+    let plain = AesGcm256::new(key)
+        .open(nonce, &device_dna.to_le_bytes(), sealed)
+        .map_err(|_| FpgaError::DecryptionFailed)?;
+    if plain.len() < inner_len {
+        return Err(FpgaError::MalformedBitstream("envelope length header"));
+    }
+    Ok(plain[..inner_len].to_vec())
+}
+
+/// Builds an encrypted wire stream that carries `inner_plain` (itself a
+/// complete plaintext wire stream) inside one ENC envelope.
+pub fn build_encrypted_stream(
+    key: &[u8; 32],
+    nonce: &[u8; ENC_NONCE_BYTES],
+    device_dna: u64,
+    inner_plain: &[u8],
+) -> Vec<u8> {
+    let envelope = seal_envelope(key, nonce, device_dna, inner_plain);
+    // Pad envelope to word multiple inside the type-2 payload; the
+    // length header inside the envelope recovers the exact size.
+    let mut writer = WireWriter::new();
+    writer.write_long(Reg::Enc, &bytes_to_words(&envelope));
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_parser_roundtrip() {
+        let mut w = WireWriter::new();
+        w.write_cmd(Cmd::Rcrc)
+            .write_reg(Reg::Idcode, &[0x0BAD_C0DE])
+            .write_reg(Reg::Far, &[0x0100_0000])
+            .write_cmd(Cmd::Wcfg)
+            .write_long(Reg::Fdri, &[1, 2, 3, 4, 5]);
+        let bytes = w.finish();
+        let packets = parse(&bytes).unwrap();
+        assert_eq!(
+            packets,
+            vec![
+                Packet::Write {
+                    reg: Reg::Cmd,
+                    payload: vec![Cmd::Rcrc as u32]
+                },
+                Packet::Write {
+                    reg: Reg::Idcode,
+                    payload: vec![0x0BAD_C0DE]
+                },
+                Packet::Write {
+                    reg: Reg::Far,
+                    payload: vec![0x0100_0000]
+                },
+                Packet::Write {
+                    reg: Reg::Cmd,
+                    payload: vec![Cmd::Wcfg as u32]
+                },
+                Packet::Write {
+                    reg: Reg::Fdri,
+                    payload: vec![1, 2, 3, 4, 5]
+                },
+                Packet::Write {
+                    reg: Reg::Cmd,
+                    payload: vec![Cmd::Desync as u32]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn read_request_roundtrip() {
+        let mut w = WireWriter::new();
+        w.write_cmd(Cmd::Rcfg).read_request(Reg::Fdro, 100);
+        let packets = parse(&w.finish()).unwrap();
+        assert!(packets.contains(&Packet::Read {
+            reg: Reg::Fdro,
+            words: 100
+        }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(b"xyz").is_err()); // unaligned
+        assert!(parse(&[0u8; 16]).is_err()); // no sync
+        let mut w = WireWriter::new();
+        w.write_reg(Reg::Far, &[1]);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 6); // truncate + unalign
+        assert!(parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn crc32_known_value() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_binding() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let plain = b"inner stream bytes".to_vec();
+        let env = seal_envelope(&key, &nonce, 0xABCD, &plain);
+        assert_eq!(open_envelope(&key, 0xABCD, &env).unwrap(), plain);
+        // Wrong device: AAD mismatch.
+        assert_eq!(
+            open_envelope(&key, 0xABCE, &env),
+            Err(FpgaError::DecryptionFailed)
+        );
+        // Wrong key.
+        assert_eq!(
+            open_envelope(&[8u8; 32], 0xABCD, &env),
+            Err(FpgaError::DecryptionFailed)
+        );
+        // Tampered ciphertext.
+        let mut bad = env.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert_eq!(
+            open_envelope(&key, 0xABCD, &bad),
+            Err(FpgaError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn encrypted_stream_parses_to_enc_packet() {
+        let key = [7u8; 32];
+        let stream = build_encrypted_stream(&key, &[0u8; 12], 1, b"abcd");
+        let packets = parse(&stream).unwrap();
+        assert!(matches!(&packets[0], Packet::Write { reg: Reg::Enc, .. }));
+    }
+
+    #[test]
+    fn bytes_words_roundtrip_with_padding() {
+        let bytes = vec![1u8, 2, 3, 4, 5];
+        let words = bytes_to_words(&bytes);
+        assert_eq!(words.len(), 2);
+        let back = words_to_bytes(&words);
+        assert_eq!(&back[..5], &bytes[..]);
+        assert_eq!(back[5..], [0, 0, 0]);
+    }
+}

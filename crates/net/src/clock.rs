@@ -1,0 +1,108 @@
+//! Shared logical simulation clock.
+//!
+//! All endpoints of one simulated deployment share a [`SimClock`];
+//! modelled operations (network transfers, bitstream manipulation, quote
+//! generation, accelerator execution) advance it explicitly. Experiments
+//! then read elapsed virtual time, which is deterministic across runs and
+//! machines — a requirement for regenerating the paper's Fig. 9 numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cloneable handle to a shared logical clock, measured in nanoseconds.
+///
+/// ```
+/// use salus_net::clock::SimClock;
+/// use std::time::Duration;
+///
+/// let clock = SimClock::new();
+/// let t0 = clock.now();
+/// clock.advance(Duration::from_millis(5));
+/// assert_eq!(clock.now() - t0, Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current virtual time in nanoseconds since simulation start.
+    pub fn now_ns(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+
+    /// Current virtual time as a [`Duration`] since simulation start.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_ns())
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Advances by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.nanos.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Starts a [`Stopwatch`] at the current time.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch {
+            clock: self.clone(),
+            start_ns: self.now_ns(),
+        }
+    }
+}
+
+/// Measures elapsed virtual time from its creation.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    clock: SimClock,
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Virtual time elapsed since the stopwatch was started.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.clock.now_ns().saturating_sub(self.start_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(1));
+        assert_eq!(b.now(), Duration::from_secs(1));
+        b.advance_ns(500);
+        assert_eq!(a.now_ns(), 1_000_000_500);
+    }
+
+    #[test]
+    fn stopwatch_measures_interval() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_millis(10));
+        let sw = clock.stopwatch();
+        clock.advance(Duration::from_millis(7));
+        assert_eq!(sw.elapsed(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn new_clock_starts_at_zero() {
+        assert_eq!(SimClock::new().now_ns(), 0);
+    }
+}

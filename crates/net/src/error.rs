@@ -1,0 +1,29 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulated network fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The destination endpoint is not registered with the fabric.
+    UnknownEndpoint(String),
+    /// The destination has no handler for the requested method.
+    UnknownMethod(String),
+    /// An adversary dropped the message.
+    Dropped,
+    /// The remote handler returned an application-level failure.
+    Remote(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownEndpoint(name) => write!(f, "unknown endpoint: {name}"),
+            NetError::UnknownMethod(name) => write!(f, "unknown method: {name}"),
+            NetError::Dropped => write!(f, "message dropped in transit"),
+            NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl Error for NetError {}

@@ -1,0 +1,171 @@
+//! Link classes and transfer-cost model.
+//!
+//! Calibration targets come from the paper's §6.3: the user client reaches
+//! the DCAP server "through a wide-area network, which explains why it
+//! takes longer than on the manufacturer server, which connects through an
+//! intra-cloud network". PCIe numbers use typical Gen3 x16 figures for an
+//! Alveo U200.
+
+use std::time::Duration;
+
+/// The class of a simulated link, which determines its cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// Wide-area network: user client ↔ cloud (laptop ↔ instance/DCAP).
+    Wan,
+    /// Intra-cloud network: manufacturer server ↔ cloud instance.
+    IntraCloud,
+    /// Same-host IPC: user enclave ↔ SM enclave local attestation.
+    Loopback,
+    /// PCIe Gen3 x16: host ↔ FPGA shell.
+    Pcie,
+}
+
+/// Per-class propagation and bandwidth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub one_way: Duration,
+    /// Sustained bandwidth in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+/// Cost model mapping `(link class, message size)` to virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    wan: LinkParams,
+    intra_cloud: LinkParams,
+    loopback: LinkParams,
+    pcie: LinkParams,
+}
+
+impl LatencyModel {
+    /// The calibration used for all paper-shape experiments.
+    ///
+    /// WAN one-way ≈ 40 ms (trans-continental laptop ↔ cloud), intra-cloud
+    /// ≈ 0.5 ms, loopback ≈ 20 µs per enclave ECALL/OCALL crossing, PCIe
+    /// ≈ 1 µs + ~12 GB/s effective DMA bandwidth.
+    pub fn paper_calibrated() -> LatencyModel {
+        LatencyModel {
+            wan: LinkParams {
+                one_way: Duration::from_millis(40),
+                bytes_per_sec: 12_500_000, // ~100 Mbit/s laptop uplink
+            },
+            intra_cloud: LinkParams {
+                one_way: Duration::from_micros(500),
+                bytes_per_sec: 1_250_000_000, // ~10 Gbit/s
+            },
+            loopback: LinkParams {
+                one_way: Duration::from_micros(20),
+                bytes_per_sec: 5_000_000_000,
+            },
+            pcie: LinkParams {
+                one_way: Duration::from_micros(1),
+                bytes_per_sec: 12_000_000_000,
+            },
+        }
+    }
+
+    /// A zero-cost model, useful for functional tests that do not care
+    /// about timing.
+    pub fn zero() -> LatencyModel {
+        let free = LinkParams {
+            one_way: Duration::ZERO,
+            bytes_per_sec: u64::MAX,
+        };
+        LatencyModel {
+            wan: free,
+            intra_cloud: free,
+            loopback: free,
+            pcie: free,
+        }
+    }
+
+    /// Returns the parameters for `class`.
+    pub fn params(&self, class: LinkClass) -> LinkParams {
+        match class {
+            LinkClass::Wan => self.wan,
+            LinkClass::IntraCloud => self.intra_cloud,
+            LinkClass::Loopback => self.loopback,
+            LinkClass::Pcie => self.pcie,
+        }
+    }
+
+    /// Replaces the parameters for `class` (builder-style).
+    pub fn with_params(mut self, class: LinkClass, params: LinkParams) -> LatencyModel {
+        match class {
+            LinkClass::Wan => self.wan = params,
+            LinkClass::IntraCloud => self.intra_cloud = params,
+            LinkClass::Loopback => self.loopback = params,
+            LinkClass::Pcie => self.pcie = params,
+        }
+        self
+    }
+
+    /// One-way cost of moving `bytes` over `class`: propagation +
+    /// serialization.
+    pub fn transfer_cost(&self, class: LinkClass, bytes: usize) -> Duration {
+        let p = self.params(class);
+        let ser_ns = if p.bytes_per_sec == u64::MAX {
+            0
+        } else {
+            (bytes as u128 * 1_000_000_000 / p.bytes_per_sec as u128) as u64
+        };
+        p.one_way + Duration::from_nanos(ser_ns)
+    }
+
+    /// Cost of a request/response round trip with the given payload sizes.
+    pub fn round_trip_cost(
+        &self,
+        class: LinkClass,
+        req_bytes: usize,
+        rsp_bytes: usize,
+    ) -> Duration {
+        self.transfer_cost(class, req_bytes) + self.transfer_cost(class, rsp_bytes)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wan_slower_than_intra_cloud() {
+        let m = LatencyModel::paper_calibrated();
+        assert!(
+            m.transfer_cost(LinkClass::Wan, 1000) > m.transfer_cost(LinkClass::IntraCloud, 1000)
+        );
+        assert!(
+            m.transfer_cost(LinkClass::IntraCloud, 1000) > m.transfer_cost(LinkClass::Pcie, 1000)
+        );
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let m = LatencyModel::paper_calibrated();
+        let small = m.transfer_cost(LinkClass::Pcie, 1 << 10);
+        let large = m.transfer_cost(LinkClass::Pcie, 1 << 26);
+        assert!(large > small * 100);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.transfer_cost(LinkClass::Wan, 1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn round_trip_is_sum() {
+        let m = LatencyModel::paper_calibrated();
+        assert_eq!(
+            m.round_trip_cost(LinkClass::Wan, 100, 200),
+            m.transfer_cost(LinkClass::Wan, 100) + m.transfer_cost(LinkClass::Wan, 200)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # salus-net
+//!
+//! Deterministic network and bus simulation for the Salus reproduction.
+//!
+//! The paper's evaluation spans three network domains — a user client on a
+//! laptop (WAN), a manufacturer key-distribution server reached over an
+//! intra-cloud network, and a cloud instance whose host talks to the FPGA
+//! over PCIe. Fig. 9's boot-time breakdown is dominated by these link
+//! costs plus enclave-side bitstream work, so this crate provides:
+//!
+//! * [`clock`] — a shared logical clock ([`clock::SimClock`]); every
+//!   modelled operation charges virtual time, making experiments
+//!   deterministic and independent of host load.
+//! * [`latency`] — link classes (WAN / intra-cloud / loopback / PCIe) with
+//!   RTT + bandwidth cost models calibrated to the paper's Fig. 9.
+//! * [`channel`] — byte channels between named endpoints with an
+//!   interposition hook for adversaries (the malicious shell or a network
+//!   man-in-the-middle).
+//! * [`adversary`] — reusable attack behaviours: snooping, tampering,
+//!   replay, and drop.
+//! * [`rpc`] — a minimal synchronous request/response fabric standing in
+//!   for the paper's gRPC stack.
+//!
+//! ## Example
+//!
+//! ```
+//! use salus_net::clock::SimClock;
+//! use salus_net::latency::{LatencyModel, LinkClass};
+//!
+//! let clock = SimClock::new();
+//! let model = LatencyModel::paper_calibrated();
+//! clock.advance(model.transfer_cost(LinkClass::Wan, 1024));
+//! assert!(clock.now_ns() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod channel;
+pub mod clock;
+pub mod latency;
+pub mod rpc;
+
+mod error;
+
+pub use error::NetError;

@@ -1,0 +1,33 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the TEE model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TeeError {
+    /// A report or quote MAC/signature did not verify.
+    VerificationFailed(&'static str),
+    /// The quote names a platform unknown to the attestation service.
+    UnknownPlatform(u64),
+    /// Sealed data failed to authenticate or was sealed by a different
+    /// enclave identity.
+    UnsealFailed,
+    /// Too many enclaves for this platform's EPC model.
+    EpcExhausted,
+    /// A structure could not be decoded.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::VerificationFailed(what) => write!(f, "verification failed: {what}"),
+            TeeError::UnknownPlatform(id) => write!(f, "unknown platform: {id}"),
+            TeeError::UnsealFailed => write!(f, "unseal failed"),
+            TeeError::EpcExhausted => write!(f, "enclave page cache exhausted"),
+            TeeError::Malformed(what) => write!(f, "malformed structure: {what}"),
+        }
+    }
+}
+
+impl Error for TeeError {}

@@ -1,0 +1,48 @@
+//! # salus-tee
+//!
+//! A software model of an SGX-class CPU TEE, faithful to the mechanisms
+//! Salus builds on (paper §2.1, Figure 1, Table 2):
+//!
+//! * [`measurement`] — enclave images and their MRENCLAVE measurement.
+//! * [`platform`] — a TEE-enabled CPU: per-platform root key, enclave
+//!   loading, and the `EGETKEY`/`EREPORT` instruction pair.
+//! * [`enclave`] — the runtime handle enclave code uses: randomness,
+//!   report generation/verification, sealing, quoting.
+//! * [`report`] — the EREPORT structure: measurement + 64-byte report
+//!   data, MACed with the *target* enclave's report key (AES-CMAC).
+//! * [`local`] — the challenge/response local-attestation protocol of
+//!   Figure 1, with a step transcript used by the Table 2 harness.
+//! * [`quote`] — DCAP-style remote attestation: a quoting enclave turns
+//!   reports into quotes that only the (trusted, manufacturer-run)
+//!   attestation service can verify.
+//! * [`sealing`] — measurement-bound sealed storage.
+//!
+//! ## Example
+//!
+//! ```
+//! use salus_tee::platform::SgxPlatform;
+//! use salus_tee::measurement::EnclaveImage;
+//!
+//! let platform = SgxPlatform::new(b"machine-seed", 1);
+//! let a = platform.load_enclave(&EnclaveImage::from_code("a", b"code-a")).unwrap();
+//! let b = platform.load_enclave(&EnclaveImage::from_code("b", b"code-b")).unwrap();
+//!
+//! // b proves to a that it runs on the same platform (local attestation).
+//! let report = b.ereport(a.measurement(), *b"report data....................................................!");
+//! assert!(a.verify_report(&report));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enclave;
+pub mod local;
+pub mod measurement;
+pub mod platform;
+pub mod quote;
+pub mod report;
+pub mod sealing;
+
+mod error;
+
+pub use error::TeeError;

@@ -1,0 +1,196 @@
+//! The TEE-enabled CPU: root key, enclave loading, EGETKEY/EREPORT.
+//!
+//! Every key in the model derives from a per-platform root key (the
+//! manufacturer-fused equivalent), so two enclaves can exchange
+//! verifiable reports **iff** they run on the same physical platform —
+//! the property SGX local attestation proves, and that Salus's cascaded
+//! attestation chains outward to the FPGA.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use salus_crypto::drbg::HmacDrbg;
+use salus_crypto::hmac::hkdf;
+
+use crate::enclave::Enclave;
+use crate::measurement::{EnclaveImage, Measurement};
+use crate::TeeError;
+
+/// Maximum simultaneously loaded enclaves (a coarse EPC model).
+pub const MAX_ENCLAVES: usize = 64;
+
+pub(crate) struct PlatformInner {
+    root_key: [u8; 32],
+    platform_id: u64,
+    svn: u16,
+    pub(crate) loaded: Mutex<Vec<Measurement>>,
+}
+
+impl PlatformInner {
+    /// `EGETKEY(REPORT)`: the report key of the enclave with measurement
+    /// `of`. Only reachable through enclave handles and the quoting
+    /// enclave — mirroring the instruction's enclave-mode-only rule.
+    pub(crate) fn report_key(&self, of: &Measurement) -> [u8; 16] {
+        let okm = hkdf(&self.root_key, of.as_bytes(), b"sgx-report-key-v1", 16);
+        okm.try_into().expect("16 bytes")
+    }
+
+    /// `EGETKEY(SEAL)`: the sealing key of the enclave with measurement
+    /// `of`.
+    pub(crate) fn seal_key(&self, of: &Measurement) -> [u8; 32] {
+        hkdf(&self.root_key, of.as_bytes(), b"sgx-seal-key-v1", 32)
+            .try_into()
+            .expect("32 bytes")
+    }
+
+    /// Attestation key used by the quoting enclave; derivable by the
+    /// attestation service which knows the provisioning secret.
+    pub(crate) fn attestation_key(&self, provisioning_secret: &[u8]) -> [u8; 32] {
+        hkdf(
+            provisioning_secret,
+            &self.platform_id.to_le_bytes(),
+            b"sgx-attestation-key-v1",
+            32,
+        )
+        .try_into()
+        .expect("32 bytes")
+    }
+
+    pub(crate) fn platform_id(&self) -> u64 {
+        self.platform_id
+    }
+
+    pub(crate) fn svn(&self) -> u16 {
+        self.svn
+    }
+}
+
+/// A TEE-enabled CPU platform.
+#[derive(Clone)]
+pub struct SgxPlatform {
+    pub(crate) inner: Arc<PlatformInner>,
+}
+
+impl std::fmt::Debug for SgxPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SgxPlatform")
+            .field("platform_id", &self.inner.platform_id)
+            .field("loaded_enclaves", &self.inner.loaded.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SgxPlatform {
+    /// Boots a fully patched platform whose root key derives from
+    /// `machine_seed`; the `platform_id` names it to the attestation
+    /// service.
+    pub fn new(machine_seed: &[u8], platform_id: u64) -> SgxPlatform {
+        SgxPlatform::with_svn(machine_seed, platform_id, crate::quote::CURRENT_SVN)
+    }
+
+    /// Boots a platform at an explicit TCB level (e.g. an unpatched
+    /// machine for negative tests).
+    pub fn with_svn(machine_seed: &[u8], platform_id: u64, svn: u16) -> SgxPlatform {
+        let root_key = hkdf(
+            b"platform-root",
+            machine_seed,
+            &platform_id.to_le_bytes(),
+            32,
+        )
+        .try_into()
+        .expect("32 bytes");
+        SgxPlatform {
+            inner: Arc::new(PlatformInner {
+                root_key,
+                platform_id,
+                svn,
+                loaded: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The platform's security version number.
+    pub fn svn(&self) -> u16 {
+        self.inner.svn
+    }
+
+    /// The platform's public identifier.
+    pub fn platform_id(&self) -> u64 {
+        self.inner.platform_id
+    }
+
+    /// Loads (measures) an enclave image and returns its runtime handle.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::EpcExhausted`] past [`MAX_ENCLAVES`].
+    pub fn load_enclave(&self, image: &EnclaveImage) -> Result<Enclave, TeeError> {
+        let measurement = image.measure();
+        {
+            let mut loaded = self.inner.loaded.lock();
+            if loaded.len() >= MAX_ENCLAVES {
+                return Err(TeeError::EpcExhausted);
+            }
+            loaded.push(measurement);
+        }
+        // Per-enclave DRBG personalised by platform + measurement + load
+        // ordinal, standing in for RDSEED inside the enclave.
+        let ordinal = self.inner.loaded.lock().len() as u64;
+        let mut personalization = measurement.as_bytes().to_vec();
+        personalization.extend_from_slice(&ordinal.to_le_bytes());
+        personalization.extend_from_slice(&self.inner.platform_id.to_le_bytes());
+        let drbg = HmacDrbg::new(&self.inner.root_key, &personalization);
+        Ok(Enclave::new(
+            Arc::clone(&self.inner),
+            measurement,
+            image.name().to_owned(),
+            drbg,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_keys_across_instances() {
+        let a = SgxPlatform::new(b"seed", 1);
+        let b = SgxPlatform::new(b"seed", 1);
+        let m = Measurement([5; 32]);
+        assert_eq!(a.inner.report_key(&m), b.inner.report_key(&m));
+    }
+
+    #[test]
+    fn different_platforms_different_keys() {
+        let a = SgxPlatform::new(b"seed", 1);
+        let b = SgxPlatform::new(b"seed", 2);
+        let m = Measurement([5; 32]);
+        assert_ne!(a.inner.report_key(&m), b.inner.report_key(&m));
+        assert_ne!(a.inner.seal_key(&m), b.inner.seal_key(&m));
+    }
+
+    #[test]
+    fn report_key_bound_to_measurement() {
+        let p = SgxPlatform::new(b"seed", 1);
+        assert_ne!(
+            p.inner.report_key(&Measurement([1; 32])),
+            p.inner.report_key(&Measurement([2; 32]))
+        );
+    }
+
+    #[test]
+    fn epc_limit_enforced() {
+        let p = SgxPlatform::new(b"seed", 1);
+        for i in 0..MAX_ENCLAVES {
+            p.load_enclave(&EnclaveImage::from_code(format!("e{i}"), [i as u8]))
+                .unwrap();
+        }
+        assert_eq!(
+            p.load_enclave(&EnclaveImage::from_code("one-too-many", b"x"))
+                .unwrap_err(),
+            TeeError::EpcExhausted
+        );
+    }
+}

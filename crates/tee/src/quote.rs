@@ -1,0 +1,406 @@
+//! DCAP-style remote attestation: quotes and the attestation service.
+//!
+//! Remote attestation extends trust off-platform: a quoting enclave
+//! turns a local report into a *quote* that a remote verifier checks
+//! against the manufacturer's attestation service ("we use an Alibaba
+//! hosted DCAP server to verify Intel SGX attestation reports", §6.1).
+//!
+//! The model keeps the trust topology exact while replacing the ECDSA
+//! chain with a provisioning-secret MAC: the quoting enclave's
+//! attestation key derives from a provisioning secret known only to the
+//! manufacturer-run [`AttestationService`], so **only** that trusted
+//! service can validate quotes — just as DCAP verification requires
+//! Intel-rooted collateral. Verifiers treat the service as a trusted
+//! oracle, which both the user client and the manufacturer key server do
+//! in Salus.
+
+use salus_crypto::hmac::hmac_sha256;
+
+use crate::enclave::Enclave;
+use crate::measurement::Measurement;
+use crate::report::{Report, ReportData};
+use crate::TeeError;
+
+/// The current security version number a fully patched platform runs.
+pub const CURRENT_SVN: u16 = 7;
+
+/// A remotely-verifiable attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Measurement of the quoted enclave.
+    pub mrenclave: Measurement,
+    /// Report data bound by the quoted enclave.
+    pub report_data: ReportData,
+    /// Platform the quote was produced on.
+    pub platform_id: u64,
+    /// The platform's security version number (microcode/TCB level):
+    /// "the enclave runs on a fully patched TEE platform" (§2.1) is the
+    /// verifier-side check `svn >= minimum`.
+    pub svn: u16,
+    /// Quoting-enclave signature (attestation-key MAC).
+    pub signature: [u8; 32],
+}
+
+impl Quote {
+    fn signed_body(
+        mrenclave: &Measurement,
+        report_data: &ReportData,
+        platform_id: u64,
+        svn: u16,
+    ) -> Vec<u8> {
+        let mut body = b"sgx-quote-v1".to_vec();
+        body.extend_from_slice(mrenclave.as_bytes());
+        body.extend_from_slice(report_data);
+        body.extend_from_slice(&platform_id.to_le_bytes());
+        body.extend_from_slice(&svn.to_le_bytes());
+        body
+    }
+
+    /// Canonical byte encoding for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 64 + 8 + 2 + 32);
+        out.extend_from_slice(self.mrenclave.as_bytes());
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.platform_id.to_le_bytes());
+        out.extend_from_slice(&self.svn.to_le_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Decodes [`to_bytes`](Quote::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::Malformed`] on a wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Quote, TeeError> {
+        if bytes.len() != 32 + 64 + 8 + 2 + 32 {
+            return Err(TeeError::Malformed("quote length"));
+        }
+        Ok(Quote {
+            mrenclave: Measurement(bytes[..32].try_into().expect("32")),
+            report_data: bytes[32..96].try_into().expect("64"),
+            platform_id: u64::from_le_bytes(bytes[96..104].try_into().expect("8")),
+            svn: u16::from_le_bytes(bytes[104..106].try_into().expect("2")),
+            signature: bytes[106..].try_into().expect("32"),
+        })
+    }
+}
+
+/// The quoting enclave: provisioned with an attestation key at platform
+/// registration, it verifies local reports and signs quotes.
+#[derive(Clone)]
+pub struct QuotingEnclave {
+    enclave: Enclave,
+    attestation_key: Option<[u8; 32]>,
+}
+
+impl std::fmt::Debug for QuotingEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuotingEnclave")
+            .field("provisioned", &self.attestation_key.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// MRENCLAVE-defining code of the quoting enclave binary.
+pub(crate) const QE_CODE: &[u8] = b"salus-quoting-enclave-v1";
+
+impl QuotingEnclave {
+    /// Loads the quoting enclave on `platform`-loaded handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave-load failures.
+    pub fn load(platform: &crate::platform::SgxPlatform) -> Result<QuotingEnclave, TeeError> {
+        let image = crate::measurement::EnclaveImage::from_code("quoting-enclave", QE_CODE);
+        Ok(QuotingEnclave {
+            enclave: platform.load_enclave(&image)?,
+            attestation_key: None,
+        })
+    }
+
+    /// Provisions the QE's attestation key from the manufacturing-line
+    /// provisioning secret (platform registration).
+    pub fn provision(&mut self, provisioning_secret: &[u8]) {
+        self.attestation_key = Some(
+            self.enclave
+                .platform_inner()
+                .attestation_key(provisioning_secret),
+        );
+    }
+
+    /// The QE's measurement — the target enclaves must address their
+    /// reports to.
+    pub fn measurement(&self) -> Measurement {
+        self.enclave.measurement()
+    }
+
+    /// Verifies a local report addressed to the QE and produces a quote.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::VerificationFailed`] if the report does not verify or
+    /// the QE is unprovisioned.
+    pub fn quote(&self, report: &Report) -> Result<Quote, TeeError> {
+        if !self.enclave.verify_report(report) {
+            return Err(TeeError::VerificationFailed("report to quoting enclave"));
+        }
+        let attestation_key = self.attestation_key.ok_or(TeeError::VerificationFailed(
+            "quoting enclave unprovisioned",
+        ))?;
+        let platform_id = self.enclave.platform_id();
+        let svn = self.enclave.platform_svn();
+        let signature = hmac_sha256(
+            &attestation_key,
+            &Quote::signed_body(&report.mrenclave, &report.report_data, platform_id, svn),
+        );
+        Ok(Quote {
+            mrenclave: report.mrenclave,
+            report_data: report.report_data,
+            platform_id,
+            svn,
+            signature,
+        })
+    }
+}
+
+/// Produces a quote for `enclave` binding `report_data` — the full
+/// `EREPORT → QE → quote` path in one call.
+///
+/// # Errors
+///
+/// Propagates QE verification failures.
+pub fn generate_quote(
+    enclave: &Enclave,
+    qe: &QuotingEnclave,
+    report_data: ReportData,
+) -> Result<Quote, TeeError> {
+    let report = enclave.ereport(qe.measurement(), report_data);
+    qe.quote(&report)
+}
+
+/// The manufacturer-run attestation service (the DCAP/PCS stand-in).
+///
+/// Knows the provisioning secret, hence the attestation key of every
+/// registered genuine platform. Holds an allow-list of platform ids
+/// (revocation = removal).
+#[derive(Clone)]
+pub struct AttestationService {
+    provisioning_secret: Vec<u8>,
+    genuine_platforms: std::collections::HashSet<u64>,
+    minimum_svn: u16,
+}
+
+impl std::fmt::Debug for AttestationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttestationService")
+            .field("genuine_platforms", &self.genuine_platforms.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AttestationService {
+    /// Creates the service with its provisioning secret.
+    pub fn new(provisioning_secret: &[u8]) -> AttestationService {
+        AttestationService {
+            provisioning_secret: provisioning_secret.to_vec(),
+            genuine_platforms: std::collections::HashSet::new(),
+            minimum_svn: CURRENT_SVN,
+        }
+    }
+
+    /// Adjusts the minimum accepted TCB level (e.g. after a microcode
+    /// advisory raises the bar, or to grandfather older platforms).
+    pub fn set_minimum_svn(&mut self, minimum: u16) {
+        self.minimum_svn = minimum;
+    }
+
+    /// The provisioning secret (manufacturing-line access only; the
+    /// simulation uses it to provision quoting enclaves).
+    pub fn provisioning_secret(&self) -> &[u8] {
+        &self.provisioning_secret
+    }
+
+    /// Registers a genuine platform.
+    pub fn register_platform(&mut self, platform_id: u64) {
+        self.genuine_platforms.insert(platform_id);
+    }
+
+    /// Revokes a platform (e.g. a known-compromised microcode level).
+    pub fn revoke_platform(&mut self, platform_id: u64) {
+        self.genuine_platforms.remove(&platform_id);
+    }
+
+    /// Verifies a quote: platform genuine + signature valid.
+    ///
+    /// # Errors
+    ///
+    /// * [`TeeError::UnknownPlatform`] for unregistered/revoked
+    ///   platforms,
+    /// * [`TeeError::VerificationFailed`] for bad signatures.
+    pub fn verify_quote(&self, quote: &Quote) -> Result<(), TeeError> {
+        if !self.genuine_platforms.contains(&quote.platform_id) {
+            return Err(TeeError::UnknownPlatform(quote.platform_id));
+        }
+        if quote.svn < self.minimum_svn {
+            return Err(TeeError::VerificationFailed("platform TCB out of date"));
+        }
+        let attestation_key: [u8; 32] = salus_crypto::hmac::hkdf(
+            &self.provisioning_secret,
+            &quote.platform_id.to_le_bytes(),
+            b"sgx-attestation-key-v1",
+            32,
+        )
+        .try_into()
+        .expect("32 bytes");
+        let expected = hmac_sha256(
+            &attestation_key,
+            &Quote::signed_body(
+                &quote.mrenclave,
+                &quote.report_data,
+                quote.platform_id,
+                quote.svn,
+            ),
+        );
+        if !salus_crypto::ct::eq(&expected, &quote.signature) {
+            return Err(TeeError::VerificationFailed("quote signature"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::EnclaveImage;
+    use crate::platform::SgxPlatform;
+
+    fn setup() -> (SgxPlatform, QuotingEnclave, AttestationService, Enclave) {
+        let mut service = AttestationService::new(b"intel-provisioning-secret");
+        let platform = SgxPlatform::new(b"machine", 42);
+        service.register_platform(42);
+        let mut qe = QuotingEnclave::load(&platform).unwrap();
+        qe.provision(service.provisioning_secret());
+        let enclave = platform
+            .load_enclave(&EnclaveImage::from_code("app", b"app code"))
+            .unwrap();
+        (platform, qe, service, enclave)
+    }
+
+    #[test]
+    fn quote_roundtrip_verifies() {
+        let (_p, qe, service, enclave) = setup();
+        let quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        service.verify_quote(&quote).unwrap();
+        assert_eq!(quote.mrenclave, enclave.measurement());
+        assert_eq!(quote.report_data, [7; 64]);
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (_p, qe, service, enclave) = setup();
+        let mut quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        quote.signature[0] ^= 1;
+        assert!(matches!(
+            service.verify_quote(&quote),
+            Err(TeeError::VerificationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_report_data_rejected() {
+        let (_p, qe, service, enclave) = setup();
+        let mut quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        quote.report_data[0] ^= 1;
+        assert!(service.verify_quote(&quote).is_err());
+    }
+
+    #[test]
+    fn unregistered_platform_rejected() {
+        let (_p, qe, service, enclave) = setup();
+        let mut quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        quote.platform_id = 99;
+        assert_eq!(
+            service.verify_quote(&quote),
+            Err(TeeError::UnknownPlatform(99))
+        );
+    }
+
+    #[test]
+    fn revoked_platform_rejected() {
+        let (_p, qe, mut service, enclave) = setup();
+        let quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        service.revoke_platform(42);
+        assert!(matches!(
+            service.verify_quote(&quote),
+            Err(TeeError::UnknownPlatform(42))
+        ));
+    }
+
+    #[test]
+    fn wrong_provisioning_secret_cannot_mint_quotes() {
+        let (p, _qe, service, enclave) = setup();
+        // A QE provisioned with a guessed secret mints unverifiable quotes.
+        let mut rogue_qe = QuotingEnclave::load(&p).unwrap();
+        rogue_qe.provision(b"wrong secret");
+        let quote = generate_quote(&enclave, &rogue_qe, [7; 64]).unwrap();
+        assert!(service.verify_quote(&quote).is_err());
+    }
+
+    #[test]
+    fn unprovisioned_qe_refuses() {
+        let (p, _qe, _service, enclave) = setup();
+        let fresh_qe = QuotingEnclave::load(&p).unwrap();
+        let report = enclave.ereport(fresh_qe.measurement(), [1; 64]);
+        assert!(fresh_qe.quote(&report).is_err());
+    }
+
+    #[test]
+    fn report_not_addressed_to_qe_rejected() {
+        let (p, qe, service, enclave) = setup();
+        let other = p
+            .load_enclave(&EnclaveImage::from_code("other", b"other"))
+            .unwrap();
+        let _ = service;
+        let report = enclave.ereport(other.measurement(), [1; 64]);
+        assert!(qe.quote(&report).is_err());
+    }
+
+    #[test]
+    fn outdated_tcb_rejected() {
+        let mut service = AttestationService::new(b"intel-provisioning-secret");
+        service.register_platform(43);
+        let old_platform = SgxPlatform::with_svn(b"old", 43, CURRENT_SVN - 1);
+        let mut qe = QuotingEnclave::load(&old_platform).unwrap();
+        qe.provision(service.provisioning_secret());
+        let enclave = old_platform
+            .load_enclave(&EnclaveImage::from_code("app", b"app code"))
+            .unwrap();
+        let quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        assert!(matches!(
+            service.verify_quote(&quote),
+            Err(TeeError::VerificationFailed("platform TCB out of date"))
+        ));
+        // Relaxing the policy admits it.
+        service.set_minimum_svn(CURRENT_SVN - 1);
+        service.verify_quote(&quote).unwrap();
+    }
+
+    #[test]
+    fn svn_cannot_be_forged_upward() {
+        let (_p, qe, service, enclave) = setup();
+        let mut quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        quote.svn += 1;
+        assert!(service.verify_quote(&quote).is_err(), "SVN is signed");
+    }
+
+    #[test]
+    fn quote_byte_roundtrip() {
+        let (_p, qe, service, enclave) = setup();
+        let quote = generate_quote(&enclave, &qe, [7; 64]).unwrap();
+        let decoded = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        assert_eq!(decoded, quote);
+        service.verify_quote(&decoded).unwrap();
+        assert!(Quote::from_bytes(&[0; 3]).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! The EREPORT structure.
+//!
+//! `EREPORT` binds the issuing enclave's measurement and 64 bytes of
+//! caller data, MACed with the **target** enclave's report key — so only
+//! the target (via `EGETKEY`) can verify it, and verification proves the
+//! issuer runs on the same platform. This is the primitive under both
+//! SGX local attestation (Figure 1) and, by analogy, Salus's CL
+//! attestation (Table 2).
+
+use salus_crypto::cmac::{aes128_cmac, aes128_cmac_verify};
+
+use crate::measurement::Measurement;
+use crate::TeeError;
+
+/// Bytes of user data carried in a report.
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// Caller data bound into a report (e.g. a hash of a public key).
+pub type ReportData = [u8; REPORT_DATA_LEN];
+
+/// An EREPORT output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the *issuing* enclave.
+    pub mrenclave: Measurement,
+    /// Measurement of the *target* enclave (whose report key MACs this).
+    pub target: Measurement,
+    /// Caller-supplied data.
+    pub report_data: ReportData,
+    /// AES-CMAC over the body under the target's report key.
+    pub mac: [u8; 16],
+}
+
+impl Report {
+    /// Serialized body that the MAC covers.
+    fn body(mrenclave: &Measurement, target: &Measurement, report_data: &ReportData) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32 + 32 + REPORT_DATA_LEN);
+        body.extend_from_slice(mrenclave.as_bytes());
+        body.extend_from_slice(target.as_bytes());
+        body.extend_from_slice(report_data);
+        body
+    }
+
+    /// Issues a report (the `EREPORT` microcode path; called by
+    /// [`crate::platform::SgxPlatform`]).
+    pub(crate) fn issue(
+        report_key_of_target: &[u8; 16],
+        mrenclave: Measurement,
+        target: Measurement,
+        report_data: ReportData,
+    ) -> Report {
+        let mac = aes128_cmac(
+            report_key_of_target,
+            &Self::body(&mrenclave, &target, &report_data),
+        );
+        Report {
+            mrenclave,
+            target,
+            report_data,
+            mac,
+        }
+    }
+
+    /// Verifies the MAC with a report key obtained via `EGETKEY`.
+    pub(crate) fn verify_with_key(&self, report_key: &[u8; 16]) -> bool {
+        aes128_cmac_verify(
+            report_key,
+            &Self::body(&self.mrenclave, &self.target, &self.report_data),
+            &self.mac,
+        )
+    }
+
+    /// Canonical byte encoding for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 32 + REPORT_DATA_LEN + 16);
+        out.extend_from_slice(self.mrenclave.as_bytes());
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Decodes [`to_bytes`](Report::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::Malformed`] on a wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Report, TeeError> {
+        if bytes.len() != 32 + 32 + REPORT_DATA_LEN + 16 {
+            return Err(TeeError::Malformed("report length"));
+        }
+        Ok(Report {
+            mrenclave: Measurement(bytes[..32].try_into().expect("32")),
+            target: Measurement(bytes[32..64].try_into().expect("32")),
+            report_data: bytes[64..64 + REPORT_DATA_LEN].try_into().expect("64"),
+            mac: bytes[64 + REPORT_DATA_LEN..].try_into().expect("16"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(b: u8) -> Measurement {
+        Measurement([b; 32])
+    }
+
+    #[test]
+    fn issue_verify_roundtrip() {
+        let key = [7u8; 16];
+        let r = Report::issue(&key, m(1), m(2), [3; 64]);
+        assert!(r.verify_with_key(&key));
+        assert!(!r.verify_with_key(&[8u8; 16]));
+    }
+
+    #[test]
+    fn tampering_any_field_breaks_mac() {
+        let key = [7u8; 16];
+        let r = Report::issue(&key, m(1), m(2), [3; 64]);
+        let mut t = r.clone();
+        t.mrenclave = m(9);
+        assert!(!t.verify_with_key(&key));
+        let mut t = r.clone();
+        t.report_data[0] ^= 1;
+        assert!(!t.verify_with_key(&key));
+        let mut t = r;
+        t.mac[0] ^= 1;
+        assert!(!t.verify_with_key(&key));
+    }
+
+    #[test]
+    fn byte_encoding_roundtrip() {
+        let r = Report::issue(&[1; 16], m(1), m(2), [3; 64]);
+        assert_eq!(Report::from_bytes(&r.to_bytes()).unwrap(), r);
+        assert!(Report::from_bytes(&[0u8; 10]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Measurement-bound sealed storage.
+//!
+//! Sealing encrypts data under a key derived from (platform root key,
+//! MRENCLAVE), so only the same enclave identity on the same platform
+//! can recover it. The SM enclave uses this to cache `Key_device`
+//! between deployments without re-contacting the manufacturer.
+
+use salus_crypto::gcm::AesGcm256;
+
+use crate::enclave::Enclave;
+use crate::TeeError;
+
+/// Seals `data` under `seal_key`; the nonce is drawn from the enclave's
+/// DRBG and carried in the blob.
+pub(crate) fn seal(seal_key: &[u8; 32], enclave: &Enclave, data: &[u8]) -> Vec<u8> {
+    let nonce: [u8; 12] = enclave.random_array();
+    let mut blob = nonce.to_vec();
+    blob.extend_from_slice(&AesGcm256::new(seal_key).seal(&nonce, b"sgx-sealed-v1", data));
+    blob
+}
+
+/// Unseals a blob produced by [`seal`].
+pub(crate) fn unseal(seal_key: &[u8; 32], blob: &[u8]) -> Result<Vec<u8>, TeeError> {
+    if blob.len() < 12 + 16 {
+        return Err(TeeError::UnsealFailed);
+    }
+    let (nonce, sealed) = blob.split_at(12);
+    AesGcm256::new(seal_key)
+        .open(nonce, b"sgx-sealed-v1", sealed)
+        .map_err(|_| TeeError::UnsealFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::measurement::EnclaveImage;
+    use crate::platform::SgxPlatform;
+
+    #[test]
+    fn sealed_blobs_differ_per_call_but_unseal_equal() {
+        let p = SgxPlatform::new(b"s", 1);
+        let e = p.load_enclave(&EnclaveImage::from_code("e", b"e")).unwrap();
+        let s1 = e.seal(b"x");
+        let s2 = e.seal(b"x");
+        assert_ne!(s1, s2, "fresh nonce per seal");
+        assert_eq!(e.unseal(&s1).unwrap(), b"x");
+        assert_eq!(e.unseal(&s2).unwrap(), b"x");
+    }
+
+    #[test]
+    fn corrupted_blob_fails() {
+        let p = SgxPlatform::new(b"s", 1);
+        let e = p.load_enclave(&EnclaveImage::from_code("e", b"e")).unwrap();
+        let mut sealed = e.seal(b"x");
+        let n = sealed.len();
+        sealed[n - 1] ^= 1;
+        assert!(e.unseal(&sealed).is_err());
+        assert!(e.unseal(&sealed[..4]).is_err());
+    }
+
+    #[test]
+    fn reloaded_same_image_can_unseal() {
+        let p = SgxPlatform::new(b"s", 1);
+        let image = EnclaveImage::from_code("e", b"binary");
+        let first = p.load_enclave(&image).unwrap();
+        let sealed = first.seal(b"persisted");
+        // Same binary loaded again (e.g. after instance restart).
+        let second = p.load_enclave(&image).unwrap();
+        assert_eq!(second.unseal(&sealed).unwrap(), b"persisted");
+    }
+}

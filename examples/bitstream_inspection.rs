@@ -1,0 +1,65 @@
+//! Bitstream toolchain walkthrough: develop → disassemble → manipulate
+//! → diff → encrypt.
+//!
+//! Shows the byteman/RapidWright-style inspection tools on a compiled
+//! CL: the packet listing, the surgical effect of a RoT injection, and
+//! what the shell actually sees after encryption.
+//!
+//! ```sh
+//! cargo run --example bitstream_inspection
+//! ```
+
+use salus::bitstream::disasm::{diff_payload, disassemble};
+use salus::bitstream::manipulate::rewrite_cell;
+use salus::core::dev::{develop_cl, loopback_accelerator};
+use salus::fpga::geometry::DeviceGeometry;
+
+fn main() {
+    println!("=== Bitstream toolchain walkthrough ===\n");
+
+    // Development phase: integrate the SM logic and compile.
+    let geometry = DeviceGeometry::tiny();
+    let package = develop_cl(loopback_accelerator(), geometry.partitions[0], 0).unwrap();
+    println!(
+        "compiled CL: {} bytes, digest H = {}…",
+        package.compiled.wire.len(),
+        hex(&package.digest[..6])
+    );
+
+    println!("\npacket listing (plaintext bitstream):");
+    for line in disassemble(&package.compiled.wire).unwrap() {
+        println!("  [{:>2}] {}", line.index, line.text);
+    }
+
+    // Deployment-phase manipulation: inject a RoT at Loc_KeyAttest.
+    let loc = &package.locations.key_attest;
+    println!(
+        "\ninjecting Key_attest at byte offset {} (capacity {} bytes)…",
+        loc.byte_offset, loc.capacity
+    );
+    let injected = rewrite_cell(&package.compiled.wire, loc, &[0xA5; 16]).unwrap();
+
+    let diffs = diff_payload(&package.compiled.wire, &injected, 8).unwrap();
+    println!("payload diff vs original:");
+    for d in &diffs {
+        println!("  bytes {}..{} changed ({} bytes)", d.start, d.end, d.len());
+    }
+    assert_eq!(diffs.len(), 1, "manipulation is surgical");
+
+    // Encryption: what the shell sees.
+    let encrypted =
+        salus::bitstream::encrypt::encrypt_for_device(&injected, &[7; 32], &[1; 12], 42);
+    println!("\npacket listing (encrypted bitstream — the shell's view):");
+    for line in disassemble(&encrypted).unwrap() {
+        println!("  [{:>2}] {}", line.index, line.text);
+    }
+    assert!(
+        !encrypted.windows(16).any(|w| w == [0xA5; 16]),
+        "the injected key must not be visible"
+    );
+    println!("\ninjected key visible in ciphertext: false");
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

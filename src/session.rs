@@ -1,0 +1,243 @@
+//! High-level deployment sessions: the library's front door.
+//!
+//! A [`SecureSession`] bundles what a downstream user actually does with
+//! Salus — securely deploy an accelerator workload, run encrypted jobs
+//! on it, monitor it with runtime heartbeats, and redeploy — without
+//! touching the protocol layers directly.
+//!
+//! ```
+//! use salus::accel::apps::conv::Conv;
+//! use salus::accel::workload::Workload;
+//! use salus::session::SecureSession;
+//!
+//! let workload = Conv::paper_scale();
+//! let mut session = SecureSession::deploy(&workload).expect("secure boot");
+//! let output = session.run(&workload).expect("attested run");
+//! assert_eq!(output, workload.compute(workload.input()));
+//! assert!(session.is_alive().unwrap());
+//! ```
+
+use salus_accel::harness;
+use salus_accel::integrity;
+use salus_accel::workload::Workload;
+use salus_core::boot::{secure_boot_with, BootBreakdown, BootOptions, CascadeReport};
+use salus_core::instance::TestBed;
+use salus_core::runtime_attest::{heartbeat, Heartbeat};
+use salus_core::SalusError;
+
+/// How DMA buffers are protected on the direct memory channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryProtection {
+    /// AES-CTR confidentiality only (the paper's baseline; shell
+    /// tampering corrupts silently).
+    #[default]
+    Confidentiality,
+    /// AES-CTR plus Merkle-root integrity over both buffers (the §3.1
+    /// extension; shell tampering is detected).
+    ConfidentialityAndIntegrity,
+}
+
+/// A securely booted deployment ready to run jobs.
+pub struct SecureSession {
+    bed: TestBed,
+    protection: MemoryProtection,
+    last_breakdown: BootBreakdown,
+    report: CascadeReport,
+}
+
+impl std::fmt::Debug for SecureSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureSession")
+            .field("attested", &self.report.all_attested())
+            .field("protection", &self.protection)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureSession {
+    /// Provisions a deployment carrying `workload`'s accelerator and
+    /// runs the full secure boot (confidentiality-only memory channel).
+    ///
+    /// # Errors
+    ///
+    /// Any detected attack or protocol failure during boot.
+    pub fn deploy(workload: &dyn Workload) -> Result<SecureSession, SalusError> {
+        Self::deploy_with(workload, MemoryProtection::Confidentiality)
+    }
+
+    /// [`deploy`](SecureSession::deploy) with an explicit memory-
+    /// protection mode.
+    ///
+    /// # Errors
+    ///
+    /// Any detected attack or protocol failure during boot.
+    pub fn deploy_with(
+        workload: &dyn Workload,
+        protection: MemoryProtection,
+    ) -> Result<SecureSession, SalusError> {
+        let bed = match protection {
+            MemoryProtection::Confidentiality => harness::boot_with_workload(workload)?,
+            MemoryProtection::ConfidentialityAndIntegrity => {
+                integrity::boot_with_integrity(workload)?
+            }
+        };
+        let report = CascadeReport {
+            user_attested: bed.client.platform_attested(),
+            sm_attested: bed.user_app.platform_attested(),
+            cl_attested: bed.sm_app.cl_attested(),
+        };
+        Ok(SecureSession {
+            bed,
+            protection,
+            last_breakdown: BootBreakdown::default(),
+            report,
+        })
+    }
+
+    /// The cascaded attestation result of the last boot.
+    pub fn report(&self) -> CascadeReport {
+        self.report
+    }
+
+    /// The per-phase timing of the last [`redeploy`](SecureSession::redeploy)
+    /// (empty for the initial deploy, whose harness uses a zero-cost
+    /// model).
+    pub fn last_breakdown(&self) -> &BootBreakdown {
+        &self.last_breakdown
+    }
+
+    /// Access to the underlying test bed for advanced scenarios
+    /// (attack injection, channel taps).
+    pub fn bed_mut(&mut self) -> &mut TestBed {
+        &mut self.bed
+    }
+
+    /// Runs `workload` end-to-end: encrypted DMA in, compute behind the
+    /// SM logic, (verified) results back.
+    ///
+    /// # Errors
+    ///
+    /// Channel violations, integrity failures, or state errors.
+    pub fn run(&mut self, workload: &dyn Workload) -> Result<Vec<u8>, SalusError> {
+        match self.protection {
+            MemoryProtection::Confidentiality => harness::run_on_salus(&mut self.bed, workload),
+            MemoryProtection::ConfidentialityAndIntegrity => {
+                integrity::run_with_integrity(&mut self.bed, workload)
+            }
+        }
+    }
+
+    /// Runs one runtime re-attestation heartbeat.
+    ///
+    /// # Errors
+    ///
+    /// State errors only; a failed attestation returns
+    /// `Ok(Heartbeat::Compromised)`.
+    pub fn heartbeat(&mut self) -> Result<Heartbeat, SalusError> {
+        heartbeat(&mut self.bed)
+    }
+
+    /// Convenience: true when the last heartbeat proves the CL is still
+    /// this session's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`heartbeat`](SecureSession::heartbeat).
+    pub fn is_alive(&mut self) -> Result<bool, SalusError> {
+        Ok(self.heartbeat()? == Heartbeat::Alive)
+    }
+
+    /// Re-runs the secure boot on the same instance (fresh secrets), by
+    /// default reusing the cached device key (warm boot).
+    ///
+    /// # Errors
+    ///
+    /// Any detected attack or protocol failure during the re-boot.
+    pub fn redeploy(&mut self, workload: &dyn Workload) -> Result<(), SalusError> {
+        let outcome = secure_boot_with(
+            &mut self.bed,
+            BootOptions {
+                reuse_cached_device_key: true,
+            },
+        )?;
+        self.report = outcome.report;
+        self.last_breakdown = outcome.breakdown;
+        // Re-attach the accelerator behind the freshly loaded SM logic.
+        let compute = harness::workload_compute_fn(workload);
+        let sm_logic = self
+            .bed
+            .sm_logic
+            .as_mut()
+            .ok_or(SalusError::SmLogicUnavailable("redeploy did not bind"))?;
+        match self.protection {
+            MemoryProtection::Confidentiality => {
+                sm_logic.set_accelerator(Box::new(harness::AcceleratorCtl::new(
+                    self.bed.shell.device(),
+                    compute,
+                )));
+            }
+            MemoryProtection::ConfidentialityAndIntegrity => {
+                sm_logic.set_accelerator(Box::new(integrity::IntegrityCtl::new(
+                    self.bed.shell.device(),
+                    compute,
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salus_accel::apps::affine::Affine;
+    use salus_accel::apps::conv::Conv;
+    use salus_fpga::shell::LoadAttack;
+
+    #[test]
+    fn deploy_run_heartbeat_cycle() {
+        let workload = Conv::paper_scale();
+        let mut session = SecureSession::deploy(&workload).unwrap();
+        assert!(session.report().all_attested());
+        let output = session.run(&workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+        assert!(session.is_alive().unwrap());
+    }
+
+    #[test]
+    fn integrity_mode_detects_dram_tampering() {
+        let workload = Affine::paper_scale();
+        let mut session =
+            SecureSession::deploy_with(&workload, MemoryProtection::ConfidentialityAndIntegrity)
+                .unwrap();
+        // Honest run works.
+        let output = session.run(&workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+    }
+
+    #[test]
+    fn redeploy_refreshes_and_still_runs() {
+        let workload = Conv::paper_scale();
+        let mut session = SecureSession::deploy(&workload).unwrap();
+        session.run(&workload).unwrap();
+        session.redeploy(&workload).unwrap();
+        assert!(session.report().all_attested());
+        let output = session.run(&workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+        assert!(session.is_alive().unwrap());
+    }
+
+    #[test]
+    fn heartbeat_catches_replacement_through_the_session_api() {
+        let workload = Conv::paper_scale();
+        let mut session = SecureSession::deploy(&workload).unwrap();
+        let stale = session.bed_mut().shell.observed_bitstreams()[0].clone();
+        session.redeploy(&workload).unwrap();
+        assert!(session.is_alive().unwrap());
+
+        let shell = session.bed_mut().shell.clone();
+        shell.set_load_attack(LoadAttack::Replace(stale.clone()));
+        shell.deploy_bitstream(&stale).unwrap();
+        assert!(!session.is_alive().unwrap());
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration: a manufacturer fleet of devices — per-device key
+//! isolation and shell provisioning across boards.
+
+use salus::core::dev::{build_shell_image, develop_cl, loopback_accelerator, sm_enclave_image};
+use salus::core::manufacturer::Manufacturer;
+use salus::fpga::geometry::DeviceGeometry;
+use salus::fpga::shell::Shell;
+use salus::tee::quote::AttestationService;
+
+#[test]
+fn encrypted_bitstreams_are_device_bound_across_a_fleet() {
+    use salus::core::boot::secure_boot;
+    use salus::core::instance::{TestBed, TestBedConfig};
+
+    // Boot two independent deployments (different serials → different
+    // boards and fused keys) and capture each one's encrypted CL stream
+    // as the shell observed it.
+    let mut bed_a = TestBed::provision(TestBedConfig::quick().with_seed(1));
+    secure_boot(&mut bed_a).unwrap();
+    let stream_a = bed_a.shell.observed_bitstreams()[0].clone();
+
+    let mut bed_b = TestBed::provision(TestBedConfig::quick().with_seed(2));
+    secure_boot(&mut bed_b).unwrap();
+    let stream_b = bed_b.shell.observed_bitstreams()[0].clone();
+
+    // Cross-loading fails on both boards: streams are bound to the
+    // fused key *and* the DNA of the device they were prepared for.
+    assert!(bed_b.shell.deploy_bitstream(&stream_a).is_err());
+    assert!(bed_a.shell.deploy_bitstream(&stream_b).is_err());
+
+    // A stream encrypted under a guessed key fails on its own target
+    // board too.
+    let pkg = develop_cl(
+        loopback_accelerator(),
+        DeviceGeometry::tiny().partitions[0],
+        0,
+    )
+    .unwrap();
+    let guessed = salus::bitstream::encrypt::encrypt_for_device(
+        &pkg.compiled.wire,
+        &[0u8; 32],
+        &[1; 12],
+        bed_a.shell.advertised_dna(),
+    );
+    assert!(bed_a.shell.deploy_bitstream(&guessed).is_err());
+}
+
+#[test]
+fn one_shell_image_provisions_every_board_of_the_same_geometry() {
+    let service = AttestationService::new(b"fleet2");
+    let mut manufacturer = Manufacturer::new(b"fleet2", service, sm_enclave_image().measure());
+    let geometry = DeviceGeometry::tiny();
+    let image = build_shell_image(&geometry).unwrap();
+
+    for serial in 0..3 {
+        let device = manufacturer.manufacture_device(geometry.clone(), serial);
+        let shell = Shell::provision(device, &image).unwrap();
+        assert!(shell.is_loaded(), "board {serial}");
+    }
+}
+
+#[test]
+fn devices_have_unique_dna_and_keys_across_a_large_fleet() {
+    let service = AttestationService::new(b"fleet3");
+    let mut manufacturer = Manufacturer::new(b"fleet3", service, sm_enclave_image().measure());
+    let geometry = DeviceGeometry::tiny();
+    let mut dnas = std::collections::HashSet::new();
+    for serial in 0..64 {
+        let device = manufacturer.manufacture_device(geometry.clone(), serial);
+        assert!(device.has_device_key());
+        assert!(dnas.insert(device.dna().read()), "duplicate DNA");
+    }
+    assert_eq!(manufacturer.device_count(), 64);
+}

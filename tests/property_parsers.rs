@@ -1,0 +1,67 @@
+//! Property-based robustness: every wire-facing parser in the system
+//! must handle arbitrary attacker-supplied bytes without panicking —
+//! the shell and the network can deliver *anything*.
+
+use proptest::prelude::*;
+
+use salus::bitstream::disasm::disassemble;
+use salus::bitstream::placement::PlacementMap;
+use salus::core::cl_attest::{AttestRequest, AttestResponse};
+use salus::core::dev::BitstreamMetadata;
+use salus::core::ra::RaEnvelope;
+use salus::core::reg_channel::SealedRegMsg;
+use salus::fpga::device::Device;
+use salus::fpga::geometry::DeviceGeometry;
+use salus::fpga::wire;
+use salus::tee::local::HandshakeMsg;
+use salus::tee::quote::Quote;
+use salus::tee::report::Report;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = wire::parse(&bytes);
+        let _ = disassemble(&bytes);
+    }
+
+    #[test]
+    fn icap_load_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut device = Device::manufacture(DeviceGeometry::tiny(), 1);
+        device.program_device_key([7; 32]).unwrap();
+        let _ = device.icap_load(&bytes);
+        // Garbage must never configure the partition.
+        prop_assert!(!device.partition(0).unwrap().is_configured());
+    }
+
+    #[test]
+    fn message_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = AttestRequest::from_bytes(&bytes);
+        let _ = AttestResponse::from_bytes(&bytes);
+        let _ = SealedRegMsg::from_bytes(&bytes);
+        let _ = RaEnvelope::from_bytes(&bytes);
+        let _ = BitstreamMetadata::from_bytes(&bytes);
+        let _ = PlacementMap::from_bytes(&bytes);
+        let _ = Quote::from_bytes(&bytes);
+        let _ = Report::from_bytes(&bytes);
+        let _ = HandshakeMsg::from_bytes(&bytes);
+    }
+
+    /// Decoders that accept some input must roundtrip it canonically.
+    #[test]
+    fn accepted_inputs_reencode_identically(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(msg) = SealedRegMsg::from_bytes(&bytes) {
+            prop_assert_eq!(msg.to_bytes(), bytes.clone());
+        }
+        if let Ok(req) = AttestRequest::from_bytes(&bytes) {
+            prop_assert_eq!(req.to_bytes().to_vec(), bytes.clone());
+        }
+        if let Ok(quote) = Quote::from_bytes(&bytes) {
+            prop_assert_eq!(quote.to_bytes(), bytes.clone());
+        }
+        if let Ok(envelope) = RaEnvelope::from_bytes(&bytes) {
+            prop_assert_eq!(envelope.to_bytes(), bytes);
+        }
+    }
+}
