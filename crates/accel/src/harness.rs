@@ -61,6 +61,9 @@ pub struct AcceleratorCtl {
     device: Arc<Mutex<Device>>,
     compute: ComputeFn,
     key: [u8; 32],
+    /// AES schedule expanded from `key`, reused across transactions and
+    /// invalidated when the key registers are rewritten.
+    cipher: Option<salus_crypto::aes::Aes256>,
     input_offset: u64,
     input_len: u64,
     output_offset: u64,
@@ -84,6 +87,7 @@ impl AcceleratorCtl {
             device,
             compute,
             key: [0; 32],
+            cipher: None,
             input_offset: 0,
             input_len: 0,
             output_offset: 0,
@@ -95,6 +99,10 @@ impl AcceleratorCtl {
 
     fn run(&mut self) {
         let (iv_in, iv_out) = stream_ivs(&self.key);
+        let cipher = self
+            .cipher
+            .get_or_insert_with(|| salus_crypto::aes::Aes256::new(&self.key))
+            .clone();
         let mut input = {
             let device = self.device.lock();
             device
@@ -102,10 +110,10 @@ impl AcceleratorCtl {
                 .expect("input range valid")
         };
         // The AES engine at the memory interface decrypts inbound data.
-        AesCtr256::new(&self.key, &iv_in).apply_keystream(&mut input);
+        AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut input);
         let mut output = (self.compute)(&input);
         if self.encrypt_output {
-            AesCtr256::new(&self.key, &iv_out).apply_keystream(&mut output);
+            AesCtr256::from_cipher(cipher, &iv_out).apply_keystream_parallel(&mut output);
         }
         self.output_len = output.len() as u64;
         self.device
@@ -122,6 +130,7 @@ impl RegisterDevice for AcceleratorCtl {
             regs::KEY0..=regs::KEY3 => {
                 let i = addr as usize * 8;
                 self.key[i..i + 8].copy_from_slice(&value.to_le_bytes());
+                self.cipher = None; // schedule must be re-expanded
             }
             regs::INPUT_OFFSET => self.input_offset = value,
             regs::INPUT_LEN => self.input_len = value,
@@ -210,10 +219,11 @@ pub fn run_on_salus(bed: &mut TestBed, workload: &dyn Workload) -> Result<Vec<u8
         .ok_or(SalusError::Malformed("no data key — boot first"))?
         .as_bytes();
     let (iv_in, iv_out) = stream_ivs(&key);
+    let cipher = salus_crypto::aes::Aes256::new(&key);
 
     // Owner side: encrypt the input with the attested data key.
     let mut ciphertext = workload.input().to_vec();
-    AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
+    AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut ciphertext);
 
     // Direct (unsecure) memory channel: DMA through the shell.
     let input_offset = 0usize;
@@ -240,7 +250,7 @@ pub fn run_on_salus(bed: &mut TestBed, workload: &dyn Workload) -> Result<Vec<u8
 
     let mut output = bed.shell.dma_read(output_offset, output_len)?;
     if workload.encrypt_output() {
-        AesCtr256::new(&key, &iv_out).apply_keystream(&mut output);
+        AesCtr256::from_cipher(cipher, &iv_out).apply_keystream_parallel(&mut output);
     }
     Ok(output)
 }

@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use salus_core::instance::TestBed;
 use salus_core::sm_logic::RegisterDevice;
 use salus_core::SalusError;
+use salus_crypto::aes::Aes256;
 use salus_crypto::ctr::AesCtr256;
 use salus_crypto::hmac::hkdf;
 use salus_crypto::merkle::MerkleTree;
@@ -71,11 +72,41 @@ pub fn buffer_root(data_key: &[u8; 32], buffer: &[u8]) -> [u8; 32] {
     MerkleTree::build(&integrity_key(data_key), buffer, CHUNK_SIZE).root()
 }
 
+/// Expanded per-data-key material: the AES-CTR key schedule and the
+/// derived Merkle key. Both are expensive to derive relative to a short
+/// transaction, so the controller (and the host helper) derive them
+/// once per key and reuse them across every buffer they touch.
+#[derive(Clone)]
+struct SessionKeys {
+    cipher: Aes256,
+    merkle_key: [u8; 32],
+}
+
+impl SessionKeys {
+    fn derive(data_key: &[u8; 32]) -> SessionKeys {
+        SessionKeys {
+            cipher: Aes256::new(data_key),
+            merkle_key: integrity_key(data_key),
+        }
+    }
+
+    fn root(&self, buffer: &[u8]) -> [u8; 32] {
+        MerkleTree::build(&self.merkle_key, buffer, CHUNK_SIZE).root()
+    }
+
+    /// A CTR stream at `iv` reusing the cached key schedule.
+    fn ctr(&self, iv: &[u8; 16]) -> AesCtr256 {
+        AesCtr256::from_cipher(self.cipher.clone(), iv)
+    }
+}
+
 /// The integrity-enforcing accelerator controller.
 pub struct IntegrityCtl {
     device: Arc<Mutex<Device>>,
     compute: ComputeFn,
     key: [u8; 32],
+    /// Schedules expanded from `key`, invalidated on key-register writes.
+    session: Option<SessionKeys>,
     in_root: [u8; 32],
     out_root: [u8; 32],
     input_offset: u64,
@@ -101,6 +132,7 @@ impl IntegrityCtl {
             device,
             compute,
             key: [0; 32],
+            session: None,
             in_root: [0; 32],
             out_root: [0; 32],
             input_offset: 0,
@@ -113,6 +145,10 @@ impl IntegrityCtl {
     }
 
     fn run(&mut self) {
+        let session = self
+            .session
+            .get_or_insert_with(|| SessionKeys::derive(&self.key))
+            .clone();
         let ciphertext = {
             let device = self.device.lock();
             device
@@ -122,7 +158,7 @@ impl IntegrityCtl {
 
         // Verify DRAM contents against the root received over the
         // secure register channel *before* trusting a single byte.
-        if buffer_root(&self.key, &ciphertext) != self.in_root {
+        if session.root(&ciphertext) != self.in_root {
             self.status = STATUS_INTEGRITY_FAILURE;
             self.output_len = 0;
             return;
@@ -130,12 +166,12 @@ impl IntegrityCtl {
 
         let (iv_in, iv_out) = stream_ivs(&self.key);
         let mut input = ciphertext;
-        AesCtr256::new(&self.key, &iv_in).apply_keystream(&mut input);
+        session.ctr(&iv_in).apply_keystream_parallel(&mut input);
         let mut output = (self.compute)(&input);
         if self.encrypt_output {
-            AesCtr256::new(&self.key, &iv_out).apply_keystream(&mut output);
+            session.ctr(&iv_out).apply_keystream_parallel(&mut output);
         }
-        self.out_root = buffer_root(&self.key, &output);
+        self.out_root = session.root(&output);
         self.output_len = output.len() as u64;
         self.device
             .lock()
@@ -151,6 +187,7 @@ impl RegisterDevice for IntegrityCtl {
             regs::KEY0..=3 => {
                 let i = addr as usize * 8;
                 self.key[i..i + 8].copy_from_slice(&value.to_le_bytes());
+                self.session = None; // schedules must be re-expanded
             }
             regs::IN_ROOT0..=19 => {
                 let i = (addr - regs::IN_ROOT0) as usize * 8;
@@ -214,10 +251,13 @@ pub fn run_with_integrity(
         .ok_or(SalusError::Malformed("no data key — boot first"))?
         .as_bytes();
     let (iv_in, iv_out) = stream_ivs(&key);
+    let session = SessionKeys::derive(&key);
 
     let mut ciphertext = workload.input().to_vec();
-    AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
-    let in_root = buffer_root(&key, &ciphertext);
+    session
+        .ctr(&iv_in)
+        .apply_keystream_parallel(&mut ciphertext);
+    let in_root = session.root(&ciphertext);
 
     let input_offset = 0usize;
     let output_offset = 4 << 20;
@@ -257,11 +297,11 @@ pub fn run_with_integrity(
     }
 
     let mut output = bed.shell.dma_read(output_offset, output_len)?;
-    if buffer_root(&key, &output) != expected_root {
+    if session.root(&output) != expected_root {
         return Err(SalusError::RegisterChannelViolation("output integrity"));
     }
     if workload.encrypt_output() {
-        AesCtr256::new(&key, &iv_out).apply_keystream(&mut output);
+        session.ctr(&iv_out).apply_keystream_parallel(&mut output);
     }
     Ok(output)
 }

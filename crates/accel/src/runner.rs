@@ -76,20 +76,24 @@ pub fn run(workload: &dyn Workload, mode: ExecMode) -> RunResult {
     let output = match mode {
         ExecMode::CpuPlain | ExecMode::FpgaPlain => workload.compute(workload.input()),
         ExecMode::CpuTee | ExecMode::FpgaTee => {
+            // One schedule expansion serves all four stream passes.
+            let cipher = salus_crypto::aes::Aes256::new(&DEMO_DATA_KEY);
+
             // Owner side: encrypt the input traffic.
             let mut wire_in = workload.input().to_vec();
-            AesCtr256::new(&DEMO_DATA_KEY, &iv_in).apply_keystream(&mut wire_in);
+            AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut wire_in);
             debug_assert_ne!(wire_in, workload.input(), "ciphertext differs");
 
             // Trusted side (enclave / CL): decrypt, compute.
-            AesCtr256::new(&DEMO_DATA_KEY, &iv_in).apply_keystream(&mut wire_in);
+            AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut wire_in);
             let mut output = workload.compute(&wire_in);
 
             if workload.encrypt_output() {
                 // Trusted side encrypts the outbound traffic…
-                AesCtr256::new(&DEMO_DATA_KEY, &iv_out).apply_keystream(&mut output);
+                AesCtr256::from_cipher(cipher.clone(), &iv_out)
+                    .apply_keystream_parallel(&mut output);
                 // …and the owner decrypts it.
-                AesCtr256::new(&DEMO_DATA_KEY, &iv_out).apply_keystream(&mut output);
+                AesCtr256::from_cipher(cipher, &iv_out).apply_keystream_parallel(&mut output);
             }
             output
         }

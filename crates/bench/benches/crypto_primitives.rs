@@ -5,7 +5,7 @@
 //! statement that the simulated SM stack is fast enough to run all
 //! experiments at full scale.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use salus_crypto::aes::{Aes128, Aes256};
@@ -69,6 +69,55 @@ fn bench_bulk(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bulk data-plane throughput at the sizes the paper's workflows move:
+/// ~1 MiB register/DRAM buffers and ~16 MiB (bitstream-scale) streams.
+/// CTR serial vs parallel, GCM seal/open, and the end-to-end
+/// `encrypt_for_device` path the SM enclave runs per deployment.
+fn bench_bulk_throughput(c: &mut Criterion) {
+    const MIB: usize = 1 << 20;
+    for &size in &[MIB, 16 * MIB] {
+        let label = if size == MIB { "1MiB" } else { "16MiB" };
+        let data = vec![0xA5u8; size];
+        let mut group = c.benchmark_group(format!("bulk_{label}"));
+        group.throughput(Throughput::Bytes(size as u64));
+        group.sample_size(if size == MIB { 10 } else { 5 });
+
+        let key = [7u8; 32];
+        let iv = [1u8; 16];
+        let cipher = salus_crypto::aes::Aes256::new(&key);
+        group.bench_function(BenchmarkId::new("aes256_ctr_serial", label), |b| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                AesCtr256::from_cipher(cipher.clone(), &iv).apply_keystream(&mut buf);
+                buf
+            });
+        });
+        group.bench_function(BenchmarkId::new("aes256_ctr_parallel", label), |b| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                AesCtr256::from_cipher(cipher.clone(), &iv).apply_keystream_parallel(&mut buf);
+                buf
+            });
+        });
+
+        let gcm = AesGcm256::new(&key);
+        group.bench_function(BenchmarkId::new("aes256_gcm_seal", label), |b| {
+            b.iter(|| gcm.seal(&[1; 12], b"aad", black_box(&data)));
+        });
+        let sealed = gcm.seal(&[1; 12], b"aad", &data);
+        group.bench_function(BenchmarkId::new("aes256_gcm_open", label), |b| {
+            b.iter(|| gcm.open(&[1; 12], b"aad", black_box(&sealed)).unwrap());
+        });
+
+        group.bench_function(BenchmarkId::new("encrypt_for_device", label), |b| {
+            b.iter(|| {
+                salus_bitstream::encrypt::encrypt_for_device(black_box(&data), &key, &[9; 12], 77)
+            });
+        });
+        group.finish();
+    }
+}
+
 fn bench_merkle(c: &mut Criterion) {
     use salus_crypto::merkle::MerkleTree;
     const SIZE: usize = 64 * 1024;
@@ -101,6 +150,7 @@ criterion_group!(
     benches,
     bench_block_ciphers,
     bench_bulk,
+    bench_bulk_throughput,
     bench_merkle,
     bench_x25519
 );

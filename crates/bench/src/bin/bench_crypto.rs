@@ -1,0 +1,304 @@
+//! Records the crypto data-plane throughput trajectory.
+//!
+//! Measures MB/s for bulk AES-CTR (serial and parallel), AES-GCM
+//! seal/open and the end-to-end `encrypt_for_device` path at 1 MiB and
+//! 16 MiB, alongside *seed baselines* replicating the pre-optimisation
+//! data path exactly: the retained byte-oriented reference block
+//! cipher, the byte-at-a-time CTR keystream loop, and 4-bit-table
+//! GHASH (copied verbatim from the seed `gcm.rs`). The baselines'
+//! output is validated against the current implementation before
+//! anything is timed, so the speedups compare equal work.
+//!
+//! Results go to stdout and `BENCH_crypto.json` so future PRs can
+//! compare against this PR's numbers on the same machine.
+
+use std::time::Instant;
+
+use salus_crypto::aes::Aes256;
+use salus_crypto::ctr::AesCtr256;
+use salus_crypto::gcm::AesGcm256;
+
+const MIB: usize = 1 << 20;
+const BLOCK: usize = 16;
+
+/// The seed CTR data path: one reference block encryption per counter
+/// block, then a per-byte keystream loop with a refill branch —
+/// exactly the seed `apply_keystream`. Lives here (not in
+/// `salus-crypto`) so the library carries only the block-level
+/// reference.
+struct SeedCtr {
+    cipher: Aes256,
+    counter: [u8; BLOCK],
+    keystream: [u8; BLOCK],
+    used: usize,
+}
+
+impl SeedCtr {
+    fn new(cipher: Aes256, iv: &[u8; BLOCK]) -> SeedCtr {
+        SeedCtr {
+            cipher,
+            counter: *iv,
+            keystream: [0; BLOCK],
+            used: BLOCK,
+        }
+    }
+
+    fn apply_keystream(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.used == BLOCK {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.used];
+            self.used += 1;
+        }
+    }
+
+    fn refill(&mut self) {
+        self.keystream = self.counter;
+        self.cipher.encrypt_block_reference(&mut self.keystream);
+        for i in (0..BLOCK).rev() {
+            self.counter[i] = self.counter[i].wrapping_add(1);
+            if self.counter[i] != 0 {
+                break;
+            }
+        }
+        self.used = 0;
+    }
+}
+
+/// The seed GHASH (Shoup 4-bit tables, one nibble per step), copied
+/// verbatim from the seed `gcm.rs` so the GCM baseline is faithful.
+struct SeedGhash {
+    m: [u128; 16],
+    acc: u128,
+}
+
+const R4: [u128; 16] = {
+    const R: u128 = 0xe1000000_00000000_00000000_00000000;
+    let mut table = [0u128; 16];
+    let mut i = 0usize;
+    while i < 16 {
+        let mut v = i as u128;
+        let mut step = 0;
+        while step < 4 {
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb != 0 {
+                v ^= R;
+            }
+            step += 1;
+        }
+        table[i] = v;
+        i += 1;
+    }
+    table
+};
+
+impl SeedGhash {
+    fn new(h: u128) -> SeedGhash {
+        let mut m = [0u128; 16];
+        m[8] = h;
+        let mut i = 4;
+        while i >= 1 {
+            m[i] = Self::mulx(m[i * 2]);
+            i /= 2;
+        }
+        for i in [3usize, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15] {
+            let high_bit = 1 << (usize::BITS - 1 - i.leading_zeros());
+            m[i] = m[high_bit] ^ m[i ^ high_bit];
+        }
+        SeedGhash { m, acc: 0 }
+    }
+
+    fn mulx(v: u128) -> u128 {
+        const R: u128 = 0xe1000000_00000000_00000000_00000000;
+        let lsb = v & 1;
+        (v >> 1) ^ if lsb != 0 { R } else { 0 }
+    }
+
+    fn mul_h(&self, x: u128) -> u128 {
+        let mut z = 0u128;
+        for i in 0..32 {
+            let nibble = ((x >> (4 * i)) & 0xF) as usize;
+            if i > 0 {
+                let low = (z & 0xF) as usize;
+                z = (z >> 4) ^ R4[low];
+            }
+            z ^= self.m[nibble];
+        }
+        z
+    }
+
+    fn update_block(&mut self, block: &[u8; BLOCK]) {
+        self.acc = self.mul_h(self.acc ^ u128::from_be_bytes(*block));
+    }
+
+    fn update_padded(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(BLOCK);
+        for chunk in &mut chunks {
+            let mut b = [0u8; BLOCK];
+            b.copy_from_slice(chunk);
+            self.update_block(&b);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut b = [0u8; BLOCK];
+            b[..rem.len()].copy_from_slice(rem);
+            self.update_block(&b);
+        }
+    }
+
+    fn finalize(mut self, aad_len: usize, ct_len: usize) -> [u8; BLOCK] {
+        let mut lengths = [0u8; BLOCK];
+        lengths[..8].copy_from_slice(&((aad_len as u64) * 8).to_be_bytes());
+        lengths[8..].copy_from_slice(&((ct_len as u64) * 8).to_be_bytes());
+        self.update_block(&lengths);
+        self.acc.to_be_bytes()
+    }
+}
+
+/// The seed GCM seal: per-block reference AES with byte-wise keystream
+/// XOR for GCTR, 4-bit GHASH for the tag, tables rebuilt per call —
+/// exactly what the seed `seal` did for a 96-bit nonce.
+fn seed_gcm_seal(cipher: &Aes256, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut h_block = [0u8; BLOCK];
+    cipher.encrypt_block_reference(&mut h_block);
+    let h = u128::from_be_bytes(h_block);
+
+    let mut j0 = [0u8; BLOCK];
+    j0[..12].copy_from_slice(nonce);
+    j0[15] = 1;
+
+    let mut out = plaintext.to_vec();
+    let mut counter = j0;
+    for chunk in out.chunks_mut(BLOCK) {
+        let c = u32::from_be_bytes([counter[12], counter[13], counter[14], counter[15]])
+            .wrapping_add(1);
+        counter[12..].copy_from_slice(&c.to_be_bytes());
+        let mut ks = counter;
+        cipher.encrypt_block_reference(&mut ks);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+
+    let mut g = SeedGhash::new(h);
+    g.update_padded(aad);
+    g.update_padded(&out);
+    let mut tag = g.finalize(aad.len(), out.len());
+    let mut e_j0 = j0;
+    cipher.encrypt_block_reference(&mut e_j0);
+    for (t, e) in tag.iter_mut().zip(e_j0.iter()) {
+        *t ^= e;
+    }
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Times `f` over `iters` runs and returns MB/s for `bytes` per run.
+fn throughput_mbps(bytes: usize, iters: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / f64::from(iters);
+    bytes as f64 / per_iter / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let key = [7u8; 32];
+    let iv = [1u8; 16];
+    let cipher = Aes256::new(&key);
+    let gcm = AesGcm256::new(&key);
+
+    // The baselines must compute the same function before their time
+    // is worth comparing.
+    {
+        let mut sample = (0..8192u32).map(|i| i as u8).collect::<Vec<u8>>();
+        let mut expect = sample.clone();
+        AesCtr256::from_cipher(cipher.clone(), &iv).apply_keystream(&mut expect);
+        SeedCtr::new(cipher.clone(), &iv).apply_keystream(&mut sample);
+        assert_eq!(sample, expect, "seed CTR baseline diverged");
+
+        let plain = (0..8192u32).map(|i| (i * 7) as u8).collect::<Vec<u8>>();
+        assert_eq!(
+            seed_gcm_seal(&cipher, &[9; 12], b"aad", &plain),
+            gcm.seal(&[9; 12], b"aad", &plain),
+            "seed GCM baseline diverged"
+        );
+    }
+
+    let mut rows = Vec::new();
+    println!("Crypto data-plane throughput (MiB/s)\n");
+
+    for &size in &[MIB, 16 * MIB] {
+        let label = if size == MIB { "1MiB" } else { "16MiB" };
+        let iters = if size == MIB { 8 } else { 3 };
+        let data = vec![0xA5u8; size];
+
+        let seed_ctr = throughput_mbps(size, iters, || {
+            let mut buf = data.clone();
+            SeedCtr::new(cipher.clone(), &iv).apply_keystream(&mut buf);
+            std::hint::black_box(&buf);
+        });
+        let seed_gcm = throughput_mbps(size, iters.min(4), || {
+            std::hint::black_box(seed_gcm_seal(&cipher, &[1; 12], b"aad", &data));
+        });
+        let ctr_serial = throughput_mbps(size, iters, || {
+            let mut buf = data.clone();
+            AesCtr256::from_cipher(cipher.clone(), &iv).apply_keystream(&mut buf);
+            std::hint::black_box(&buf);
+        });
+        let ctr_parallel = throughput_mbps(size, iters, || {
+            let mut buf = data.clone();
+            AesCtr256::from_cipher(cipher.clone(), &iv).apply_keystream_parallel(&mut buf);
+            std::hint::black_box(&buf);
+        });
+        let gcm_seal = throughput_mbps(size, iters, || {
+            std::hint::black_box(gcm.seal(&[1; 12], b"aad", &data));
+        });
+        let sealed = gcm.seal(&[1; 12], b"aad", &data);
+        let gcm_open = throughput_mbps(size, iters, || {
+            std::hint::black_box(gcm.open(&[1; 12], b"aad", &sealed).unwrap());
+        });
+        let for_device = throughput_mbps(size, iters, || {
+            std::hint::black_box(salus_bitstream::encrypt::encrypt_for_device(
+                &data, &key, &[9; 12], 77,
+            ));
+        });
+
+        for (name, mbps, baseline) in [
+            ("seed_ctr_reference", seed_ctr, seed_ctr),
+            ("seed_gcm_seal_reference", seed_gcm, seed_gcm),
+            ("aes256_ctr_serial", ctr_serial, seed_ctr),
+            ("aes256_ctr_parallel", ctr_parallel, seed_ctr),
+            ("aes256_gcm_seal", gcm_seal, seed_gcm),
+            ("aes256_gcm_open", gcm_open, seed_gcm),
+            ("encrypt_for_device", for_device, seed_gcm),
+        ] {
+            let speedup = mbps / baseline;
+            println!("{label:>6}  {name:<26} {mbps:>9.1} MiB/s  ({speedup:.1}x vs seed)");
+            rows.push(serde_json::json!({
+                "size": label.to_owned(),
+                "bench": name.to_owned(),
+                "mbps": mbps,
+                "speedup_vs_seed": speedup,
+            }));
+        }
+        println!();
+    }
+
+    // Hardware context: the parallel-path numbers scale with core
+    // count, so a 1-core container records serial-only speedups.
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let report = serde_json::json!({
+        "experiment": "bench_crypto",
+        "available_parallelism": threads as u64,
+        "data": rows,
+    });
+    let rendered = format!("{report}");
+    std::fs::write("BENCH_crypto.json", &rendered).expect("write BENCH_crypto.json");
+    println!("JSON: {rendered}");
+    println!("\nWrote BENCH_crypto.json");
+}

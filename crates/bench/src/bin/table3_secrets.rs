@@ -32,7 +32,7 @@ fn main() {
             "attack": format!("{attack:?}"),
             "step": attack.paper_step(),
             "detected": outcome.detected,
-            "error": detection,
+            "error": detection.clone(),
         }));
         rows.push(vec![
             attack.paper_step().to_owned(),

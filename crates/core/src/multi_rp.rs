@@ -76,25 +76,43 @@ pub fn deploy_multi_rp(
             "key missing after redeem",
         ))?;
 
+    // Phase 1 — independent per-partition work, run concurrently: each
+    // partition's agent compiles its CL, verifies/manipulates it (RoT
+    // injection) and encrypts it under the shared device key. Nothing
+    // here touches the device, so the partitions are data-parallel;
+    // only the deploy/attest phase below serialises on the shell.
+    let accelerators: Vec<Module> = (0..n).map(&mut make_accelerator).collect();
+    let prepared: Vec<Result<(SmApp, Vec<u8>), SalusError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = accelerators
+            .into_iter()
+            .enumerate()
+            .map(|(partition, module)| {
+                let sm_enclave = sm_enclave.clone();
+                let qe = qe.clone();
+                let geometry = &geometry;
+                scope.spawn(move || {
+                    let mut agent = SmApp::new(sm_enclave, qe, user_enclave_image().measure());
+                    agent.set_target_device(dna);
+                    agent.install_device_key(key_device);
+
+                    let package = develop_cl(module, geometry.partitions[partition], partition)?;
+                    agent.install_metadata(package.metadata());
+
+                    let encrypted = agent.prepare_bitstream(&package.compiled.wire)?;
+                    Ok((agent, encrypted))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition prepare thread panicked"))
+            .collect()
+    });
+
+    // Phase 2 — deploy + attest each partition against the one shell.
     let mut attested = Vec::with_capacity(n);
-    for partition in 0..n {
-        // Per-partition SM agent reusing the distributed device key.
-        let mut agent = SmApp::new(
-            sm_enclave.clone(),
-            qe.clone(),
-            user_enclave_image().measure(),
-        );
-        agent.set_target_device(dna);
-        agent.install_device_key(key_device);
-
-        let package = develop_cl(
-            make_accelerator(partition),
-            geometry.partitions[partition],
-            partition,
-        )?;
-        agent.install_metadata(package.metadata());
-
-        let encrypted = agent.prepare_bitstream(&package.compiled.wire)?;
+    for (partition, result) in prepared.into_iter().enumerate() {
+        let (mut agent, encrypted) = result?;
         shell.deploy_bitstream(&encrypted)?;
 
         let sm_logic = SmLogic::bind(shell.device(), partition)?;

@@ -36,6 +36,9 @@ pub struct SmApp {
     la: Option<SecureChannel>,
     metadata: Option<BitstreamMetadata>,
     key_device: Option<KeyDevice>,
+    /// GCM context (AES schedule + GHASH tables) expanded lazily from
+    /// `key_device` and reused across deployments under the same key.
+    gcm: Option<salus_crypto::gcm::AesGcm256>,
     ra: Option<RaResponder>,
     injected: Option<InjectedSecrets>,
     target_dna: Option<u64>,
@@ -62,6 +65,7 @@ impl SmApp {
             la: None,
             metadata: None,
             key_device: None,
+            gcm: None,
             ra: None,
             injected: None,
             target_dna: None,
@@ -147,6 +151,7 @@ impl SmApp {
             .try_into()
             .map_err(|_| SalusError::Malformed("device key length"))?;
         self.key_device = Some(KeyDevice::from_bytes(key));
+        self.gcm = None; // schedule must be re-expanded for the new key
         Ok(())
     }
 
@@ -160,6 +165,7 @@ impl SmApp {
     /// key request serves all partitions of the same board).
     pub(crate) fn install_device_key(&mut self, key: KeyDevice) {
         self.key_device = Some(key);
+        self.gcm = None; // schedule must be re-expanded for the new key
     }
 
     /// The cached device key, if distributed.
@@ -222,13 +228,14 @@ impl SmApp {
         )?;
 
         // 4. Encrypt for the target device; fresh nonce per deployment.
+        // The GCM context is cached across deployments under one key.
+        let key_bytes = *key_device.as_bytes();
+        let cipher = self
+            .gcm
+            .get_or_insert_with(|| salus_crypto::gcm::AesGcm256::new(&key_bytes));
         let nonce: [u8; 12] = self.enclave.random_array();
-        let encrypted = salus_bitstream::encrypt::encrypt_for_device(
-            &manipulated,
-            key_device.as_bytes(),
-            &nonce,
-            dna,
-        );
+        let encrypted =
+            salus_bitstream::encrypt::encrypt_for_device_with(&manipulated, cipher, &nonce, dna);
 
         self.injected = Some(InjectedSecrets {
             key_attest,

@@ -1,10 +1,20 @@
 //! AES block cipher (FIPS 197), supporting 128- and 256-bit keys.
 //!
-//! This is a straightforward table-free byte-oriented implementation: the
-//! S-box is a constant lookup table and MixColumns is computed with
-//! xtime chains. It favours auditability over raw speed — the same
-//! trade-off the paper makes for the SM logic ("compact and easily
-//! inspectable codebase").
+//! Two encrypt paths share one key schedule:
+//!
+//! * **Fast path** (`encrypt_block`): a 32-bit T-table round function. A
+//!   single 1 KiB table `TE0` holds `MixColumn(SubByte(x))` for the
+//!   first row; the other three row tables are byte rotations of it and
+//!   are derived with `rotate_right`, keeping the cache footprint small.
+//! * **Reference path** (`encrypt_block_reference`): the original
+//!   byte-oriented SubBytes/ShiftRows/MixColumns code, kept for
+//!   auditability — the same trade-off the paper makes for the SM logic
+//!   ("compact and easily inspectable codebase") — and cross-checked
+//!   against the fast path by differential tests.
+//!
+//! Decryption stays byte-oriented: nothing in the Salus data plane
+//! decrypts with the raw block cipher (CTR and GCM only ever run the
+//! forward cipher).
 //!
 //! ```
 //! use salus_crypto::aes::Aes128;
@@ -59,8 +69,62 @@ const RCON: [u8; 15] = [
 ];
 
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// Combined SubBytes+MixColumns table for state row 0:
+/// `TE0[x] = [2·S(x), S(x), S(x), 3·S(x)]` packed big-endian. The row
+/// 1..3 tables are `TE0[x].rotate_right(8·r)`, computed inline — one
+/// 1 KiB table total instead of four.
+const TE0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+};
+
+/// Loads a block into column words and applies the first round key.
+#[inline(always)]
+fn load_state(block: &Block, rk0: &[u32; 4]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        u32::from_be_bytes([
+            block[4 * c],
+            block[4 * c + 1],
+            block[4 * c + 2],
+            block[4 * c + 3],
+        ]) ^ rk0[c]
+    })
+}
+
+/// One full T-table round (SubBytes + ShiftRows + MixColumns + key).
+#[inline(always)]
+fn tt_round(s: [u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        TE0[(s[c] >> 24) as usize]
+            ^ TE0[((s[(c + 1) & 3] >> 16) & 0xff) as usize].rotate_right(8)
+            ^ TE0[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
+            ^ TE0[(s[(c + 3) & 3] & 0xff) as usize].rotate_right(24)
+            ^ rk[c]
+    })
+}
+
+/// Final round: SubBytes + ShiftRows only (no MixColumns).
+#[inline(always)]
+fn final_round(s: [u32; 4], rk: &[u32; 4], block: &mut Block) {
+    for c in 0..4 {
+        let w = (u32::from(SBOX[(s[c] >> 24) as usize]) << 24)
+            | (u32::from(SBOX[((s[(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+            | (u32::from(SBOX[((s[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+            | u32::from(SBOX[(s[(c + 3) & 3] & 0xff) as usize]);
+        block[4 * c..4 * c + 4].copy_from_slice(&(w ^ rk[c]).to_be_bytes());
+    }
 }
 
 #[inline]
@@ -141,6 +205,9 @@ fn add_round_key(s: &mut Block, rk: &Block) {
 #[derive(Clone)]
 struct KeySchedule {
     round_keys: Vec<Block>,
+    /// The same round keys as big-endian column words, for the T-table
+    /// path (word `c` covers state bytes `4c..4c+4`).
+    round_keys_w: Vec<[u32; 4]>,
 }
 
 impl KeySchedule {
@@ -176,7 +243,7 @@ impl KeySchedule {
             ]);
         }
 
-        let round_keys = w
+        let round_keys: Vec<Block> = w
             .chunks_exact(4)
             .map(|c| {
                 let mut rk = [0u8; 16];
@@ -186,10 +253,35 @@ impl KeySchedule {
                 rk
             })
             .collect();
-        KeySchedule { round_keys }
+        let round_keys_w = round_keys
+            .iter()
+            .map(|rk| {
+                core::array::from_fn(|c| {
+                    u32::from_be_bytes([rk[4 * c], rk[4 * c + 1], rk[4 * c + 2], rk[4 * c + 3]])
+                })
+            })
+            .collect();
+        KeySchedule {
+            round_keys,
+            round_keys_w,
+        }
     }
 
+    /// T-table encrypt. State column `c` lives in word `s[c]` with row 0
+    /// in the most significant byte; ShiftRows means output column `c`
+    /// row `r` reads input column `c + r` (mod 4).
     fn encrypt_block(&self, block: &mut Block) {
+        let rks = &self.round_keys_w;
+        let nr = rks.len() - 1;
+        let mut s = load_state(block, &rks[0]);
+        for rk in &rks[1..nr] {
+            s = tt_round(s, rk);
+        }
+        final_round(s, &rks[nr], block);
+    }
+
+    /// Byte-oriented reference encrypt (original auditable code path).
+    fn encrypt_block_reference(&self, block: &mut Block) {
         let nr = self.round_keys.len() - 1;
         add_round_key(block, &self.round_keys[0]);
         for round in 1..nr {
@@ -234,9 +326,17 @@ macro_rules! aes_variant {
                 }
             }
 
-            /// Encrypts one 16-byte block in place.
+            /// Encrypts one 16-byte block in place (T-table fast path).
             pub fn encrypt_block(&self, block: &mut Block) {
                 self.schedule.encrypt_block(block);
+            }
+
+            /// Encrypts one 16-byte block in place using the
+            /// byte-oriented reference implementation. Kept for audit
+            /// and differential testing; produces output identical to
+            /// [`encrypt_block`](Self::encrypt_block).
+            pub fn encrypt_block_reference(&self, block: &mut Block) {
+                self.schedule.encrypt_block_reference(block);
             }
 
             /// Decrypts one 16-byte block in place.
@@ -348,6 +448,59 @@ mod tests {
     fn inv_sbox_is_inverse() {
         for i in 0..=255u8 {
             assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn reference_path_matches_fips197_vectors() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let cipher = Aes128::new(&key);
+        let mut block: Block = core::array::from_fn(|i| (i as u8) * 0x11);
+        cipher.encrypt_block_reference(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn fast_path_differential_vs_reference() {
+        let mut drbg = crate::drbg::HmacDrbg::new(b"aes fast-vs-reference", b"differential");
+        for _ in 0..256 {
+            let key128: [u8; 16] = drbg.generate_array();
+            let key256: [u8; 32] = drbg.generate_array();
+            let block: Block = drbg.generate_array();
+
+            let c128 = Aes128::new(&key128);
+            let (mut fast, mut reference) = (block, block);
+            c128.encrypt_block(&mut fast);
+            c128.encrypt_block_reference(&mut reference);
+            assert_eq!(fast, reference, "AES-128 fast path diverged");
+            c128.decrypt_block(&mut fast);
+            assert_eq!(fast, block, "AES-128 decrypt must invert the fast path");
+
+            let c256 = Aes256::new(&key256);
+            let (mut fast, mut reference) = (block, block);
+            c256.encrypt_block(&mut fast);
+            c256.encrypt_block_reference(&mut reference);
+            assert_eq!(fast, reference, "AES-256 fast path diverged");
+            c256.decrypt_block(&mut fast);
+            assert_eq!(fast, block, "AES-256 decrypt must invert the fast path");
+        }
+    }
+
+    #[test]
+    fn te0_table_matches_sbox_and_mixcolumn() {
+        for x in 0..=255u8 {
+            let s = SBOX[x as usize];
+            let [b0, b1, b2, b3] = TE0[x as usize].to_be_bytes();
+            assert_eq!(b0, xtime(s));
+            assert_eq!(b1, s);
+            assert_eq!(b2, s);
+            assert_eq!(b3, xtime(s) ^ s);
         }
     }
 }

@@ -6,6 +6,16 @@
 //! module is used by both the simulated SM logic AES engine and the
 //! enclave-side data path.
 //!
+//! The counter is the whole 16-byte block interpreted as a big-endian
+//! 128-bit integer, which the implementation keeps as `iv + block_index`
+//! (plain `u128` arithmetic). That makes the keystream *seekable*:
+//! [`seek_to_block`](AesCtr128::seek_to_block) and
+//! [`apply_keystream_at`](AesCtr128::apply_keystream_at) give random
+//! access, and [`apply_keystream_parallel`](AesCtr128::apply_keystream_parallel)
+//! exploits it to process disjoint ranges of one message on scoped
+//! threads. Bulk data moves through a block-oriented inner loop (whole
+//! 128-bit XORs), not byte-at-a-time.
+//!
 //! ```
 //! use salus_crypto::ctr::AesCtr128;
 //!
@@ -18,6 +28,7 @@
 //! ```
 
 use crate::aes::{Aes128, Aes256, Block, BLOCK_SIZE};
+use crate::parallel;
 
 macro_rules! ctr_variant {
     ($name:ident, $aes:ident, $key_len:expr, $doc:expr) => {
@@ -25,7 +36,11 @@ macro_rules! ctr_variant {
         #[derive(Debug, Clone)]
         pub struct $name {
             cipher: $aes,
-            counter: Block,
+            /// Initial counter block as a big-endian integer.
+            iv: u128,
+            /// Block number the *next* keystream block will use
+            /// (counter block = `iv + block_index`, wrapping).
+            block_index: u128,
             keystream: Block,
             used: usize,
         }
@@ -34,36 +49,135 @@ macro_rules! ctr_variant {
             /// Creates a CTR stream from `key` and a 16-byte initial
             /// counter block `iv`.
             pub fn new(key: &[u8; $key_len], iv: &Block) -> $name {
+                $name::from_cipher($aes::new(key), iv)
+            }
+
+            /// Creates a CTR stream reusing an already-expanded cipher.
+            /// Key expansion dominates short transactions, so callers
+            /// that encrypt many messages under one key (the accelerator
+            /// memory shim, the register channel) should expand once and
+            /// clone/reset per message via this constructor.
+            pub fn from_cipher(cipher: $aes, iv: &Block) -> $name {
                 $name {
-                    cipher: $aes::new(key),
-                    counter: *iv,
+                    cipher,
+                    iv: u128::from_be_bytes(*iv),
+                    block_index: 0,
                     keystream: [0; BLOCK_SIZE],
                     used: BLOCK_SIZE,
                 }
             }
 
+            /// Repositions the stream at the start of keystream block
+            /// `block` (0-based: block 0 is the one derived from the IV
+            /// itself). Any partially-consumed keystream is discarded.
+            pub fn seek_to_block(&mut self, block: u128) {
+                self.block_index = block;
+                self.used = BLOCK_SIZE;
+            }
+
             /// XORs the keystream into `data` in place. Calling twice with
             /// fresh streams and identical parameters decrypts.
             pub fn apply_keystream(&mut self, data: &mut [u8]) {
-                for byte in data.iter_mut() {
-                    if self.used == BLOCK_SIZE {
-                        self.refill();
+                let pos = self.drain_partial(data);
+                let mut chunks = data[pos..].chunks_exact_mut(BLOCK_SIZE);
+                for chunk in &mut chunks {
+                    let mut ks = self.next_counter_block();
+                    self.cipher.encrypt_block(&mut ks);
+                    let block: &mut Block = chunk.try_into().expect("exact chunk");
+                    let x = u128::from_ne_bytes(*block) ^ u128::from_ne_bytes(ks);
+                    *block = x.to_ne_bytes();
+                }
+                let tail = chunks.into_remainder();
+                if !tail.is_empty() {
+                    self.refill();
+                    for (b, k) in tail.iter_mut().zip(self.keystream.iter()) {
+                        *b ^= *k;
                     }
-                    *byte ^= self.keystream[self.used];
-                    self.used += 1;
+                    self.used = tail.len();
                 }
             }
 
-            fn refill(&mut self) {
-                self.keystream = self.counter;
-                self.cipher.encrypt_block(&mut self.keystream);
-                // big-endian increment of the whole counter block
-                for i in (0..BLOCK_SIZE).rev() {
-                    self.counter[i] = self.counter[i].wrapping_add(1);
-                    if self.counter[i] != 0 {
-                        break;
-                    }
+            /// XORs keystream into `data` as if the stream were
+            /// positioned at absolute `byte_offset` from the start of
+            /// the message (random access). The stream is left
+            /// positioned just past the written range.
+            pub fn apply_keystream_at(&mut self, data: &mut [u8], byte_offset: u128) {
+                self.seek_to_block(byte_offset / BLOCK_SIZE as u128);
+                let skip = (byte_offset % BLOCK_SIZE as u128) as usize;
+                if skip != 0 {
+                    self.refill();
+                    self.used = skip;
                 }
+                self.apply_keystream(data);
+            }
+
+            /// Like [`apply_keystream`](Self::apply_keystream) but
+            /// splits large inputs across scoped worker threads, each
+            /// seeking its own disjoint counter range. Falls back to the
+            /// serial path when the input is too small to amortise
+            /// thread spawns. Output is byte-identical to the serial
+            /// path, and the stream state afterwards is too.
+            pub fn apply_keystream_parallel(&mut self, data: &mut [u8]) {
+                let pos = self.drain_partial(data);
+                let body = &mut data[pos..];
+                let workers = parallel::worker_count(body.len());
+                if workers <= 1 {
+                    self.apply_keystream(body);
+                    return;
+                }
+                let start_block = self.block_index;
+                let chunk_bytes = parallel::chunk_size(body.len(), workers, BLOCK_SIZE);
+                let blocks_per_chunk = (chunk_bytes / BLOCK_SIZE) as u128;
+                let total_blocks = body.len().div_ceil(BLOCK_SIZE) as u128;
+                let tail = body.len() % BLOCK_SIZE;
+                std::thread::scope(|scope| {
+                    for (i, chunk) in body.chunks_mut(chunk_bytes).enumerate() {
+                        let mut worker = self.clone();
+                        worker.seek_to_block(
+                            start_block.wrapping_add((i as u128) * blocks_per_chunk),
+                        );
+                        scope.spawn(move || worker.apply_keystream(chunk));
+                    }
+                });
+                if tail != 0 {
+                    // Re-derive the final (partial) keystream block so a
+                    // subsequent call continues mid-block, exactly as
+                    // the serial path would.
+                    self.block_index = start_block.wrapping_add(total_blocks - 1);
+                    self.refill();
+                    self.used = tail;
+                } else {
+                    self.seek_to_block(start_block.wrapping_add(total_blocks));
+                }
+            }
+
+            /// XORs leftover bytes of the current keystream block into
+            /// the head of `data`; returns how many bytes were covered.
+            fn drain_partial(&mut self, data: &mut [u8]) -> usize {
+                if self.used >= BLOCK_SIZE {
+                    return 0;
+                }
+                let take = (BLOCK_SIZE - self.used).min(data.len());
+                for (b, k) in data[..take]
+                    .iter_mut()
+                    .zip(self.keystream[self.used..].iter())
+                {
+                    *b ^= *k;
+                }
+                self.used += take;
+                take
+            }
+
+            /// Returns the current counter block and advances the index.
+            fn next_counter_block(&mut self) -> Block {
+                let ctr = self.iv.wrapping_add(self.block_index);
+                self.block_index = self.block_index.wrapping_add(1);
+                ctr.to_be_bytes()
+            }
+
+            fn refill(&mut self) {
+                self.keystream = self.next_counter_block();
+                self.cipher.encrypt_block(&mut self.keystream);
                 self.used = 0;
             }
         }
@@ -160,5 +274,120 @@ mod tests {
         assert_ne!(&data, b"register transaction payload");
         AesCtr256::new(&key, &iv).apply_keystream(&mut data);
         assert_eq!(&data, b"register transaction payload");
+    }
+
+    #[test]
+    fn seek_to_block_matches_streaming_past_it() {
+        let key = [0x42u8; 16];
+        let iv = [0x07u8; 16];
+        let mut streamed = vec![0u8; 160];
+        AesCtr128::new(&key, &iv).apply_keystream(&mut streamed);
+
+        for block in 0..10u128 {
+            let mut seeked = vec![0u8; 16];
+            let mut ctr = AesCtr128::new(&key, &iv);
+            ctr.seek_to_block(block);
+            ctr.apply_keystream(&mut seeked);
+            let at = block as usize * 16;
+            assert_eq!(&seeked, &streamed[at..at + 16], "block {block}");
+        }
+    }
+
+    #[test]
+    fn apply_keystream_at_matches_any_offset_and_length() {
+        let key = [0x55u8; 32];
+        let iv = [0xa0u8; 16];
+        let mut streamed = vec![0u8; 300];
+        AesCtr256::new(&key, &iv).apply_keystream(&mut streamed);
+
+        for (offset, len) in [
+            (0usize, 300usize),
+            (1, 31),
+            (15, 17),
+            (16, 16),
+            (17, 100),
+            (255, 45),
+        ] {
+            let mut out = vec![0u8; len];
+            let mut ctr = AesCtr256::new(&key, &iv);
+            ctr.apply_keystream_at(&mut out, offset as u128);
+            assert_eq!(
+                &out,
+                &streamed[offset..offset + len],
+                "offset {offset} len {len}"
+            );
+            // The stream must continue correctly after random access.
+            let rest = 300 - (offset + len);
+            if rest > 0 {
+                let mut cont = vec![0u8; rest];
+                ctr.apply_keystream(&mut cont);
+                assert_eq!(
+                    &cont,
+                    &streamed[offset + len..],
+                    "continuation at {offset}+{len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seek_past_counter_wrap_matches_streaming() {
+        let key = [9u8; 16];
+        let iv = [0xffu8; 16]; // block 1 wraps the whole counter to zero
+        let mut streamed = vec![0u8; 64];
+        AesCtr128::new(&key, &iv).apply_keystream(&mut streamed);
+        let mut seeked = vec![0u8; 32];
+        let mut ctr = AesCtr128::new(&key, &iv);
+        ctr.seek_to_block(2);
+        ctr.apply_keystream(&mut seeked);
+        assert_eq!(&seeked, &streamed[32..]);
+    }
+
+    #[test]
+    fn parallel_apply_matches_serial_and_preserves_state() {
+        let key = [0x13u8; 32];
+        let iv = [0x31u8; 16];
+        // Larger than the parallel threshold, not block-aligned.
+        let len = 3 * crate::parallel::MIN_BYTES_PER_THREAD + 7;
+        let plain: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+
+        let mut serial = plain.clone();
+        let mut serial_ctr = AesCtr256::new(&key, &iv);
+        serial_ctr.apply_keystream(&mut serial);
+
+        let mut par = plain.clone();
+        let mut par_ctr = AesCtr256::new(&key, &iv);
+        par_ctr.apply_keystream_parallel(&mut par);
+        assert_eq!(par, serial);
+
+        // Both streams must now be positioned identically (mid-block).
+        let mut a = vec![0u8; 100];
+        let mut b = vec![0u8; 100];
+        serial_ctr.apply_keystream(&mut a);
+        par_ctr.apply_keystream(&mut b);
+        assert_eq!(a, b, "stream state diverged after parallel apply");
+    }
+
+    #[test]
+    fn parallel_apply_small_input_falls_back() {
+        let key = [0x77u8; 16];
+        let iv = [0x88u8; 16];
+        let mut serial = b"tiny payload".to_vec();
+        let mut par = serial.clone();
+        AesCtr128::new(&key, &iv).apply_keystream(&mut serial);
+        AesCtr128::new(&key, &iv).apply_keystream_parallel(&mut par);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn from_cipher_matches_new() {
+        let key = [0x61u8; 32];
+        let iv = [0x62u8; 16];
+        let cipher = Aes256::new(&key);
+        let mut a = vec![0u8; 100];
+        let mut b = vec![0u8; 100];
+        AesCtr256::new(&key, &iv).apply_keystream(&mut a);
+        AesCtr256::from_cipher(cipher, &iv).apply_keystream(&mut b);
+        assert_eq!(a, b);
     }
 }

@@ -10,27 +10,13 @@
 //! `ciphertext || 16-byte tag`.
 
 use crate::aes::{Aes128, Aes256, Block, BLOCK_SIZE};
-use crate::CryptoError;
+use crate::{parallel, CryptoError};
 
 /// Length of the GCM authentication tag in bytes.
 pub const TAG_SIZE: usize = 16;
 
 /// Length of the standard GCM nonce in bytes.
 pub const NONCE_SIZE: usize = 12;
-
-/// GHASH: universal hashing over GF(2^128) with hash key `h`.
-///
-/// Uses Shoup's 4-bit table method: 16 precomputed multiples of `h`
-/// plus a reduction table, processing one nibble per step — ~30× faster
-/// than bit-by-bit while staying table-small (data-independent lookups
-/// by secret nibbles are out of scope for the simulation's threat
-/// model, which excludes side channels per §3.1).
-#[derive(Debug, Clone)]
-struct Ghash {
-    /// m[i] = (i as 4-bit poly) * h in the bit-reflected field.
-    m: [u128; 16],
-    acc: u128,
-}
 
 /// Reduction constants for shifting a nibble out the bottom:
 /// `R4[i] = mulx⁴(i)` — the fold contribution of low bits `i` after
@@ -56,24 +42,76 @@ const R4: [u128; 16] = {
     table
 };
 
-impl Ghash {
-    fn new(h: &Block) -> Ghash {
+/// Byte-granularity reduction constants: `R8[i] = mulx⁸(i)`, so
+/// `z·x⁸ = (z >> 8) ^ R8[z & 0xFF]`.
+const R8: [u128; 256] = {
+    const R: u128 = 0xe1000000_00000000_00000000_00000000;
+    let mut table = [0u128; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut v = i as u128;
+        let mut step = 0;
+        while step < 8 {
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb != 0 {
+                v ^= R;
+            }
+            step += 1;
+        }
+        table[i] = v;
+        i += 1;
+    }
+    table
+};
+
+/// Per-key GHASH state: precomputed multiple tables for hash key `h`.
+///
+/// The fast path is Shoup's 8-bit table method (`m8`, 4 KiB): 256
+/// precomputed multiples of `h`, one table lookup per message *byte*.
+/// The original 4-bit method (`m4`, 256 bytes) is retained as the
+/// auditable reference — [`GhashKey::mul_h_reference`] — and the two
+/// are cross-checked differentially in the tests (plus against a
+/// bit-by-bit multiply). Data-independent lookups by secret bytes are
+/// out of scope for the simulation's threat model, which excludes side
+/// channels per §3.1.
+///
+/// Built once per GCM key and reused across seal/open calls, so the
+/// table fill cost is off the per-message path.
+#[derive(Debug, Clone)]
+struct GhashKey {
+    /// m4[i] = (i as 4-bit poly) * h in the bit-reflected field
+    /// (index bit 3 ↔ coefficient x^0).
+    m4: [u128; 16],
+    /// m8[b] = (b as 8-bit poly) * h; `m8[hi<<4|lo] = mulx⁴(m4[lo]) ^ m4[hi]`.
+    m8: [u128; 256],
+}
+
+impl GhashKey {
+    fn new(h: &Block) -> GhashKey {
         let h = u128::from_be_bytes(*h);
-        // m[1] = h; m[2i] = mulx(m[i]); m[2i+1] = m[2i] ^ h... careful:
-        // in the reflected field, multiplying by x is a right shift.
-        let mut m = [0u128; 16];
-        m[8] = h; // 8 = 0b1000 represents x^0 ... build by halving.
+        // m4[1] = ... careful: in the reflected field, multiplying by x
+        // is a right shift.
+        let mut m4 = [0u128; 16];
+        m4[8] = h; // 8 = 0b1000 represents x^0 ... build by halving.
         let mut i = 4;
         while i >= 1 {
-            m[i] = Self::mulx(m[i * 2]);
+            m4[i] = Self::mulx(m4[i * 2]);
             i /= 2;
         }
         // Fill remaining entries by XOR of components.
         for i in [3usize, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15] {
             let high_bit = 1 << (usize::BITS - 1 - i.leading_zeros());
-            m[i] = m[high_bit] ^ m[i ^ high_bit];
+            m4[i] = m4[high_bit] ^ m4[i ^ high_bit];
         }
-        Ghash { m, acc: 0 }
+        // One byte is two nibble steps: absorb the low nibble, shift it
+        // up four coefficient positions, absorb the high nibble.
+        let mut m8 = [0u128; 256];
+        for (b, entry) in m8.iter_mut().enumerate() {
+            let lo = m4[b & 0xF];
+            *entry = (lo >> 4) ^ R4[(lo & 0xF) as usize] ^ m4[b >> 4];
+        }
+        GhashKey { m4, m8 }
     }
 
     /// Multiply by x in the bit-reflected field (right shift + fold).
@@ -83,8 +121,26 @@ impl Ghash {
         (v >> 1) ^ if lsb != 0 { R } else { 0 }
     }
 
-    /// Multiplies `x` by `h` using the 4-bit tables.
+    /// Multiplies `x` by `h` using the 8-bit tables (fast path).
     fn mul_h(&self, x: u128) -> u128 {
+        let mut z = 0u128;
+        // Process bytes from least significant to most significant.
+        for i in 0..16 {
+            let byte = ((x >> (8 * i)) & 0xFF) as usize;
+            if i > 0 {
+                // Shift the accumulator right by 8 with reduction.
+                z = (z >> 8) ^ R8[(z & 0xFF) as usize];
+            }
+            z ^= self.m8[byte];
+        }
+        z
+    }
+
+    /// Multiplies `x` by `h` using the original 4-bit tables. Reference
+    /// path, cross-checked against [`mul_h`](Self::mul_h) in tests
+    /// (its only callers, hence the non-test `dead_code` allowance).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn mul_h_reference(&self, x: u128) -> u128 {
         let mut z = 0u128;
         // Process nibbles from least significant to most significant.
         for i in 0..32 {
@@ -94,22 +150,35 @@ impl Ghash {
                 let low = (z & 0xF) as usize;
                 z = (z >> 4) ^ R4[low];
             }
-            z ^= self.m[nibble];
+            z ^= self.m4[nibble];
         }
         z
     }
+}
 
-    fn update_block(&mut self, block: &Block) {
-        self.acc = self.mul_h(self.acc ^ u128::from_be_bytes(*block));
+/// A GHASH accumulation in progress, borrowing the per-key tables.
+#[derive(Debug, Clone)]
+struct Ghash<'k> {
+    key: &'k GhashKey,
+    acc: u128,
+}
+
+impl<'k> Ghash<'k> {
+    fn new(key: &'k GhashKey) -> Ghash<'k> {
+        Ghash { key, acc: 0 }
     }
 
-    /// Absorbs `data` zero-padded to a block multiple.
+    fn update_block(&mut self, block: &Block) {
+        self.acc = self.key.mul_h(self.acc ^ u128::from_be_bytes(*block));
+    }
+
+    /// Absorbs `data` zero-padded to a block multiple. Aligned chunks
+    /// feed the accumulator directly; only a ragged tail is copied.
     fn update_padded(&mut self, data: &[u8]) {
         let mut chunks = data.chunks_exact(BLOCK_SIZE);
         for chunk in &mut chunks {
-            let mut b = [0u8; BLOCK_SIZE];
-            b.copy_from_slice(chunk);
-            self.update_block(&b);
+            let block: &Block = chunk.try_into().expect("exact chunk");
+            self.update_block(block);
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -134,7 +203,7 @@ macro_rules! gcm_variant {
         #[derive(Clone)]
         pub struct $name {
             cipher: $aes,
-            h: Block,
+            ghash_key: GhashKey,
         }
 
         impl std::fmt::Debug for $name {
@@ -144,12 +213,16 @@ macro_rules! gcm_variant {
         }
 
         impl $name {
-            /// Creates a GCM context from `key`.
+            /// Creates a GCM context from `key`. The GHASH multiple
+            /// tables are precomputed here, once per key.
             pub fn new(key: &[u8; $key_len]) -> $name {
                 let cipher = $aes::new(key);
                 let mut h = [0u8; BLOCK_SIZE];
                 cipher.encrypt_block(&mut h);
-                $name { cipher, h }
+                $name {
+                    cipher,
+                    ghash_key: GhashKey::new(&h),
+                }
             }
 
             fn j0(&self, nonce: &[u8]) -> Block {
@@ -159,30 +232,63 @@ macro_rules! gcm_variant {
                     j0[15] = 1;
                     j0
                 } else {
-                    let mut g = Ghash::new(&self.h);
+                    let mut g = Ghash::new(&self.ghash_key);
                     g.update_padded(nonce);
                     g.finalize(0, nonce.len())
                 }
             }
 
+            /// GCTR over `data`: keystream blocks are `E(j0 + i)` with
+            /// the 32-bit big-endian increment on the last word (inc32),
+            /// starting at `i = 1`. Large inputs are split across scoped
+            /// worker threads — inc32 counters are position-addressable,
+            /// so each worker derives its chunk's starting counter
+            /// independently. Output is identical to the serial path.
             fn ctr_apply(&self, j0: &Block, data: &mut [u8]) {
+                let workers = parallel::worker_count(data.len());
+                if workers <= 1 {
+                    self.ctr_apply_from(j0, 1, data);
+                    return;
+                }
+                let chunk_bytes = parallel::chunk_size(data.len(), workers, BLOCK_SIZE);
+                let blocks_per_chunk = (chunk_bytes / BLOCK_SIZE) as u32;
+                std::thread::scope(|scope| {
+                    for (i, chunk) in data.chunks_mut(chunk_bytes).enumerate() {
+                        let start = 1u32.wrapping_add((i as u32).wrapping_mul(blocks_per_chunk));
+                        scope.spawn(move || self.ctr_apply_from(j0, start, chunk));
+                    }
+                });
+            }
+
+            /// Serial GCTR starting `block_offset` inc32 steps past `j0`.
+            fn ctr_apply_from(&self, j0: &Block, block_offset: u32, data: &mut [u8]) {
+                let base = u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]);
+                let full_blocks = data.len() / BLOCK_SIZE;
                 let mut counter = *j0;
-                for chunk in data.chunks_mut(BLOCK_SIZE) {
-                    // inc32 on the last 4 bytes
-                    let c =
-                        u32::from_be_bytes([counter[12], counter[13], counter[14], counter[15]])
-                            .wrapping_add(1);
+                let mut chunks = data.chunks_exact_mut(BLOCK_SIZE);
+                for (i, chunk) in (&mut chunks).enumerate() {
+                    let c = base.wrapping_add(block_offset.wrapping_add(i as u32));
                     counter[12..].copy_from_slice(&c.to_be_bytes());
                     let mut ks = counter;
                     self.cipher.encrypt_block(&mut ks);
-                    for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    let block: &mut Block = chunk.try_into().expect("exact chunk");
+                    let x = u128::from_ne_bytes(*block) ^ u128::from_ne_bytes(ks);
+                    *block = x.to_ne_bytes();
+                }
+                let tail = chunks.into_remainder();
+                if !tail.is_empty() {
+                    let c = base.wrapping_add(block_offset.wrapping_add(full_blocks as u32));
+                    counter[12..].copy_from_slice(&c.to_be_bytes());
+                    let mut ks = counter;
+                    self.cipher.encrypt_block(&mut ks);
+                    for (b, k) in tail.iter_mut().zip(ks.iter()) {
                         *b ^= k;
                     }
                 }
             }
 
             fn tag(&self, j0: &Block, aad: &[u8], ciphertext: &[u8]) -> Block {
-                let mut g = Ghash::new(&self.h);
+                let mut g = Ghash::new(&self.ghash_key);
                 g.update_padded(aad);
                 g.update_padded(ciphertext);
                 let mut tag = g.finalize(aad.len(), ciphertext.len());
@@ -355,8 +461,8 @@ mod tests {
 
     #[test]
     fn table_ghash_matches_bitwise_reference() {
-        // Independent bit-by-bit GF(2^128) multiply to cross-check the
-        // Shoup-table implementation across many keys and inputs.
+        // Independent bit-by-bit GF(2^128) multiply to cross-check both
+        // Shoup-table implementations across many keys and inputs.
         fn gf_mul_ref(x: u128, y: u128) -> u128 {
             const R: u128 = 0xe1000000_00000000_00000000_00000000;
             let mut z = 0u128;
@@ -382,11 +488,60 @@ mod tests {
         for _ in 0..200 {
             let h = next().to_be_bytes();
             let x = next();
-            let mut g = Ghash::new(&h);
-            g.update_block(&x.to_be_bytes());
+            let key = GhashKey::new(&h);
             let expected = gf_mul_ref(x, u128::from_be_bytes(h));
-            assert_eq!(g.acc, expected);
+            assert_eq!(key.mul_h(x), expected, "8-bit table path diverged");
+            assert_eq!(
+                key.mul_h_reference(x),
+                expected,
+                "4-bit reference path diverged"
+            );
         }
+    }
+
+    #[test]
+    fn byte_table_matches_nibble_reference_exhaustive_bytes() {
+        // Every single-byte input, a few keys: the 8-bit table must agree
+        // with the 4-bit reference entry-by-entry.
+        for seed in [
+            1u128,
+            0xfe,
+            u128::MAX,
+            0x0123_4567_89ab_cdef_0011_2233_4455_6677,
+        ] {
+            let key = GhashKey::new(&seed.to_be_bytes());
+            for b in 0u128..256 {
+                for shift in [0u32, 56, 120] {
+                    let x = b << shift;
+                    assert_eq!(key.mul_h(x), key.mul_h_reference(x), "x={x:032x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gctr_matches_serial() {
+        // Above the parallel threshold the scoped-thread GCTR must be
+        // byte-identical to a forced-serial evaluation.
+        let g = AesGcm256::new(&[0x5au8; 32]);
+        let j0 = g.j0(&[7u8; 12]);
+        let len = 3 * crate::parallel::MIN_BYTES_PER_THREAD + 13;
+        let mut par: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut serial = par.clone();
+        g.ctr_apply(&j0, &mut par);
+        g.ctr_apply_from(&j0, 1, &mut serial);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn large_seal_open_roundtrip() {
+        let g = AesGcm256::new(&[0x21u8; 32]);
+        let nonce = [3u8; 12];
+        let plain: Vec<u8> = (0..3 * crate::parallel::MIN_BYTES_PER_THREAD + 5)
+            .map(|i| (i * 7 % 256) as u8)
+            .collect();
+        let sealed = g.seal(&nonce, b"dna", &plain);
+        assert_eq!(g.open(&nonce, b"dna", &sealed).unwrap(), plain);
     }
 
     #[test]

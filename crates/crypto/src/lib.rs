@@ -22,6 +22,7 @@
 //! * [`siphash`] — SipHash-2-4 (the SM logic's lightweight MAC engine)
 //! * [`drbg`] — HMAC-DRBG (NIST SP 800-90A; enclave-side randomness)
 //! * [`merkle`] — keyed Merkle tree (the DRAM-integrity extension)
+//! * [`parallel`] — scoped-thread chunking policy for bulk data-plane ops
 //! * [`x25519`] — X25519 Diffie-Hellman (RFC 7748; enclave key exchange)
 //! * [`ct`] — constant-time comparison helpers
 //!
@@ -51,6 +52,7 @@ pub mod drbg;
 pub mod gcm;
 pub mod hmac;
 pub mod merkle;
+pub mod parallel;
 pub mod sha256;
 pub mod siphash;
 pub mod x25519;

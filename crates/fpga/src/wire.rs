@@ -177,21 +177,23 @@ impl WireWriter {
 /// Packs bytes into big-endian words, zero-padding the tail, returning
 /// the words and the original byte length.
 pub fn bytes_to_words(bytes: &[u8]) -> Vec<u32> {
-    bytes
-        .chunks(4)
-        .map(|c| {
-            let mut w = [0u8; 4];
-            w[..c.len()].copy_from_slice(c);
-            u32::from_be_bytes(w)
-        })
-        .collect()
+    let mut chunks = bytes.chunks_exact(4);
+    let mut out: Vec<u32> = Vec::with_capacity(bytes.len().div_ceil(4));
+    out.extend((&mut chunks).map(|c| u32::from_be_bytes(c.try_into().expect("exact chunk"))));
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 4];
+        w[..rem.len()].copy_from_slice(rem);
+        out.push(u32::from_be_bytes(w));
+    }
+    out
 }
 
 /// Unpacks big-endian words into bytes (no length trimming).
 pub fn words_to_bytes(words: &[u32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(words.len() * 4);
-    for w in words {
-        out.extend_from_slice(&w.to_be_bytes());
+    let mut out = vec![0u8; words.len() * 4];
+    for (chunk, w) in out.chunks_exact_mut(4).zip(words) {
+        chunk.copy_from_slice(&w.to_be_bytes());
     }
     out
 }
@@ -339,10 +341,23 @@ pub fn seal_envelope(
     device_dna: u64,
     inner_plain: &[u8],
 ) -> Vec<u8> {
+    seal_envelope_with(&AesGcm256::new(key), nonce, device_dna, inner_plain)
+}
+
+/// Like [`seal_envelope`] but reusing an already-initialised GCM
+/// context. Key setup (AES schedule + GHASH tables) is constant work
+/// per envelope; callers sealing many partitions under one
+/// `Key_device` should construct the context once.
+pub fn seal_envelope_with(
+    cipher: &AesGcm256,
+    nonce: &[u8; ENC_NONCE_BYTES],
+    device_dna: u64,
+    inner_plain: &[u8],
+) -> Vec<u8> {
     let mut envelope = Vec::with_capacity(ENC_NONCE_BYTES + inner_plain.len() + 16 + 8);
     envelope.extend_from_slice(nonce);
     envelope.extend_from_slice(&(inner_plain.len() as u64).to_be_bytes());
-    let sealed = AesGcm256::new(key).seal(nonce, &device_dna.to_le_bytes(), inner_plain);
+    let sealed = cipher.seal(nonce, &device_dna.to_le_bytes(), inner_plain);
     envelope.extend_from_slice(&sealed);
     envelope
 }
@@ -381,7 +396,18 @@ pub fn build_encrypted_stream(
     device_dna: u64,
     inner_plain: &[u8],
 ) -> Vec<u8> {
-    let envelope = seal_envelope(key, nonce, device_dna, inner_plain);
+    build_encrypted_stream_with(&AesGcm256::new(key), nonce, device_dna, inner_plain)
+}
+
+/// Like [`build_encrypted_stream`] but reusing an already-initialised
+/// GCM context (see [`seal_envelope_with`]).
+pub fn build_encrypted_stream_with(
+    cipher: &AesGcm256,
+    nonce: &[u8; ENC_NONCE_BYTES],
+    device_dna: u64,
+    inner_plain: &[u8],
+) -> Vec<u8> {
+    let envelope = seal_envelope_with(cipher, nonce, device_dna, inner_plain);
     // Pad envelope to word multiple inside the type-2 payload; the
     // length header inside the envelope recovers the exact size.
     let mut writer = WireWriter::new();

@@ -1,0 +1,249 @@
+//! # salus-json
+//!
+//! A minimal JSON value type and `json!` macro covering the subset of
+//! the `serde_json` API the bench harness uses (building records and
+//! printing them). The build environment is fully offline (no crates.io
+//! access), so the workspace aliases `serde_json = { package =
+//! "salus-json" }` to this crate.
+//!
+//! Object insertion order is preserved, strings are escaped per RFC
+//! 8259, and non-finite floats serialise as `null` (matching
+//! `serde_json`'s lossy display behaviour).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display, Write as _};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `Int`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serialises to a compact JSON string.
+    pub fn to_string_compact(&self) -> String {
+        self.to_string()
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Keep integral floats readable but unambiguous.
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => escape_into(f, s),
+            Value::Array(items) => {
+                f.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_char(']')
+            }
+            Value::Object(entries) => {
+                f.write_char('{')?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    escape_into(f, key)?;
+                    f.write_char(':')?;
+                    write!(f, "{value}")?;
+                }
+                f.write_char('}')
+            }
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        match i64::try_from(v) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(v),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_owned())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Builds a [`Value`] from object/array/expression syntax, covering the
+/// `serde_json::json!` forms used in this workspace.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($value) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_preserves_order_and_types() {
+        let name = String::from("conv");
+        let v = json!({
+            "app": name.as_str(),
+            "ms": 12.5,
+            "count": 3usize,
+            "whole": 4.0,
+            "ok": true,
+            "nothing": Option::<u32>::None,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"app":"conv","ms":12.5,"count":3,"whole":4.0,"ok":true,"nothing":null}"#
+        );
+    }
+
+    #[test]
+    fn nested_values_and_arrays() {
+        let rows: Vec<Value> = vec![json!({"x": 1}), json!({"x": 2})];
+        let v = json!({ "experiment": "t", "data": rows });
+        assert_eq!(
+            v.to_string(),
+            r#"{"experiment":"t","data":[{"x":1},{"x":2}]}"#
+        );
+        assert_eq!(json!([1, 2, 3]).to_string(), "[1,2,3]");
+        assert_eq!(json!(null).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({ "k": "a\"b\\c\nd" });
+        assert_eq!(v.to_string(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn large_u64_roundtrip() {
+        assert_eq!(Value::from(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(Value::from(7u64), Value::Int(7));
+    }
+}

@@ -1,0 +1,313 @@
+//! # salus-microbench
+//!
+//! A minimal micro-benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use. The build environment
+//! is fully offline (no crates.io access), so the workspace aliases
+//! `criterion = { package = "salus-microbench" }` to this crate and the
+//! existing `benches/*.rs` files run unchanged under `cargo bench`.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples, each long enough to amortise timer overhead.
+//! The median sample is reported as ns/iter plus derived throughput
+//! when [`Throughput`] is configured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Re-export of the opaque-value hint (criterion's `black_box`).
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A hierarchical benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion accepted wherever criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+pub struct Bencher {
+    /// Median wall-clock time per iteration, filled by `iter*`.
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup = Instant::now();
+        black_box(f());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~5 ms per sample, capped to keep slow benches usable.
+        let iters_per_sample = (5_000_000 / estimate.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine`, excluding per-iteration `setup` cost.
+    pub fn iter_with_setup<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(group: Option<&str>, id: &str, ns: f64, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            format!("  [{mbps:.1} MiB/s]")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (ns / 1e9);
+            format!("  [{eps:.0} elem/s]")
+        }
+        None => String::new(),
+    };
+    println!("{full:<56} time: {}{rate}", format_time(ns));
+}
+
+/// The benchmark driver (criterion's entry type).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 12;
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        };
+        f(&mut bencher);
+        report(None, &id.into_id(), bencher.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name, throughput, and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(
+            Some(&self.name),
+            &id.into_id(),
+            bencher.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        report(
+            Some(&self.name),
+            &id.into_id(),
+            bencher.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..100).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| v.len());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(12.34), "12.3 ns");
+        assert_eq!(format_time(1_500.0), "1.500 µs");
+        assert_eq!(format_time(2_000_000.0), "2.000 ms");
+        assert_eq!(format_time(3e9), "3.000 s");
+    }
+}

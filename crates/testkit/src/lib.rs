@@ -1,0 +1,190 @@
+//! # salus-testkit
+//!
+//! A minimal, dependency-free property-testing harness exposing the
+//! subset of the `proptest` API this workspace uses. The build
+//! environment is fully offline (no crates.io access), so the workspace
+//! aliases `proptest = { package = "salus-testkit" }` to this crate and
+//! the existing `proptest!` suites run unchanged.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) {..} }`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! * `any::<T>()` for the primitive integer types and `bool`
+//! * integer range strategies (`0u32..500`), tuple strategies,
+//!   `prop::collection::vec`, `prop::array::uniform{12,16,32}`,
+//!   simple `"[a-z]{1,8}"` string patterns, and `.prop_map`
+//!
+//! Generation is deterministic per test (seeded from the test's module
+//! path), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` namespace mirror (`prop::collection`, `prop::array`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Fixed-size array strategies.
+    pub mod array {
+        pub use crate::strategy::{uniform12, uniform16, uniform32};
+    }
+}
+
+/// Everything the `proptest::prelude::*` imports in this workspace use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests, `proptest`-style.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal recursive expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    (move || {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                if let ::std::result::Result::Err(e) = __result {
+                    if e.is_rejection() {
+                        continue; // prop_assume! miss: skip this case
+                    }
+                    panic!("property case {} of {} failed: {}", __case + 1, __config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+}
+
+/// `assert!` that reports a property failure instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Skips the current case (without failing) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u8..10, 0u8..10).prop_map(|(a, b)| (a * 2, b)),
+            arr in prop::array::uniform16(any::<u8>()),
+            s in "[a-z]{1,8}",
+        ) {
+            prop_assert!(a % 2 == 0);
+            prop_assert!(b < 10);
+            prop_assert_eq!(arr.len(), 16);
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.bytes().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::strategy::vec(crate::arbitrary::any::<u64>(), 0..32);
+        let mut a = crate::test_runner::TestRng::from_name("seed");
+        let mut b = crate::test_runner::TestRng::from_name("seed");
+        for _ in 0..16 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}
