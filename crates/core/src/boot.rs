@@ -1,18 +1,37 @@
 //! The secure CL booting flow (Figure 3) and its timing breakdown
 //! (Figure 9).
 //!
-//! [`secure_boot`] drives the full flow: client RA request → user
-//! enclave quote → metadata transfer → local attestation → device-key
-//! distribution (with SM-enclave RA) → bitstream verify / manipulate /
-//! encrypt → shell deployment → CL attestation → deferred cascaded RA
-//! report → data-key release. Every message crosses the fabric's
-//! adversary-interposable channels, and every modelled operation charges
-//! the shared virtual clock, so the returned [`BootBreakdown`] is the
-//! exact data behind the paper's Figure 9.
+//! The flow is implemented as a phase-granular state machine
+//! ([`BootMachine`], driven through [`secure_boot_resilient`]): client
+//! RA request → user enclave quote → metadata transfer → local
+//! attestation → device-key distribution (with SM-enclave RA) →
+//! bitstream verify / manipulate / encrypt → shell deployment → CL
+//! attestation → deferred cascaded RA report → data-key release. Every
+//! message crosses the fabric's adversary-interposable (and
+//! fault-injectable) channels, and every modelled operation charges the
+//! shared virtual clock, so the returned [`BootBreakdown`] is the exact
+//! data behind the paper's Figure 9.
+//!
+//! ## Fault handling
+//!
+//! Each step of the machine is idempotent-by-construction (retries
+//! re-derive fresh nonces and re-seal fresh ciphertexts; the
+//! manufacturer round carries an idempotency token) and runs under a
+//! [`RetryPolicy`]: transient transport faults
+//! ([`FaultClass::Transient`](crate::FaultClass)) are retried with
+//! exponential backoff and deterministic jitter, all charged to virtual
+//! time. Integrity and attestation failures are **never** retried — the
+//! boot fails closed on the first one. When the manufacturer key
+//! service stays unreachable past the retry budget, the boot parks in a
+//! resumable [`BootSuspension`] instead of failing.
+//!
+//! [`secure_boot`] / [`secure_boot_with`] drive the same machine with a
+//! single-attempt, no-deadline plan, preserving the exact legacy
+//! behaviour and timings.
 
 use std::time::Duration;
 
-use salus_net::clock::SimClock;
+use salus_crypto::drbg::HmacDrbg;
 
 use crate::cl_attest::{AttestRequest, AttestResponse};
 use crate::instance::{endpoints, TestBed};
@@ -57,7 +76,7 @@ pub enum BootPhase {
 }
 
 /// Per-phase virtual-time breakdown of one boot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BootBreakdown {
     phases: Vec<(BootPhase, Duration)>,
 }
@@ -124,17 +143,878 @@ pub struct BootOptions {
     pub reuse_cached_device_key: bool,
 }
 
-/// Runs a phase body and records its virtual-time span.
-fn timed<R>(
-    clock: &SimClock,
-    breakdown: &mut BootBreakdown,
-    phase: BootPhase,
-    body: impl FnOnce() -> Result<R, SalusError>,
-) -> Result<R, SalusError> {
-    let sw = clock.stopwatch();
-    let result = body()?;
-    breakdown.push(phase, sw.elapsed());
-    Ok(result)
+// ───────────────────────── retry orchestration ─────────────────────────
+
+/// One step of the boot state machine — finer-grained than
+/// [`BootPhase`] because retry decisions need the untimed glue steps
+/// (challenge exchanges, result relays) as restart points too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootStep {
+    /// Client issues the initial RA challenge (untimed in Figure 9).
+    InitialRa,
+    /// User-enclave quote generation.
+    UserQuoteGen,
+    /// Client-side verification of the initial quote.
+    UserQuoteVerify,
+    /// Encrypted metadata transfer to the user enclave.
+    MetadataTransfer,
+    /// Local attestation handshake + metadata forward to the SM enclave.
+    LocalAttestation,
+    /// CSP advertises the rented board's DNA (untimed).
+    TargetDevice,
+    /// Manufacturer key-request challenge exchange (untimed).
+    MfrChallenge,
+    /// SM-enclave quote generation for the key request.
+    SmQuoteGen,
+    /// Manufacturer-side quote verification and key redemption.
+    SmQuoteVerify,
+    /// Encrypted device-key transfer to the SM enclave.
+    DeviceKeyTransfer,
+    /// Bitstream digest verification.
+    BitstreamVerify,
+    /// Bitstream manipulation (RoT injection).
+    BitstreamManipulation,
+    /// Bitstream encryption for the target device.
+    BitstreamEncrypt,
+    /// PCIe transfer + ICAP programming.
+    ClLoad,
+    /// The CL attestation round trip.
+    ClAuthentication,
+    /// SM enclave relays the CL result to the user enclave (untimed).
+    ClResultRelay,
+    /// Deferred final quote generation.
+    FinalQuoteGen,
+    /// Client-side verification of the cascaded final quote.
+    FinalQuoteVerify,
+    /// Encrypted data-key transfer.
+    DataKeyTransfer,
+}
+
+/// Execution order of the machine.
+const STEP_SEQUENCE: [BootStep; 19] = [
+    BootStep::InitialRa,
+    BootStep::UserQuoteGen,
+    BootStep::UserQuoteVerify,
+    BootStep::MetadataTransfer,
+    BootStep::LocalAttestation,
+    BootStep::TargetDevice,
+    BootStep::MfrChallenge,
+    BootStep::SmQuoteGen,
+    BootStep::SmQuoteVerify,
+    BootStep::DeviceKeyTransfer,
+    BootStep::BitstreamVerify,
+    BootStep::BitstreamManipulation,
+    BootStep::BitstreamEncrypt,
+    BootStep::ClLoad,
+    BootStep::ClAuthentication,
+    BootStep::ClResultRelay,
+    BootStep::FinalQuoteGen,
+    BootStep::FinalQuoteVerify,
+    BootStep::DataKeyTransfer,
+];
+
+impl BootStep {
+    /// The Figure 9 phase this step's time is accounted under, if any.
+    pub fn phase(self) -> Option<BootPhase> {
+        match self {
+            BootStep::UserQuoteGen => Some(BootPhase::UserQuoteGen),
+            BootStep::UserQuoteVerify => Some(BootPhase::UserQuoteVerify),
+            BootStep::MetadataTransfer => Some(BootPhase::MetadataTransfer),
+            BootStep::LocalAttestation => Some(BootPhase::LocalAttestation),
+            BootStep::SmQuoteGen => Some(BootPhase::SmQuoteGen),
+            BootStep::SmQuoteVerify => Some(BootPhase::SmQuoteVerify),
+            BootStep::DeviceKeyTransfer => Some(BootPhase::DeviceKeyTransfer),
+            BootStep::BitstreamVerify => Some(BootPhase::BitstreamVerify),
+            BootStep::BitstreamManipulation => Some(BootPhase::BitstreamManipulation),
+            BootStep::BitstreamEncrypt => Some(BootPhase::BitstreamEncrypt),
+            BootStep::ClLoad => Some(BootPhase::ClLoad),
+            BootStep::ClAuthentication => Some(BootPhase::ClAuthentication),
+            BootStep::FinalQuoteGen => Some(BootPhase::FinalQuoteGen),
+            BootStep::FinalQuoteVerify => Some(BootPhase::FinalQuoteVerify),
+            BootStep::DataKeyTransfer => Some(BootPhase::DataKeyTransfer),
+            BootStep::InitialRa
+            | BootStep::TargetDevice
+            | BootStep::MfrChallenge
+            | BootStep::ClResultRelay => None,
+        }
+    }
+
+    /// Steps that talk to the manufacturer key service: retry
+    /// exhaustion here degrades to [`BootSuspension`] instead of
+    /// failing, because the outage is external to the deployment.
+    pub fn manufacturer_facing(self) -> bool {
+        matches!(
+            self,
+            BootStep::MfrChallenge | BootStep::SmQuoteVerify | BootStep::DeviceKeyTransfer
+        )
+    }
+
+    /// Steps skipped entirely on a warm boot with a cached device key.
+    fn skipped_when_warm(self) -> bool {
+        matches!(
+            self,
+            BootStep::MfrChallenge
+                | BootStep::SmQuoteGen
+                | BootStep::SmQuoteVerify
+                | BootStep::DeviceKeyTransfer
+        )
+    }
+}
+
+fn step_index(step: BootStep) -> usize {
+    STEP_SEQUENCE
+        .iter()
+        .position(|s| *s == step)
+        .expect("step is in the sequence")
+}
+
+/// Bounded-retry policy for transient faults, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts a step may consume without completing (≥ 1). The count
+    /// resets whenever the machine makes forward progress, so a flaky
+    /// link is budgeted per step, not per boot.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub backoff_factor: u32,
+    /// Upper bound on a single backoff (before jitter).
+    pub max_backoff: Duration,
+    /// Jitter window as a per-mille fraction of the backoff; the actual
+    /// jitter is drawn deterministically from the plan's DRBG.
+    pub jitter_per_mille: u32,
+    /// Per-transmit deadline. Losses then cost the full deadline in
+    /// virtual time and surface as
+    /// [`NetError::TimedOut`](salus_net::NetError::TimedOut); without
+    /// one they surface immediately as
+    /// [`NetError::Dropped`](salus_net::NetError::Dropped). A met
+    /// deadline charges nothing extra, keeping fault-free timings
+    /// identical.
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// No retries, no deadlines: the exact legacy semantics.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            backoff_factor: 1,
+            max_backoff: Duration::ZERO,
+            jitter_per_mille: 0,
+            deadline: None,
+        }
+    }
+
+    /// The default production-shaped policy: five attempts per step,
+    /// 50 ms → 2 s exponential backoff with 50 % jitter, 5 s transmit
+    /// deadlines.
+    pub fn resilient() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            backoff_factor: 2,
+            max_backoff: Duration::from_secs(2),
+            jitter_per_mille: 500,
+            deadline: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Everything controlling one orchestrated boot.
+#[derive(Debug, Clone, Copy)]
+pub struct BootPlan {
+    /// The boot options (warm-boot etc.).
+    pub options: BootOptions,
+    /// The per-step retry policy.
+    pub retry: RetryPolicy,
+    /// Whether manufacturer-facing retry exhaustion suspends the boot
+    /// (graceful degradation) instead of failing it.
+    pub suspend_on_outage: bool,
+    /// Seed of the DRBG behind backoff jitter and the manufacturer
+    /// idempotency token. Same plan + same seed ⇒ identical retry
+    /// timeline.
+    pub jitter_seed: u64,
+}
+
+impl BootPlan {
+    /// The plan [`secure_boot_with`] runs: single attempt, no deadline,
+    /// no suspension — byte-identical to the pre-machine flow.
+    pub fn legacy(options: BootOptions) -> BootPlan {
+        BootPlan {
+            options,
+            retry: RetryPolicy::none(),
+            suspend_on_outage: false,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The default fault-tolerant plan.
+    pub fn resilient() -> BootPlan {
+        BootPlan {
+            options: BootOptions::default(),
+            retry: RetryPolicy::resilient(),
+            suspend_on_outage: true,
+            jitter_seed: 0xB007_5EED,
+        }
+    }
+
+    /// Replaces the retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> BootPlan {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the boot options (builder-style).
+    pub fn with_options(mut self, options: BootOptions) -> BootPlan {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the jitter seed (builder-style).
+    pub fn with_jitter_seed(mut self, seed: u64) -> BootPlan {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// Accumulated per-step accounting of one orchestrated boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Which step.
+    pub step: BootStep,
+    /// Attempts executed (≥ 1 once the step ran).
+    pub attempts: u32,
+    /// Attempts that failed transiently and were retried or gave up.
+    pub transient_failures: u32,
+    /// Total backoff wait charged to virtual time.
+    pub backoff: Duration,
+    /// Total virtual time spent in the step across attempts, including
+    /// backoff.
+    pub elapsed: Duration,
+}
+
+impl StepTrace {
+    fn new(step: BootStep) -> StepTrace {
+        StepTrace {
+            step,
+            attempts: 0,
+            transient_failures: 0,
+            backoff: Duration::ZERO,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// The retry/backoff trace of one orchestrated boot, in step order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BootTrace {
+    steps: Vec<StepTrace>,
+}
+
+impl BootTrace {
+    /// Per-step entries in first-execution order.
+    pub fn steps(&self) -> &[StepTrace] {
+        &self.steps
+    }
+
+    /// The entry for `step`, if it ran.
+    pub fn step(&self, step: BootStep) -> Option<&StepTrace> {
+        self.steps.iter().find(|s| s.step == step)
+    }
+
+    /// Total attempts across all steps.
+    pub fn total_attempts(&self) -> u32 {
+        self.steps.iter().map(|s| s.attempts).sum()
+    }
+
+    /// Total transient failures (= retries + any final give-up).
+    pub fn total_transient_failures(&self) -> u32 {
+        self.steps.iter().map(|s| s.transient_failures).sum()
+    }
+
+    /// Total backoff wait charged to virtual time.
+    pub fn total_backoff(&self) -> Duration {
+        self.steps.iter().map(|s| s.backoff).sum()
+    }
+
+    /// Total virtual time across all steps, including untimed glue
+    /// steps, failed attempts, deadline waits, and backoff — the true
+    /// wall-clock (virtual) cost of the boot, unlike
+    /// [`BootBreakdown::total`] which only accounts Figure 9's phases.
+    pub fn total_elapsed(&self) -> Duration {
+        self.steps.iter().map(|s| s.elapsed).sum()
+    }
+
+    fn entry_mut(&mut self, step: BootStep) -> &mut StepTrace {
+        if let Some(i) = self.steps.iter().position(|s| s.step == step) {
+            &mut self.steps[i]
+        } else {
+            self.steps.push(StepTrace::new(step));
+            self.steps.last_mut().expect("just pushed")
+        }
+    }
+}
+
+/// A successfully orchestrated boot: the classic outcome plus the
+/// retry trace.
+#[derive(Debug)]
+pub struct ResilientBoot {
+    /// The boot outcome (breakdown + cascade report).
+    pub outcome: BootOutcome,
+    /// Per-step retry/backoff accounting.
+    pub trace: BootTrace,
+}
+
+/// Terminal failure of an orchestrated boot.
+#[derive(Debug)]
+pub struct BootFatal {
+    /// The step that failed.
+    pub step: BootStep,
+    /// The first non-retried (or budget-exhausting) error.
+    pub error: SalusError,
+    /// True when a *transient* fault ran out of retry budget; false for
+    /// integrity/attestation failures, which are never retried.
+    pub retries_exhausted: bool,
+    /// Partial breakdown up to and including the failing attempt.
+    pub breakdown: BootBreakdown,
+    /// Per-step accounting up to the failure.
+    pub trace: BootTrace,
+}
+
+/// How an orchestrated boot ended when it did not complete.
+#[derive(Debug)]
+pub enum BootFailure {
+    /// Failed closed; never resumable.
+    Fatal(BootFatal),
+    /// Parked because the manufacturer key service stayed unreachable
+    /// past the retry budget; resumable.
+    Suspended(BootSuspension),
+}
+
+impl BootFailure {
+    /// Coarse outcome label for sweeps and logs.
+    pub fn classification(&self) -> &'static str {
+        match self {
+            BootFailure::Fatal(f) if f.retries_exhausted => "transient-exhausted",
+            BootFailure::Fatal(_) => "fail-closed",
+            BootFailure::Suspended(_) => "suspended",
+        }
+    }
+}
+
+/// A parked, resumable boot. All completed steps (and their virtual
+/// time) are preserved; [`resume`](BootSuspension::resume) continues
+/// from the suspended step with a fresh retry budget.
+pub struct BootSuspension {
+    machine: Box<BootMachine>,
+    last_error: SalusError,
+}
+
+impl std::fmt::Debug for BootSuspension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootSuspension")
+            .field("step", &self.step())
+            .field("last_error", &self.last_error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BootSuspension {
+    /// The step the boot is parked on.
+    pub fn step(&self) -> BootStep {
+        STEP_SEQUENCE[self.machine.cursor]
+    }
+
+    /// The transient error that exhausted the budget.
+    pub fn last_error(&self) -> &SalusError {
+        &self.last_error
+    }
+
+    /// Partial per-phase breakdown of the work completed so far.
+    pub fn breakdown(&self) -> &BootBreakdown {
+        &self.machine.breakdown
+    }
+
+    /// Per-step accounting so far.
+    pub fn trace(&self) -> &BootTrace {
+        &self.machine.trace
+    }
+
+    /// Consumes the suspension, surfacing the underlying error (for
+    /// callers that treat suspension as failure).
+    pub fn into_last_error(self) -> SalusError {
+        self.last_error
+    }
+
+    /// Continues the boot on `bed` from the suspended step with a fresh
+    /// retry budget. All prior progress and accounting carry over.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`secure_boot_resilient`].
+    pub fn resume(self, bed: &mut TestBed) -> Result<ResilientBoot, BootFailure> {
+        self.machine.run(bed)
+    }
+}
+
+/// Intermediates stashed between steps so any step can be re-entered.
+#[derive(Default)]
+struct BootState {
+    challenge: Option<[u8; 32]>,
+    quote1: Option<salus_tee::quote::Quote>,
+    pubkey1: Option<[u8; 32]>,
+    metadata_envelope: Option<RaEnvelope>,
+    dna: Option<u64>,
+    warm: bool,
+    mfr_challenge: Option<[u8; 32]>,
+    sm_quote: Option<(salus_tee::quote::Quote, [u8; 32])>,
+    key_envelope: Option<RaEnvelope>,
+    encrypted: Option<Vec<u8>>,
+    final_quote: Option<salus_tee::quote::Quote>,
+    data_key_envelope: Option<RaEnvelope>,
+}
+
+fn need<'a, T>(value: &'a Option<T>, what: &'static str) -> Result<&'a T, SalusError> {
+    value.as_ref().ok_or(SalusError::Malformed(what))
+}
+
+/// The boot state machine: a cursor over [`STEP_SEQUENCE`] plus the
+/// stashed intermediates, accounting, and the retry DRBG.
+struct BootMachine {
+    plan: BootPlan,
+    cursor: usize,
+    /// Furthest step ever completed; retries only reset when the
+    /// machine moves past this, so a regressing step (ClLoad) cannot
+    /// launder its budget through its regression target's success.
+    high_water: usize,
+    failures_since_progress: u32,
+    state: BootState,
+    breakdown: BootBreakdown,
+    trace: BootTrace,
+    jitter: HmacDrbg,
+    /// Idempotency token for the manufacturer round. Stable across
+    /// retries and resume (so a re-sent request replays the cached
+    /// answer) but unique per boot (so a later boot on the same bed
+    /// never hits a stale cache entry). The per-process salt never
+    /// shows up in timings, outcomes, or traces, so determinism of
+    /// everything observable is unaffected.
+    mfr_token: u64,
+}
+
+/// Per-process salt making manufacturer idempotency tokens unique
+/// across machine instances.
+static MFR_TOKEN_SALT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl BootMachine {
+    fn new(plan: BootPlan) -> BootMachine {
+        let mut jitter = HmacDrbg::new(&plan.jitter_seed.to_le_bytes(), b"salus-boot-retry");
+        let salt = MFR_TOKEN_SALT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mfr_token = jitter
+            .generate_u64()
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        BootMachine {
+            plan,
+            cursor: 0,
+            high_water: 0,
+            failures_since_progress: 0,
+            state: BootState::default(),
+            breakdown: BootBreakdown::default(),
+            trace: BootTrace::default(),
+            jitter,
+            mfr_token,
+        }
+    }
+
+    /// Exponential backoff for the `n`-th consecutive failure (1-based),
+    /// with DRBG-drawn jitter, in virtual time.
+    fn backoff_for(&mut self, n: u32) -> Duration {
+        let p = &self.plan.retry;
+        if p.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exponent = n.saturating_sub(1).min(20);
+        let scaled = p
+            .base_backoff
+            .as_nanos()
+            .saturating_mul((u128::from(p.backoff_factor.max(1))).pow(exponent));
+        let capped = scaled.min(p.max_backoff.as_nanos().max(p.base_backoff.as_nanos()));
+        let jitter_window = capped * u128::from(p.jitter_per_mille) / 1000;
+        let extra = if jitter_window == 0 {
+            0
+        } else {
+            u128::from(self.jitter.generate_u64() % 1024) * jitter_window / 1024
+        };
+        Duration::from_nanos(u64::try_from(capped + extra).unwrap_or(u64::MAX))
+    }
+
+    fn run(mut self, bed: &mut TestBed) -> Result<ResilientBoot, BootFailure> {
+        let clock = bed.clock.clone();
+        while self.cursor < STEP_SEQUENCE.len() {
+            let step = STEP_SEQUENCE[self.cursor];
+            if self.state.warm && step.skipped_when_warm() {
+                self.cursor += 1;
+                continue;
+            }
+            let sw = clock.stopwatch();
+            let result = exec_step(step, bed, &self.plan, &mut self.state, self.mfr_token);
+            match result {
+                Ok(()) => {
+                    let elapsed = sw.elapsed();
+                    let entry = self.trace.entry_mut(step);
+                    entry.attempts += 1;
+                    entry.elapsed += elapsed;
+                    if let Some(phase) = step.phase() {
+                        self.breakdown.push(phase, elapsed);
+                    }
+                    self.cursor += 1;
+                    if self.cursor > self.high_water {
+                        self.high_water = self.cursor;
+                        self.failures_since_progress = 0;
+                    }
+                }
+                Err(error) if error.is_transient() => {
+                    self.failures_since_progress += 1;
+                    let exhausted = self.failures_since_progress >= self.plan.retry.max_attempts;
+                    let backoff = if exhausted {
+                        Duration::ZERO
+                    } else {
+                        let n = self.failures_since_progress;
+                        let b = self.backoff_for(n);
+                        clock.advance(b);
+                        b
+                    };
+                    let elapsed = sw.elapsed();
+                    let entry = self.trace.entry_mut(step);
+                    entry.attempts += 1;
+                    entry.transient_failures += 1;
+                    entry.backoff += backoff;
+                    entry.elapsed += elapsed;
+                    if let Some(phase) = step.phase() {
+                        self.breakdown.push(phase, elapsed);
+                    }
+                    if exhausted {
+                        if step.manufacturer_facing() && self.plan.suspend_on_outage {
+                            self.failures_since_progress = 0;
+                            return Err(BootFailure::Suspended(BootSuspension {
+                                machine: Box::new(self),
+                                last_error: error,
+                            }));
+                        }
+                        return Err(BootFailure::Fatal(BootFatal {
+                            step,
+                            error,
+                            retries_exhausted: true,
+                            breakdown: self.breakdown,
+                            trace: self.trace,
+                        }));
+                    }
+                    if step == BootStep::ClLoad {
+                        // Never re-send a ciphertext whose delivery state
+                        // is unknown: regress and re-derive fresh secrets
+                        // and a fresh GCM nonce before the next attempt.
+                        self.state.encrypted = None;
+                        self.cursor = step_index(BootStep::BitstreamEncrypt);
+                    }
+                }
+                Err(error) => {
+                    // Integrity/attestation/state failure: fail closed
+                    // immediately, zero further attempts.
+                    let elapsed = sw.elapsed();
+                    let entry = self.trace.entry_mut(step);
+                    entry.attempts += 1;
+                    entry.elapsed += elapsed;
+                    if let Some(phase) = step.phase() {
+                        self.breakdown.push(phase, elapsed);
+                    }
+                    return Err(BootFailure::Fatal(BootFatal {
+                        step,
+                        error,
+                        retries_exhausted: false,
+                        breakdown: self.breakdown,
+                        trace: self.trace,
+                    }));
+                }
+            }
+        }
+
+        bed.host_reg = match bed.sm_app.host_reg_channel() {
+            Ok(ch) => Some(ch),
+            Err(error) => {
+                return Err(BootFailure::Fatal(BootFatal {
+                    step: BootStep::DataKeyTransfer,
+                    error,
+                    retries_exhausted: false,
+                    breakdown: self.breakdown,
+                    trace: self.trace,
+                }))
+            }
+        };
+
+        Ok(ResilientBoot {
+            outcome: BootOutcome {
+                breakdown: self.breakdown,
+                report: CascadeReport {
+                    user_attested: bed.client.platform_attested(),
+                    sm_attested: bed.user_app.platform_attested(),
+                    cl_attested: bed.sm_app.cl_attested(),
+                },
+            },
+            trace: self.trace,
+        })
+    }
+}
+
+/// Transmits under the plan's deadline policy.
+fn send(
+    channel: &salus_net::channel::Channel,
+    payload: &[u8],
+    plan: &BootPlan,
+) -> Result<Vec<u8>, SalusError> {
+    match plan.retry.deadline {
+        Some(d) => Ok(channel.transmit_deadline(payload, d)?),
+        None => Ok(channel.transmit(payload)?),
+    }
+}
+
+/// Executes one step body. Bodies replicate the pre-machine flow's
+/// operation order exactly (every clock charge, transmit, and DRBG draw
+/// in the same sequence), so a fault-free single-attempt run is
+/// byte-identical to the legacy straight-line implementation.
+fn exec_step(
+    step: BootStep,
+    bed: &mut TestBed,
+    plan: &BootPlan,
+    state: &mut BootState,
+    mfr_token: u64,
+) -> Result<(), SalusError> {
+    let clock = bed.clock.clone();
+    match step {
+        // ── ② Client initiates RA of the user enclave ─────────────────
+        BootStep::InitialRa => {
+            let challenge = bed.client.begin_ra();
+            let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
+            let challenge_bytes = send(&c2h, &challenge, plan)?;
+            let challenge: [u8; 32] = challenge_bytes
+                .try_into()
+                .map_err(|_| SalusError::Malformed("ra challenge"))?;
+            state.challenge = Some(challenge);
+        }
+        BootStep::UserQuoteGen => {
+            let challenge = *need(&state.challenge, "machine: no ra challenge")?;
+            bed.cost.charge(&clock, Op::EnclaveTransition);
+            bed.cost.charge(&clock, Op::QuoteGeneration);
+            state.quote1 = Some(bed.user_app.handle_ra_request(challenge)?);
+            state.pubkey1 = Some(bed.user_app.ra_pubkey()?);
+        }
+        BootStep::UserQuoteVerify => {
+            let quote1 = need(&state.quote1, "machine: no initial quote")?;
+            let pubkey1 = need(&state.pubkey1, "machine: no ra pubkey")?;
+            let h2c = bed.fabric.channel(endpoints::HOST, endpoints::CLIENT);
+            let mut wire = quote1.to_bytes();
+            wire.extend_from_slice(pubkey1);
+            let observed = send(&h2c, &wire, plan)?;
+            if observed.len() < 32 {
+                return Err(SalusError::Malformed("ra response"));
+            }
+            let (quote_bytes, pk) = observed.split_at(observed.len() - 32);
+            let quote = salus_tee::quote::Quote::from_bytes(quote_bytes)?;
+            let pk: [u8; 32] = pk.try_into().expect("32");
+            bed.cost.charge(&clock, Op::QuoteVerification { wan: true });
+            state.metadata_envelope = Some(bed.client.process_initial_quote(&quote, &pk)?);
+        }
+        BootStep::MetadataTransfer => {
+            let envelope = need(&state.metadata_envelope, "machine: no metadata envelope")?;
+            let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
+            let observed = send(&c2h, &envelope.to_bytes(), plan)?;
+            let envelope = RaEnvelope::from_bytes(&observed)?;
+            bed.cost.charge(&clock, Op::EnclaveTransition);
+            bed.user_app.receive_metadata(&envelope)?;
+        }
+        // ── ③ Local attestation user → SM enclave ─────────────────────
+        BootStep::LocalAttestation => {
+            let u2s = bed
+                .fabric
+                .channel(endpoints::USER_ENCLAVE, endpoints::SM_ENCLAVE);
+            let s2u = bed
+                .fabric
+                .channel(endpoints::SM_ENCLAVE, endpoints::USER_ENCLAVE);
+
+            bed.cost.charge(&clock, Op::LocalAttestSide);
+            let msg = bed.user_app.la_initiate();
+            let observed = send(&u2s, &msg.to_bytes(), plan)?;
+            let observed = salus_tee::local::HandshakeMsg::from_bytes(&observed)?;
+
+            bed.cost.charge(&clock, Op::LocalAttestSide);
+            let reply = bed.sm_app.la_respond(&observed)?;
+            let observed = send(&s2u, &reply.to_bytes(), plan)?;
+            let observed = salus_tee::local::HandshakeMsg::from_bytes(&observed)?;
+            bed.user_app.la_finish(&observed)?;
+
+            // Forward H and Loc to the SM enclave over the secured channel.
+            let sealed = bed.user_app.metadata_for_sm()?;
+            let observed = send(&u2s, &sealed, plan)?;
+            bed.sm_app.receive_metadata(&observed)?;
+        }
+        // ── ④ Device-key distribution with SM-enclave RA ──────────────
+        BootStep::TargetDevice => {
+            let dna = bed
+                .advertised_dna_override
+                .unwrap_or_else(|| bed.shell.advertised_dna());
+            bed.sm_app.set_target_device(dna);
+            state.dna = Some(dna);
+            state.warm = plan.options.reuse_cached_device_key && bed.sm_app.device_key().is_some();
+        }
+        BootStep::MfrChallenge => {
+            let dna = *need(&state.dna, "machine: no target dna")?;
+            let h2m = bed.fabric.channel(endpoints::HOST, endpoints::MANUFACTURER);
+            let m2h = bed.fabric.channel(endpoints::MANUFACTURER, endpoints::HOST);
+            let observed = send(&h2m, &dna.to_le_bytes(), plan)?;
+            let dna_req = u64::from_le_bytes(
+                observed
+                    .try_into()
+                    .map_err(|_| SalusError::Malformed("dna request"))?,
+            );
+            let challenge = bed
+                .manufacturer
+                .begin_key_request_idem(dna_req, mfr_token)?;
+            let observed = send(&m2h, &challenge, plan)?;
+            let challenge: [u8; 32] = observed
+                .try_into()
+                .map_err(|_| SalusError::Malformed("mfr challenge"))?;
+            state.mfr_challenge = Some(challenge);
+        }
+        BootStep::SmQuoteGen => {
+            let mfr_challenge = *need(&state.mfr_challenge, "machine: no mfr challenge")?;
+            bed.cost.charge(&clock, Op::EnclaveTransition);
+            bed.cost.charge(&clock, Op::QuoteGeneration);
+            state.sm_quote = Some(bed.sm_app.key_request_quote(mfr_challenge)?);
+        }
+        BootStep::SmQuoteVerify => {
+            let dna = *need(&state.dna, "machine: no target dna")?;
+            let mfr_challenge = *need(&state.mfr_challenge, "machine: no mfr challenge")?;
+            let (sm_quote, sm_pub) = need(&state.sm_quote, "machine: no sm quote")?;
+            let h2m = bed.fabric.channel(endpoints::HOST, endpoints::MANUFACTURER);
+            let mut wire = dna.to_le_bytes().to_vec();
+            wire.extend_from_slice(&mfr_challenge);
+            wire.extend_from_slice(&sm_quote.to_bytes());
+            wire.extend_from_slice(sm_pub);
+            let observed = send(&h2m, &wire, plan)?;
+            if observed.len() < 8 + 32 + 32 {
+                return Err(SalusError::Malformed("key redeem request"));
+            }
+            let dna_req = u64::from_le_bytes(observed[..8].try_into().expect("8"));
+            let challenge: [u8; 32] = observed[8..40].try_into().expect("32");
+            let pk: [u8; 32] = observed[observed.len() - 32..].try_into().expect("32");
+            let quote = salus_tee::quote::Quote::from_bytes(&observed[40..observed.len() - 32])?;
+            bed.cost
+                .charge(&clock, Op::QuoteVerification { wan: false });
+            state.key_envelope = Some(
+                bed.manufacturer
+                    .redeem_key_request_idem(mfr_token, dna_req, challenge, &quote, &pk)?,
+            );
+        }
+        BootStep::DeviceKeyTransfer => {
+            let key_envelope = need(&state.key_envelope, "machine: no key envelope")?;
+            let m2h = bed.fabric.channel(endpoints::MANUFACTURER, endpoints::HOST);
+            let observed = send(&m2h, &key_envelope.to_bytes(), plan)?;
+            let envelope = RaEnvelope::from_bytes(&observed)?;
+            bed.cost.charge(&clock, Op::EnclaveTransition);
+            bed.sm_app.receive_device_key(&envelope)?;
+        }
+        // ── ⑤ Verify, manipulate, encrypt inside the SM enclave ───────
+        BootStep::BitstreamVerify => {
+            bed.cost
+                .charge(&clock, Op::BitstreamVerify(bed.cl_store.len()));
+        }
+        BootStep::BitstreamManipulation => {
+            bed.cost
+                .charge(&clock, Op::BitstreamManipulate(bed.cl_store.len()));
+        }
+        BootStep::BitstreamEncrypt => {
+            bed.cost
+                .charge(&clock, Op::BitstreamEncrypt(bed.cl_store.len()));
+            let cl = bed.cl_store.clone();
+            state.encrypted = Some(bed.sm_app.prepare_bitstream(&cl)?);
+        }
+        // ── ⑤→⑥ Shell deployment and internal decryption ─────────────
+        BootStep::ClLoad => {
+            let encrypted = need(&state.encrypted, "machine: no encrypted bitstream")?;
+            let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
+            let observed = send(&h2f, encrypted, plan)?;
+            bed.cost.charge(&clock, Op::IcapProgram(observed.len()));
+            bed.shell.deploy_bitstream(&observed)?;
+        }
+        // ── ⑦ CL attestation ───────────────────────────────────────────
+        BootStep::ClAuthentication => {
+            let sm_logic = SmLogic::bind(bed.shell.device(), bed.partition)?;
+
+            let request = bed.sm_app.attest_request()?;
+            bed.cost.charge(&clock, Op::SmLogicMac);
+            let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
+            let observed = send(&h2f, &request.to_bytes(), plan)?;
+            let observed = AttestRequest::from_bytes(&observed)?;
+
+            bed.cost.charge(&clock, Op::SmLogicMac);
+            let response = sm_logic.handle_attestation(&observed)?;
+            let f2h = bed.fabric.channel(endpoints::FPGA, endpoints::HOST);
+            let observed = send(&f2h, &response.to_bytes(), plan)?;
+            let observed = AttestResponse::from_bytes(&observed)?;
+
+            bed.cost.charge(&clock, Op::SmLogicMac);
+            bed.sm_app.process_attest_response(&observed)?;
+            bed.sm_logic = Some(sm_logic);
+        }
+        // SM enclave conveys the CL result to the user enclave (LA channel).
+        BootStep::ClResultRelay => {
+            let s2u = bed
+                .fabric
+                .channel(endpoints::SM_ENCLAVE, endpoints::USER_ENCLAVE);
+            let sealed = bed.sm_app.cl_result_message()?;
+            let observed = send(&s2u, &sealed, plan)?;
+            bed.user_app.receive_cl_result(&observed)?;
+        }
+        // ── ⑧ Deferred cascaded RA report ──────────────────────────────
+        BootStep::FinalQuoteGen => {
+            bed.cost.charge(&clock, Op::EnclaveTransition);
+            bed.cost.charge(&clock, Op::QuoteGeneration);
+            state.final_quote = Some(bed.user_app.final_quote()?);
+        }
+        BootStep::FinalQuoteVerify => {
+            let final_quote = need(&state.final_quote, "machine: no final quote")?;
+            let h2c = bed.fabric.channel(endpoints::HOST, endpoints::CLIENT);
+            let observed = send(&h2c, &final_quote.to_bytes(), plan)?;
+            let quote = salus_tee::quote::Quote::from_bytes(&observed)?;
+            bed.cost.charge(&clock, Op::QuoteVerification { wan: true });
+            state.data_key_envelope = Some(bed.client.process_final_quote(&quote)?);
+        }
+        // ── ⑨ Data-key release ─────────────────────────────────────────
+        BootStep::DataKeyTransfer => {
+            let envelope = need(&state.data_key_envelope, "machine: no data key envelope")?;
+            let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
+            let observed = send(&c2h, &envelope.to_bytes(), plan)?;
+            let envelope = RaEnvelope::from_bytes(&observed)?;
+            bed.user_app.receive_data_key(&envelope)?;
+        }
+    }
+    Ok(())
+}
+
+/// Drives the complete secure CL booting flow on `bed` under `plan`,
+/// with bounded retries, backoff, deadlines, and graceful degradation.
+///
+/// # Errors
+///
+/// [`BootFailure::Fatal`] on the first integrity/attestation violation
+/// (never retried) or when a transient fault exhausts its retry budget
+/// off the manufacturer path; [`BootFailure::Suspended`] when the
+/// manufacturer key service stays unreachable past the budget.
+pub fn secure_boot_resilient(
+    bed: &mut TestBed,
+    plan: BootPlan,
+) -> Result<ResilientBoot, BootFailure> {
+    BootMachine::new(plan).run(bed)
 }
 
 /// Drives the complete secure CL booting flow on `bed`.
@@ -156,227 +1036,13 @@ pub fn secure_boot_with(
     bed: &mut TestBed,
     options: BootOptions,
 ) -> Result<BootOutcome, SalusError> {
-    let clock = bed.clock.clone();
-    let mut breakdown = BootBreakdown::default();
-
-    // ── ② Client initiates RA of the user enclave ─────────────────────
-    let challenge = bed.client.begin_ra();
-    let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
-    let challenge_bytes = c2h.transmit(&challenge)?;
-    let challenge: [u8; 32] = challenge_bytes
-        .try_into()
-        .map_err(|_| SalusError::Malformed("ra challenge"))?;
-
-    let quote1 = timed(&clock, &mut breakdown, BootPhase::UserQuoteGen, || {
-        bed.cost.charge(&clock, Op::EnclaveTransition);
-        bed.cost.charge(&clock, Op::QuoteGeneration);
-        bed.user_app.handle_ra_request(challenge)
-    })?;
-    let pubkey1 = bed.user_app.ra_pubkey()?;
-
-    let envelope = timed(&clock, &mut breakdown, BootPhase::UserQuoteVerify, || {
-        let h2c = bed.fabric.channel(endpoints::HOST, endpoints::CLIENT);
-        let mut wire = quote1.to_bytes();
-        wire.extend_from_slice(&pubkey1);
-        let observed = h2c.transmit(&wire)?;
-        if observed.len() < 32 {
-            return Err(SalusError::Malformed("ra response"));
-        }
-        let (quote_bytes, pk) = observed.split_at(observed.len() - 32);
-        let quote = salus_tee::quote::Quote::from_bytes(quote_bytes)?;
-        let pk: [u8; 32] = pk.try_into().expect("32");
-        bed.cost.charge(&clock, Op::QuoteVerification { wan: true });
-        bed.client.process_initial_quote(&quote, &pk)
-    })?;
-
-    timed(&clock, &mut breakdown, BootPhase::MetadataTransfer, || {
-        let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
-        let observed = c2h.transmit(&envelope.to_bytes())?;
-        let envelope = RaEnvelope::from_bytes(&observed)?;
-        bed.cost.charge(&clock, Op::EnclaveTransition);
-        bed.user_app.receive_metadata(&envelope)
-    })?;
-
-    // ── ③ Local attestation user → SM enclave ─────────────────────────
-    timed(&clock, &mut breakdown, BootPhase::LocalAttestation, || {
-        let u2s = bed
-            .fabric
-            .channel(endpoints::USER_ENCLAVE, endpoints::SM_ENCLAVE);
-        let s2u = bed
-            .fabric
-            .channel(endpoints::SM_ENCLAVE, endpoints::USER_ENCLAVE);
-
-        bed.cost.charge(&clock, Op::LocalAttestSide);
-        let msg = bed.user_app.la_initiate();
-        let observed = u2s.transmit(&msg.to_bytes())?;
-        let observed = salus_tee::local::HandshakeMsg::from_bytes(&observed)?;
-
-        bed.cost.charge(&clock, Op::LocalAttestSide);
-        let reply = bed.sm_app.la_respond(&observed)?;
-        let observed = s2u.transmit(&reply.to_bytes())?;
-        let observed = salus_tee::local::HandshakeMsg::from_bytes(&observed)?;
-        bed.user_app.la_finish(&observed)?;
-
-        // Forward H and Loc to the SM enclave over the secured channel.
-        let sealed = bed.user_app.metadata_for_sm()?;
-        let observed = u2s.transmit(&sealed)?;
-        bed.sm_app.receive_metadata(&observed)
-    })?;
-
-    // ── ④ Device-key distribution with SM-enclave RA ──────────────────
-    let dna = bed
-        .advertised_dna_override
-        .unwrap_or_else(|| bed.shell.advertised_dna());
-    bed.sm_app.set_target_device(dna);
-
-    let warm = options.reuse_cached_device_key && bed.sm_app.device_key().is_some();
-    if !warm {
-        let h2m = bed.fabric.channel(endpoints::HOST, endpoints::MANUFACTURER);
-        let m2h = bed.fabric.channel(endpoints::MANUFACTURER, endpoints::HOST);
-
-        let mfr_challenge = {
-            let observed = h2m.transmit(&dna.to_le_bytes())?;
-            let dna_req = u64::from_le_bytes(
-                observed
-                    .try_into()
-                    .map_err(|_| SalusError::Malformed("dna request"))?,
-            );
-            let challenge = bed.manufacturer.begin_key_request(dna_req)?;
-            let observed = m2h.transmit(&challenge)?;
-            let challenge: [u8; 32] = observed
-                .try_into()
-                .map_err(|_| SalusError::Malformed("mfr challenge"))?;
-            challenge
-        };
-
-        let (sm_quote, sm_pub) = timed(&clock, &mut breakdown, BootPhase::SmQuoteGen, || {
-            bed.cost.charge(&clock, Op::EnclaveTransition);
-            bed.cost.charge(&clock, Op::QuoteGeneration);
-            bed.sm_app.key_request_quote(mfr_challenge)
-        })?;
-
-        let key_envelope = timed(&clock, &mut breakdown, BootPhase::SmQuoteVerify, || {
-            let mut wire = dna.to_le_bytes().to_vec();
-            wire.extend_from_slice(&mfr_challenge);
-            wire.extend_from_slice(&sm_quote.to_bytes());
-            wire.extend_from_slice(&sm_pub);
-            let observed = h2m.transmit(&wire)?;
-            if observed.len() < 8 + 32 + 32 {
-                return Err(SalusError::Malformed("key redeem request"));
-            }
-            let dna_req = u64::from_le_bytes(observed[..8].try_into().expect("8"));
-            let challenge: [u8; 32] = observed[8..40].try_into().expect("32");
-            let pk: [u8; 32] = observed[observed.len() - 32..].try_into().expect("32");
-            let quote = salus_tee::quote::Quote::from_bytes(&observed[40..observed.len() - 32])?;
-            bed.cost
-                .charge(&clock, Op::QuoteVerification { wan: false });
-            bed.manufacturer
-                .redeem_key_request(dna_req, challenge, &quote, &pk)
-        })?;
-
-        timed(&clock, &mut breakdown, BootPhase::DeviceKeyTransfer, || {
-            let observed = m2h.transmit(&key_envelope.to_bytes())?;
-            let envelope = RaEnvelope::from_bytes(&observed)?;
-            bed.cost.charge(&clock, Op::EnclaveTransition);
-            bed.sm_app.receive_device_key(&envelope)
-        })?;
+    match BootMachine::new(BootPlan::legacy(options)).run(bed) {
+        Ok(r) => Ok(r.outcome),
+        Err(BootFailure::Fatal(f)) => Err(f.error),
+        // Unreachable with the legacy plan (suspend_on_outage = false),
+        // but degrade sanely if the plan ever changes.
+        Err(BootFailure::Suspended(s)) => Err(s.into_last_error()),
     }
-
-    // ── ⑤ Verify, manipulate, encrypt inside the SM enclave ───────────
-    let size = bed.cl_store.len();
-    timed(&clock, &mut breakdown, BootPhase::BitstreamVerify, || {
-        bed.cost.charge(&clock, Op::BitstreamVerify(size));
-        Ok(())
-    })?;
-    timed(
-        &clock,
-        &mut breakdown,
-        BootPhase::BitstreamManipulation,
-        || {
-            bed.cost.charge(&clock, Op::BitstreamManipulate(size));
-            Ok(())
-        },
-    )?;
-    let encrypted = timed(&clock, &mut breakdown, BootPhase::BitstreamEncrypt, || {
-        bed.cost.charge(&clock, Op::BitstreamEncrypt(size));
-        let cl = bed.cl_store.clone();
-        bed.sm_app.prepare_bitstream(&cl)
-    })?;
-
-    // ── ⑤→⑥ Shell deployment and internal decryption ─────────────────
-    timed(&clock, &mut breakdown, BootPhase::ClLoad, || {
-        let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
-        let observed = h2f.transmit(&encrypted)?;
-        bed.cost.charge(&clock, Op::IcapProgram(observed.len()));
-        bed.shell.deploy_bitstream(&observed)?;
-        Ok(())
-    })?;
-
-    // ── ⑦ CL attestation ───────────────────────────────────────────────
-    timed(&clock, &mut breakdown, BootPhase::ClAuthentication, || {
-        let sm_logic = SmLogic::bind(bed.shell.device(), bed.partition)?;
-
-        let request = bed.sm_app.attest_request()?;
-        bed.cost.charge(&clock, Op::SmLogicMac);
-        let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
-        let observed = h2f.transmit(&request.to_bytes())?;
-        let observed = AttestRequest::from_bytes(&observed)?;
-
-        bed.cost.charge(&clock, Op::SmLogicMac);
-        let response = sm_logic.handle_attestation(&observed)?;
-        let f2h = bed.fabric.channel(endpoints::FPGA, endpoints::HOST);
-        let observed = f2h.transmit(&response.to_bytes())?;
-        let observed = AttestResponse::from_bytes(&observed)?;
-
-        bed.cost.charge(&clock, Op::SmLogicMac);
-        bed.sm_app.process_attest_response(&observed)?;
-        bed.sm_logic = Some(sm_logic);
-        Ok(())
-    })?;
-
-    // SM enclave conveys the CL result to the user enclave (LA channel).
-    {
-        let s2u = bed
-            .fabric
-            .channel(endpoints::SM_ENCLAVE, endpoints::USER_ENCLAVE);
-        let sealed = bed.sm_app.cl_result_message()?;
-        let observed = s2u.transmit(&sealed)?;
-        bed.user_app.receive_cl_result(&observed)?;
-    }
-
-    // ── ⑧ Deferred cascaded RA report ──────────────────────────────────
-    let final_quote = timed(&clock, &mut breakdown, BootPhase::FinalQuoteGen, || {
-        bed.cost.charge(&clock, Op::EnclaveTransition);
-        bed.cost.charge(&clock, Op::QuoteGeneration);
-        bed.user_app.final_quote()
-    })?;
-
-    let data_key_envelope = timed(&clock, &mut breakdown, BootPhase::FinalQuoteVerify, || {
-        let h2c = bed.fabric.channel(endpoints::HOST, endpoints::CLIENT);
-        let observed = h2c.transmit(&final_quote.to_bytes())?;
-        let quote = salus_tee::quote::Quote::from_bytes(&observed)?;
-        bed.cost.charge(&clock, Op::QuoteVerification { wan: true });
-        bed.client.process_final_quote(&quote)
-    })?;
-
-    // ── ⑨ Data-key release ─────────────────────────────────────────────
-    timed(&clock, &mut breakdown, BootPhase::DataKeyTransfer, || {
-        let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
-        let observed = c2h.transmit(&data_key_envelope.to_bytes())?;
-        let envelope = RaEnvelope::from_bytes(&observed)?;
-        bed.user_app.receive_data_key(&envelope)
-    })?;
-
-    bed.host_reg = Some(bed.sm_app.host_reg_channel()?);
-
-    Ok(BootOutcome {
-        breakdown,
-        report: CascadeReport {
-            user_attested: bed.client.platform_attested(),
-            sm_attested: bed.user_app.platform_attested(),
-            cl_attested: bed.sm_app.cl_attested(),
-        },
-    })
 }
 
 #[cfg(test)]
@@ -504,5 +1170,50 @@ mod tests {
         // Channel still works after the re-boot.
         bed.secure_reg_write(1, 2).unwrap();
         assert_eq!(bed.secure_reg_read(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn resilient_fault_free_boot_matches_legacy_breakdown_exactly() {
+        let mut legacy_bed = TestBed::provision(TestBedConfig::quick());
+        let legacy = secure_boot(&mut legacy_bed).unwrap();
+
+        let mut bed = TestBed::provision(TestBedConfig::quick());
+        let resilient = secure_boot_resilient(&mut bed, BootPlan::resilient()).unwrap();
+
+        assert_eq!(resilient.outcome.breakdown, legacy.breakdown);
+        assert_eq!(resilient.outcome.report, legacy.report);
+        // Fault-free: every executed step took exactly one attempt.
+        assert_eq!(resilient.trace.total_transient_failures(), 0);
+        assert_eq!(resilient.trace.total_backoff(), Duration::ZERO);
+        assert!(
+            resilient.trace.steps().iter().all(|s| s.attempts == 1),
+            "unexpected retries: {:?}",
+            resilient.trace
+        );
+    }
+
+    #[test]
+    fn resilient_paper_scale_matches_legacy_total() {
+        let mut legacy_bed = TestBed::paper_scale();
+        let legacy = secure_boot(&mut legacy_bed).unwrap();
+        let mut bed = TestBed::paper_scale();
+        let resilient = secure_boot_resilient(&mut bed, BootPlan::resilient()).unwrap();
+        assert_eq!(resilient.outcome.breakdown, legacy.breakdown);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_per_seed() {
+        let mut a = BootMachine::new(BootPlan::resilient().with_jitter_seed(1));
+        let mut b = BootMachine::new(BootPlan::resilient().with_jitter_seed(1));
+        let mut c = BootMachine::new(BootPlan::resilient().with_jitter_seed(2));
+        let sa: Vec<Duration> = (1..=4).map(|n| a.backoff_for(n)).collect();
+        let sb: Vec<Duration> = (1..=4).map(|n| b.backoff_for(n)).collect();
+        let sc: Vec<Duration> = (1..=4).map(|n| c.backoff_for(n)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+        // Exponential shape: each pre-cap backoff at least doubles the base.
+        assert!(sa[0] >= Duration::from_millis(50));
+        assert!(sa[1] >= Duration::from_millis(100));
+        assert!(sa[3] <= Duration::from_secs(3), "cap + jitter bound");
     }
 }

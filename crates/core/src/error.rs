@@ -41,6 +41,39 @@ pub enum SalusError {
     Net(NetError),
 }
 
+/// Coarse recovery classification of a [`SalusError`].
+///
+/// The boot orchestrator retries [`FaultClass::Transient`] failures
+/// (bounded, with backoff) and fails closed immediately on
+/// [`FaultClass::Fatal`] ones — an integrity or attestation violation
+/// never improves by resending, and retrying it would hand an active
+/// adversary free oracle queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Transport loss or timeout: resending the same logical request is
+    /// safe and may succeed.
+    Transient,
+    /// Everything else: security detections, malformed messages, state
+    /// and routing errors. Never retried.
+    Fatal,
+}
+
+impl SalusError {
+    /// Classifies this error for the retry policy.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            SalusError::Net(e) if e.is_transient() => FaultClass::Transient,
+            _ => FaultClass::Fatal,
+        }
+    }
+
+    /// True when [`fault_class`](SalusError::fault_class) is
+    /// [`FaultClass::Transient`].
+    pub fn is_transient(&self) -> bool {
+        self.fault_class() == FaultClass::Transient
+    }
+}
+
 impl fmt::Display for SalusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -108,5 +141,65 @@ impl From<BitstreamError> for SalusError {
 impl From<NetError> for SalusError {
     fn from(e: NetError) -> Self {
         SalusError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One representative of every variant.
+    fn all_variants() -> Vec<SalusError> {
+        vec![
+            SalusError::DigestMismatch,
+            SalusError::ClAttestationFailed("mac"),
+            SalusError::RegisterChannelViolation("ctr"),
+            SalusError::RemoteAttestationFailed("quote"),
+            SalusError::LocalAttestationFailed("report"),
+            SalusError::KeyDistributionRefused("unknown device"),
+            SalusError::CascadeReportInvalid("hash"),
+            SalusError::Malformed("frame"),
+            SalusError::SmLogicUnavailable("not booted"),
+            SalusError::Tee(TeeError::VerificationFailed("report")),
+            SalusError::Fpga(FpgaError::DecryptionFailed),
+            SalusError::Bitstream(BitstreamError::ResourceOverflow { class: "LUT" }),
+            SalusError::Net(NetError::Dropped),
+            SalusError::Net(NetError::TimedOut),
+            SalusError::Net(NetError::UnknownEndpoint("x".into())),
+            SalusError::Net(NetError::Remote("boom".into())),
+        ]
+    }
+
+    #[test]
+    fn display_covers_every_variant_without_debug_dumps() {
+        for e in all_variants() {
+            let shown = e.to_string();
+            assert!(!shown.is_empty(), "empty display for {e:?}");
+            // Display must be prose, not a debug dump of the enum.
+            assert_ne!(shown, format!("{e:?}"), "debug-looking display: {shown}");
+            assert!(
+                !shown.contains("SalusError") && !shown.contains("::"),
+                "display leaks type structure: {shown}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_transport_losses_are_transient() {
+        for e in all_variants() {
+            let expect = matches!(
+                e,
+                SalusError::Net(NetError::Dropped) | SalusError::Net(NetError::TimedOut)
+            );
+            assert_eq!(e.is_transient(), expect, "misclassified: {e:?}");
+            assert_eq!(
+                e.fault_class(),
+                if expect {
+                    FaultClass::Transient
+                } else {
+                    FaultClass::Fatal
+                }
+            );
+        }
     }
 }

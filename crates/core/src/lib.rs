@@ -73,4 +73,4 @@ pub mod user_app;
 
 mod error;
 
-pub use error::SalusError;
+pub use error::{FaultClass, SalusError};

@@ -26,6 +26,11 @@ pub struct Manufacturer {
     attestation: AttestationService,
     expected_sm_enclave: Measurement,
     outstanding_challenges: HashSet<[u8; 32]>,
+    /// Idempotency caches: completed request rounds keyed by the
+    /// caller-chosen token, so a client retrying after a lost response
+    /// gets the original answer instead of a "unknown challenge" refusal.
+    begin_cache: HashMap<u64, [u8; 32]>,
+    redeem_cache: HashMap<u64, RaEnvelope>,
 }
 
 impl std::fmt::Debug for Manufacturer {
@@ -50,6 +55,8 @@ impl Manufacturer {
             attestation,
             expected_sm_enclave,
             outstanding_challenges: HashSet::new(),
+            begin_cache: HashMap::new(),
+            redeem_cache: HashMap::new(),
         }
     }
 
@@ -110,6 +117,49 @@ impl Manufacturer {
             key.as_bytes(),
             &entropy,
         ))
+    }
+
+    /// Idempotent [`begin_key_request`](Manufacturer::begin_key_request):
+    /// the first call under `token` runs the normal path; any repeat of
+    /// the same token returns the cached challenge without minting a new
+    /// one. A client whose response was lost in transit can therefore
+    /// resend the request and continue the round it already started.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`begin_key_request`](Manufacturer::begin_key_request).
+    pub fn begin_key_request_idem(&mut self, dna: u64, token: u64) -> Result<[u8; 32], SalusError> {
+        if let Some(challenge) = self.begin_cache.get(&token) {
+            return Ok(*challenge);
+        }
+        let challenge = self.begin_key_request(dna)?;
+        self.begin_cache.insert(token, challenge);
+        Ok(challenge)
+    }
+
+    /// Idempotent [`redeem_key_request`](Manufacturer::redeem_key_request):
+    /// a repeated `token` replays the cached envelope instead of failing
+    /// with "unknown challenge" (the challenge is single-use, but the
+    /// *round* is replay-tolerant). Only successful redemptions are
+    /// cached — a failed attestation is re-evaluated in full on retry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`redeem_key_request`](Manufacturer::redeem_key_request).
+    pub fn redeem_key_request_idem(
+        &mut self,
+        token: u64,
+        dna: u64,
+        challenge: [u8; 32],
+        quote: &Quote,
+        enclave_pub: &[u8; 32],
+    ) -> Result<RaEnvelope, SalusError> {
+        if let Some(envelope) = self.redeem_cache.get(&token) {
+            return Ok(envelope.clone());
+        }
+        let envelope = self.redeem_key_request(dna, challenge, quote, enclave_pub)?;
+        self.redeem_cache.insert(token, envelope.clone());
+        Ok(envelope)
     }
 }
 
@@ -217,6 +267,64 @@ mod tests {
                 .redeem_key_request(dna, challenge, &quote, &responder.pubkey()),
             Err(SalusError::KeyDistributionRefused("unknown challenge"))
         ));
+    }
+
+    #[test]
+    fn idempotent_begin_returns_same_challenge_for_same_token() {
+        let mut s = setup();
+        let dna = s.device.dna().read();
+        let first = s.manufacturer.begin_key_request_idem(dna, 7).unwrap();
+        // A retried (duplicated or re-sent) request is absorbed.
+        let again = s.manufacturer.begin_key_request_idem(dna, 7).unwrap();
+        assert_eq!(first, again);
+        // A different token is a fresh round with a fresh challenge.
+        let other = s.manufacturer.begin_key_request_idem(dna, 8).unwrap();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn idempotent_redeem_replays_envelope_after_lost_response() {
+        let mut s = setup();
+        let dna = s.device.dna().read();
+        let challenge = s.manufacturer.begin_key_request_idem(dna, 7).unwrap();
+        let responder = RaResponder::new(&s.sm_enclave);
+        let quote = responder
+            .quote(&s.sm_enclave, &s.qe, &challenge, &[0; 32])
+            .unwrap();
+        let first = s
+            .manufacturer
+            .redeem_key_request_idem(7, dna, challenge, &quote, &responder.pubkey())
+            .unwrap();
+        // The response was lost; the client resends the same token and
+        // gets the identical envelope even though the challenge was
+        // consumed by the first redemption.
+        let again = s
+            .manufacturer
+            .redeem_key_request_idem(7, dna, challenge, &quote, &responder.pubkey())
+            .unwrap();
+        assert_eq!(first, again);
+        assert_eq!(responder.decrypt(&again).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn idempotent_redeem_does_not_cache_failures() {
+        let mut s = setup();
+        let dna = s.device.dna().read();
+        let challenge = s.manufacturer.begin_key_request_idem(dna, 7).unwrap();
+        let responder = RaResponder::new(&s.sm_enclave);
+        let quote = responder
+            .quote(&s.sm_enclave, &s.qe, &challenge, &[0; 32])
+            .unwrap();
+        // Wrong challenge → refused, and the token stays uncached.
+        assert!(s
+            .manufacturer
+            .redeem_key_request_idem(9, dna, [0xAB; 32], &quote, &responder.pubkey())
+            .is_err());
+        // The genuine round under the same token still succeeds.
+        assert!(s
+            .manufacturer
+            .redeem_key_request_idem(9, dna, challenge, &quote, &responder.pubkey())
+            .is_ok());
     }
 
     #[test]

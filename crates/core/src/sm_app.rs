@@ -21,6 +21,13 @@ use crate::ra::{RaEnvelope, RaResponder};
 use crate::reg_channel::HostRegChannel;
 use crate::SalusError;
 
+/// How many lost predecessors an LA-channel receive tolerates. A peer
+/// retrying over a lossy transport seals each attempt at a fresh
+/// counter; the window lets the receiver accept the attempt that
+/// finally arrives without mistaking it for a replay (true replays sit
+/// *below* the receive counter and stay rejected).
+pub(crate) const LA_RETRY_WINDOW: u64 = 8;
+
 /// The secrets injected into the current CL (enclave-private state).
 struct InjectedSecrets {
     key_attest: KeyAttest,
@@ -113,7 +120,7 @@ impl SmApp {
             .as_mut()
             .ok_or(SalusError::LocalAttestationFailed("no channel"))?;
         let bytes = channel
-            .open(sealed)
+            .open_window(sealed, LA_RETRY_WINDOW)
             .map_err(|_| SalusError::LocalAttestationFailed("metadata message"))?;
         self.metadata = Some(BitstreamMetadata::from_bytes(&bytes)?);
         Ok(())

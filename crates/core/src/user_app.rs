@@ -200,7 +200,7 @@ impl UserApp {
             .as_mut()
             .ok_or(SalusError::LocalAttestationFailed("no channel"))?;
         let msg = channel
-            .open(sealed)
+            .open_window(sealed, crate::sm_app::LA_RETRY_WINDOW)
             .map_err(|_| SalusError::LocalAttestationFailed("cl result message"))?;
         let expected_prefix = b"CL_OK:";
         if msg.len() != expected_prefix.len() + 32 || !msg.starts_with(expected_prefix) {

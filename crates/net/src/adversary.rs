@@ -223,22 +223,39 @@ impl Adversary for CrossReplayer {
 /// Drops every message after the first `allow` messages (a DoS-flavoured
 /// attack; the paper excludes DoS, so tests only use this to check error
 /// propagation, not security claims).
+///
+/// The countdown uses a single atomic read-modify-write, so concurrent
+/// observers (e.g. a test polling [`remaining`](Dropper::remaining)
+/// through an [`crate::channel::AdversaryHandle`] while another thread
+/// drives the channel) always see a consistent allowance — the counter
+/// can never be decremented past zero or lose an update.
 #[derive(Debug)]
 pub struct Dropper {
-    allow: usize,
+    allow: std::sync::atomic::AtomicUsize,
 }
 
 impl Dropper {
     /// Allows `allow` messages through, then drops the rest.
     pub fn after(allow: usize) -> Dropper {
-        Dropper { allow }
+        Dropper {
+            allow: std::sync::atomic::AtomicUsize::new(allow),
+        }
+    }
+
+    /// Messages still allowed through before the drop regime starts.
+    pub fn remaining(&self) -> usize {
+        self.allow.load(std::sync::atomic::Ordering::SeqCst)
     }
 }
 
 impl Adversary for Dropper {
     fn on_message(&mut self, _src: &str, _dst: &str, _payload: &[u8]) -> Verdict {
-        if self.allow > 0 {
-            self.allow -= 1;
+        use std::sync::atomic::Ordering;
+        let passed = self
+            .allow
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if passed {
             Verdict::Pass
         } else {
             Verdict::Drop
@@ -246,7 +263,7 @@ impl Adversary for Dropper {
     }
 
     fn describe(&self) -> String {
-        format!("dropper(allow {})", self.allow)
+        format!("dropper(allow {})", self.remaining())
     }
 }
 
@@ -308,5 +325,18 @@ mod tests {
         let mut d = Dropper::after(1);
         assert_eq!(d.on_message("a", "b", b"x"), Verdict::Pass);
         assert_eq!(d.on_message("a", "b", b"y"), Verdict::Drop);
+    }
+
+    #[test]
+    fn dropper_exposes_remaining_allowance() {
+        let mut d = Dropper::after(2);
+        assert_eq!(d.remaining(), 2);
+        d.on_message("a", "b", b"x");
+        assert_eq!(d.remaining(), 1);
+        d.on_message("a", "b", b"y");
+        assert_eq!(d.remaining(), 0);
+        // Exhausted: drops do not underflow the allowance.
+        assert_eq!(d.on_message("a", "b", b"z"), Verdict::Drop);
+        assert_eq!(d.remaining(), 0);
     }
 }

@@ -6,11 +6,13 @@
 //! charged the link cost.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::adversary::{Adversary, Honest, Verdict};
 use crate::clock::SimClock;
+use crate::fault::{FaultAction, FaultPlane};
 use crate::latency::{LatencyModel, LinkClass};
 use crate::NetError;
 
@@ -34,6 +36,17 @@ pub struct Channel {
     model: LatencyModel,
     clock: SimClock,
     adversary: Arc<Mutex<Box<dyn Adversary>>>,
+    fault_plane: Arc<Mutex<Option<FaultPlane>>>,
+}
+
+/// What one [`Channel::transmit_ext`] actually delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The bytes the receiver observes (possibly tampered or stale).
+    pub bytes: Vec<u8>,
+    /// True when the fault plane delivered the message twice; the RPC
+    /// layer uses this to invoke the handler a second time.
+    pub duplicated: bool,
 }
 
 impl std::fmt::Debug for Channel {
@@ -62,7 +75,18 @@ impl Channel {
             model,
             clock,
             adversary: Arc::new(Mutex::new(Box::new(Honest))),
+            fault_plane: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Installs a fault plane on this channel (shared across clones).
+    pub fn set_fault_plane(&self, plane: FaultPlane) {
+        *self.fault_plane.lock() = Some(plane);
+    }
+
+    /// Removes the fault plane, restoring a fault-free link.
+    pub fn clear_fault_plane(&self) {
+        *self.fault_plane.lock() = None;
     }
 
     /// Source endpoint name.
@@ -99,18 +123,121 @@ impl Channel {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::Dropped`] if the adversary drops the message.
+    /// Returns [`NetError::Dropped`] if the adversary or fault plane
+    /// drops the message.
     pub fn transmit(&self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
-        self.clock
-            .advance(self.model.transfer_cost(self.class, payload.len()));
+        self.transmit_ext(payload, None).map(|d| d.bytes)
+    }
+
+    /// [`transmit`](Channel::transmit) with a per-call deadline: when
+    /// the message is lost or arrives late, the sender waits out the
+    /// full `deadline` in virtual time and gets [`NetError::TimedOut`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TimedOut`] on any loss or late delivery.
+    pub fn transmit_deadline(
+        &self,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, NetError> {
+        self.transmit_ext(payload, Some(deadline)).map(|d| d.bytes)
+    }
+
+    /// The full-fidelity transmit: adversary interposition, fault
+    /// injection, optional deadline, duplicate signalling.
+    ///
+    /// With a deadline, losses charge the remaining wait (the sender
+    /// blocks until the deadline) and surface as [`NetError::TimedOut`];
+    /// without one, they surface immediately as [`NetError::Dropped`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Dropped`] / [`NetError::TimedOut`] as above.
+    pub fn transmit_ext(
+        &self,
+        payload: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<Delivery, NetError> {
+        let cost = self.model.transfer_cost(self.class, payload.len());
+        self.clock.advance(cost);
+
+        // The sender gives up at `deadline`: on a loss, the remaining
+        // wait is still charged to virtual time.
+        let lost = |spent: Duration| match deadline {
+            Some(d) => {
+                self.clock.advance(d.saturating_sub(spent));
+                NetError::TimedOut
+            }
+            None => NetError::Dropped,
+        };
+
+        // The adversary taps the sender's side of the wire first; the
+        // fault plane models the fabric beyond it.
         let verdict = self
             .adversary
             .lock()
             .on_message(&self.src, &self.dst, payload);
-        match verdict {
-            Verdict::Pass => Ok(payload.to_vec()),
-            Verdict::Tamper(replacement) => Ok(replacement),
-            Verdict::Drop => Err(NetError::Dropped),
+        let bytes = match verdict {
+            Verdict::Pass => payload.to_vec(),
+            Verdict::Tamper(replacement) => replacement,
+            Verdict::Drop => return Err(lost(cost)),
+        };
+
+        // The link itself is too slow for the caller's budget: the
+        // message arrives, but after the sender stopped waiting.
+        if deadline.is_some_and(|d| cost > d) {
+            return Err(NetError::TimedOut);
+        }
+
+        let plane = self.fault_plane.lock().clone();
+        let Some(plane) = plane else {
+            return Ok(Delivery {
+                bytes,
+                duplicated: false,
+            });
+        };
+
+        match plane.decide(&self.src, &self.dst, self.clock.now_ns()) {
+            FaultAction::HoldForReorder => {
+                // Held back: lost for now, delivered stale in place of
+                // the channel's next message.
+                plane.hold(&self.src, &self.dst, bytes);
+                Err(lost(cost))
+            }
+            decision => {
+                // A previously held message arrives *instead* of this
+                // one; the current payload is permanently lost.
+                let bytes = plane.take_held(&self.src, &self.dst).unwrap_or(bytes);
+                match decision {
+                    FaultAction::Deliver => Ok(Delivery {
+                        bytes,
+                        duplicated: false,
+                    }),
+                    FaultAction::Drop => Err(lost(cost)),
+                    FaultAction::Duplicate => {
+                        // The wire carries the message twice.
+                        self.clock.advance(cost);
+                        Ok(Delivery {
+                            bytes,
+                            duplicated: true,
+                        })
+                    }
+                    FaultAction::Delay(extra) => {
+                        if let Some(d) = deadline {
+                            if cost + extra > d {
+                                return Err(lost(cost));
+                            }
+                        }
+                        self.clock.advance(extra);
+                        Ok(Delivery {
+                            bytes,
+                            duplicated: false,
+                        })
+                    }
+                    FaultAction::HoldForReorder => unreachable!("matched above"),
+                }
+            }
         }
     }
 }
@@ -204,5 +331,125 @@ mod tests {
         chan.interpose(Dropper::after(0));
         chan.clear_adversary();
         assert!(chan.transmit(b"x").is_ok());
+    }
+
+    #[test]
+    fn fault_drop_without_deadline_is_dropped() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        let chan = test_channel();
+        chan.set_fault_plane(FaultPlane::new(
+            1,
+            FaultSpec::default().with_drop_per_mille(1000),
+        ));
+        assert_eq!(chan.transmit(b"x"), Err(NetError::Dropped));
+        chan.clear_fault_plane();
+        assert!(chan.transmit(b"x").is_ok());
+    }
+
+    #[test]
+    fn fault_drop_with_deadline_times_out_and_charges_the_wait() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        let clock = SimClock::new();
+        let chan = Channel::new(
+            "a",
+            "b",
+            LinkClass::Loopback,
+            LatencyModel::zero(),
+            clock.clone(),
+        );
+        chan.set_fault_plane(FaultPlane::new(
+            1,
+            FaultSpec::default().with_drop_per_mille(1000),
+        ));
+        let deadline = Duration::from_millis(250);
+        assert_eq!(
+            chan.transmit_deadline(b"x", deadline),
+            Err(NetError::TimedOut)
+        );
+        assert_eq!(clock.now(), deadline, "the full wait is charged");
+    }
+
+    #[test]
+    fn duplicate_charges_twice_and_flags_delivery() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        let clock = SimClock::new();
+        let chan = Channel::new(
+            "a",
+            "b",
+            LinkClass::Wan,
+            LatencyModel::paper_calibrated(),
+            clock.clone(),
+        );
+        chan.set_fault_plane(FaultPlane::new(
+            1,
+            FaultSpec::default().with_duplicate_per_mille(1000),
+        ));
+        let delivery = chan.transmit_ext(b"x", None).unwrap();
+        assert!(delivery.duplicated);
+        assert_eq!(delivery.bytes, b"x");
+        assert!(clock.now() >= Duration::from_millis(80), "two crossings");
+    }
+
+    #[test]
+    fn reorder_delivers_stale_payload_next() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        let chan = test_channel();
+        let plane = FaultPlane::new(42, FaultSpec::default().with_reorder_per_mille(500));
+        chan.set_fault_plane(plane);
+        let mut saw_stale = false;
+        let mut last_held: Option<Vec<u8>> = None;
+        for i in 0..64u32 {
+            let msg = i.to_le_bytes();
+            match chan.transmit(&msg) {
+                Ok(bytes) => {
+                    if bytes != msg {
+                        assert_eq!(Some(bytes), last_held, "stale = previously held");
+                        saw_stale = true;
+                    }
+                    last_held = None;
+                }
+                Err(NetError::Dropped) => {
+                    // Held back (or evicted a previous hold — still held).
+                    last_held = Some(msg.to_vec());
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_stale, "seed 42 at 50% produces at least one reorder");
+    }
+
+    #[test]
+    fn adversary_and_fault_plane_compose() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        let chan = test_channel();
+        let handle = chan.interpose(Snooper::new());
+        chan.set_fault_plane(FaultPlane::new(
+            3,
+            FaultSpec::default().with_drop_per_mille(1000),
+        ));
+        // The snooper still observes the message even though the fabric
+        // then loses it.
+        assert_eq!(chan.transmit(b"secret"), Err(NetError::Dropped));
+        assert!(handle.with(|s| s.saw_bytes(b"secret")));
+    }
+
+    #[test]
+    fn deadline_met_charges_only_link_cost() {
+        let clock = SimClock::new();
+        let chan = Channel::new(
+            "a",
+            "b",
+            LinkClass::Wan,
+            LatencyModel::paper_calibrated(),
+            clock.clone(),
+        );
+        let before = clock.now();
+        chan.transmit_deadline(b"x", Duration::from_secs(10))
+            .unwrap();
+        let spent = clock.now() - before;
+        assert!(
+            spent < Duration::from_millis(41),
+            "no deadline charge: {spent:?}"
+        );
     }
 }

@@ -11,8 +11,22 @@ pub enum NetError {
     UnknownMethod(String),
     /// An adversary dropped the message.
     Dropped,
+    /// Nothing arrived before the caller's deadline expired (the
+    /// deadline is charged to virtual time). Indistinguishable on the
+    /// wire from a drop, an outage, or a late delivery.
+    TimedOut,
     /// The remote handler returned an application-level failure.
     Remote(String),
+}
+
+impl NetError {
+    /// True for errors a sane caller retries: losses and timeouts, which
+    /// the fabric may cause on its own without any adversary. Routing
+    /// and application errors are not transient — resending the same
+    /// request cannot fix them.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NetError::Dropped | NetError::TimedOut)
+    }
 }
 
 impl fmt::Display for NetError {
@@ -21,6 +35,7 @@ impl fmt::Display for NetError {
             NetError::UnknownEndpoint(name) => write!(f, "unknown endpoint: {name}"),
             NetError::UnknownMethod(name) => write!(f, "unknown method: {name}"),
             NetError::Dropped => write!(f, "message dropped in transit"),
+            NetError::TimedOut => write!(f, "deadline expired before delivery"),
             NetError::Remote(msg) => write!(f, "remote error: {msg}"),
         }
     }

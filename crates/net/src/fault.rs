@@ -1,0 +1,420 @@
+//! Deterministic fault-injection plane for the simulated fabric.
+//!
+//! Where [`crate::adversary`] models an *attacker* (snoop, tamper,
+//! replay), this module models the *fabric misbehaving on its own*:
+//! drops, duplicates, reorders, latency spikes, and per-endpoint
+//! outages. The distinction matters for the recovery story — transport
+//! faults are retried, integrity violations fail closed — and the two
+//! planes compose: a channel may carry both an adversary and fault
+//! injection at once.
+//!
+//! Every decision is drawn from a seeded [`SplitMix64`] stream in
+//! message order, and outages are windows in *virtual* time on the
+//! shared [`crate::clock::SimClock`], so a given `(seed, schedule)`
+//! pair reproduces the exact same fault sequence on every run.
+//!
+//! ```
+//! use salus_net::fault::{FaultPlane, FaultSpec};
+//!
+//! let plane = FaultPlane::new(7, FaultSpec::default().with_drop_per_mille(500));
+//! let again = FaultPlane::new(7, FaultSpec::default().with_drop_per_mille(500));
+//! for _ in 0..32 {
+//!     assert_eq!(plane.decide("a", "b", 0), again.decide("a", "b", 0));
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// A tiny deterministic PRNG (SplitMix64). `salus-net` deliberately does
+/// not depend on `salus-crypto`; fault scheduling needs reproducibility,
+/// not cryptographic strength.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudorandom bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A scheduled outage of one endpoint: every message to or from
+/// `endpoint` whose send time falls inside `[start, start + duration)`
+/// (virtual time) is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outage {
+    /// The affected endpoint name.
+    pub endpoint: String,
+    /// Virtual start time of the outage.
+    pub start: Duration,
+    /// How long the outage lasts.
+    pub duration: Duration,
+}
+
+impl Outage {
+    /// True when `now` falls inside the outage window.
+    pub fn covers(&self, now: Duration) -> bool {
+        now >= self.start && now < self.start.saturating_add(self.duration)
+    }
+}
+
+/// The stochastic part of a fault schedule. Rates are per-mille
+/// (0..=1000) per message; they are evaluated in order drop → duplicate
+/// → reorder → delay, at most one firing per message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probability (‰) that a message is silently lost.
+    pub drop_per_mille: u32,
+    /// Probability (‰) that a message is delivered twice.
+    pub duplicate_per_mille: u32,
+    /// Probability (‰) that a message is held back and delivered stale
+    /// in place of the channel's next message.
+    pub reorder_per_mille: u32,
+    /// Probability (‰) of a latency spike.
+    pub delay_per_mille: u32,
+    /// Minimum extra latency of a spike.
+    pub delay_min: Duration,
+    /// Maximum extra latency of a spike.
+    pub delay_max: Duration,
+    /// Scheduled per-endpoint outages.
+    pub outages: Vec<Outage>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec {
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            delay_per_mille: 0,
+            delay_min: Duration::from_millis(1),
+            delay_max: Duration::from_millis(50),
+            outages: Vec::new(),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Sets the drop rate (builder-style).
+    pub fn with_drop_per_mille(mut self, rate: u32) -> FaultSpec {
+        self.drop_per_mille = rate;
+        self
+    }
+
+    /// Sets the duplicate rate (builder-style).
+    pub fn with_duplicate_per_mille(mut self, rate: u32) -> FaultSpec {
+        self.duplicate_per_mille = rate;
+        self
+    }
+
+    /// Sets the reorder rate (builder-style).
+    pub fn with_reorder_per_mille(mut self, rate: u32) -> FaultSpec {
+        self.reorder_per_mille = rate;
+        self
+    }
+
+    /// Sets the latency-spike rate and range (builder-style).
+    pub fn with_delay(mut self, rate: u32, min: Duration, max: Duration) -> FaultSpec {
+        self.delay_per_mille = rate;
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Adds a scheduled outage (builder-style).
+    pub fn with_outage(
+        mut self,
+        endpoint: impl Into<String>,
+        start: Duration,
+        duration: Duration,
+    ) -> FaultSpec {
+        self.outages.push(Outage {
+            endpoint: endpoint.into(),
+            start,
+            duration,
+        });
+        self
+    }
+}
+
+/// What the plane decided to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// The message is lost (random drop or endpoint outage).
+    Drop,
+    /// The message is delivered twice.
+    Duplicate,
+    /// The message is held back; the channel's next message delivers it
+    /// stale instead.
+    HoldForReorder,
+    /// The message arrives after an extra latency spike.
+    Delay(Duration),
+}
+
+/// Counters of injected faults, for determinism assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages inspected.
+    pub messages: u64,
+    /// Random drops injected.
+    pub drops: u64,
+    /// Duplicates injected.
+    pub duplicates: u64,
+    /// Reorders injected.
+    pub reorders: u64,
+    /// Latency spikes injected.
+    pub delays: u64,
+    /// Messages lost to scheduled outages.
+    pub outage_drops: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.drops + self.duplicates + self.reorders + self.delays + self.outage_drops
+    }
+}
+
+struct PlaneInner {
+    spec: FaultSpec,
+    rng: Mutex<SplitMix64>,
+    /// Per-channel held-back payload for reorder emulation.
+    held: Mutex<HashMap<(String, String), Vec<u8>>>,
+    stats: Mutex<FaultStats>,
+}
+
+/// A cloneable, shareable fault-injection plane. Install it on an
+/// [`crate::rpc::RpcFabric`] (covers every channel) or a single
+/// [`crate::channel::Channel`].
+#[derive(Clone)]
+pub struct FaultPlane {
+    inner: Arc<PlaneInner>,
+}
+
+impl std::fmt::Debug for FaultPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlane")
+            .field("spec", &self.inner.spec)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FaultPlane {
+    /// Creates a plane drawing decisions from `seed` under `spec`.
+    pub fn new(seed: u64, spec: FaultSpec) -> FaultPlane {
+        FaultPlane {
+            inner: Arc::new(PlaneInner {
+                spec,
+                rng: Mutex::new(SplitMix64::new(seed)),
+                held: Mutex::new(HashMap::new()),
+                stats: Mutex::new(FaultStats::default()),
+            }),
+        }
+    }
+
+    /// A plane that never injects anything (useful as a default).
+    pub fn inert() -> FaultPlane {
+        FaultPlane::new(0, FaultSpec::default())
+    }
+
+    /// The schedule this plane runs.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.inner.spec
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Decides the fate of one message from `src` to `dst` sent at
+    /// virtual time `now_ns`. Advances the decision stream: callers must
+    /// invoke this exactly once per message, in message order.
+    pub fn decide(&self, src: &str, dst: &str, now_ns: u64) -> FaultAction {
+        let mut stats = self.inner.stats.lock();
+        stats.messages += 1;
+
+        let now = Duration::from_nanos(now_ns);
+        let spec = &self.inner.spec;
+        if spec
+            .outages
+            .iter()
+            .any(|o| (o.endpoint == src || o.endpoint == dst) && o.covers(now))
+        {
+            stats.outage_drops += 1;
+            return FaultAction::Drop;
+        }
+
+        // One draw per message keeps the stream length independent of
+        // which branch fires — a reproducibility requirement.
+        let roll = self.inner.rng.lock().below(1000) as u32;
+        let mut threshold = spec.drop_per_mille;
+        if roll < threshold {
+            stats.drops += 1;
+            return FaultAction::Drop;
+        }
+        threshold += spec.duplicate_per_mille;
+        if roll < threshold {
+            stats.duplicates += 1;
+            return FaultAction::Duplicate;
+        }
+        threshold += spec.reorder_per_mille;
+        if roll < threshold {
+            stats.reorders += 1;
+            return FaultAction::HoldForReorder;
+        }
+        threshold += spec.delay_per_mille;
+        if roll < threshold {
+            stats.delays += 1;
+            let span = spec
+                .delay_max
+                .saturating_sub(spec.delay_min)
+                .as_nanos()
+                .max(1) as u64;
+            let extra = self.inner.rng.lock().below(span);
+            return FaultAction::Delay(spec.delay_min + Duration::from_nanos(extra));
+        }
+        FaultAction::Deliver
+    }
+
+    /// Stashes `payload` as the held-back message of channel
+    /// `src → dst` (reorder emulation), returning any previously held
+    /// payload that is now permanently lost.
+    pub fn hold(&self, src: &str, dst: &str, payload: Vec<u8>) -> Option<Vec<u8>> {
+        self.inner
+            .held
+            .lock()
+            .insert((src.to_owned(), dst.to_owned()), payload)
+    }
+
+    /// Takes the held-back payload of channel `src → dst`, if any: the
+    /// stale message a reorder delivers in place of the current one.
+    pub fn take_held(&self, src: &str, dst: &str) -> Option<Vec<u8>> {
+        self.inner
+            .held
+            .lock()
+            .remove(&(src.to_owned(), dst.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn inert_plane_always_delivers() {
+        let plane = FaultPlane::inert();
+        for _ in 0..100 {
+            assert_eq!(plane.decide("a", "b", 0), FaultAction::Deliver);
+        }
+        assert_eq!(plane.stats().total(), 0);
+        assert_eq!(plane.stats().messages, 100);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let spec = FaultSpec::default()
+            .with_drop_per_mille(200)
+            .with_duplicate_per_mille(200)
+            .with_reorder_per_mille(100)
+            .with_delay(200, Duration::from_millis(1), Duration::from_millis(9));
+        let a = FaultPlane::new(5, spec.clone());
+        let b = FaultPlane::new(5, spec);
+        let da: Vec<_> = (0..200).map(|_| a.decide("x", "y", 0)).collect();
+        let db: Vec<_> = (0..200).map(|_| b.decide("x", "y", 0)).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "schedule injects something");
+    }
+
+    #[test]
+    fn full_drop_rate_drops_everything() {
+        let plane = FaultPlane::new(1, FaultSpec::default().with_drop_per_mille(1000));
+        for _ in 0..50 {
+            assert_eq!(plane.decide("a", "b", 0), FaultAction::Drop);
+        }
+        assert_eq!(plane.stats().drops, 50);
+    }
+
+    #[test]
+    fn outage_window_is_virtual_time_scoped() {
+        let spec =
+            FaultSpec::default().with_outage("mfr", Duration::from_secs(1), Duration::from_secs(2));
+        let plane = FaultPlane::new(1, spec);
+        // Before the window.
+        assert_eq!(plane.decide("host", "mfr", 0), FaultAction::Deliver);
+        // Inside the window, both directions are dead.
+        let t = Duration::from_secs(2).as_nanos() as u64;
+        assert_eq!(plane.decide("host", "mfr", t), FaultAction::Drop);
+        assert_eq!(plane.decide("mfr", "host", t), FaultAction::Drop);
+        // Uninvolved endpoints are unaffected.
+        assert_eq!(plane.decide("host", "fpga", t), FaultAction::Deliver);
+        // After the window.
+        let t = Duration::from_secs(4).as_nanos() as u64;
+        assert_eq!(plane.decide("host", "mfr", t), FaultAction::Deliver);
+        assert_eq!(plane.stats().outage_drops, 2);
+    }
+
+    #[test]
+    fn hold_and_take_roundtrip() {
+        let plane = FaultPlane::inert();
+        assert!(plane.take_held("a", "b").is_none());
+        assert!(plane.hold("a", "b", b"one".to_vec()).is_none());
+        // A second hold evicts (loses) the first.
+        assert_eq!(plane.hold("a", "b", b"two".to_vec()).unwrap(), b"one");
+        assert_eq!(plane.take_held("a", "b").unwrap(), b"two");
+        assert!(plane.take_held("a", "b").is_none());
+    }
+
+    #[test]
+    fn delay_stays_in_configured_range() {
+        let spec = FaultSpec::default().with_delay(
+            1000,
+            Duration::from_millis(3),
+            Duration::from_millis(7),
+        );
+        let plane = FaultPlane::new(11, spec);
+        for _ in 0..50 {
+            match plane.decide("a", "b", 0) {
+                FaultAction::Delay(d) => {
+                    assert!(d >= Duration::from_millis(3) && d <= Duration::from_millis(7))
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+}

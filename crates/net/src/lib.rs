@@ -18,6 +18,9 @@
 //!   man-in-the-middle).
 //! * [`adversary`] — reusable attack behaviours: snooping, tampering,
 //!   replay, and drop.
+//! * [`fault`] — a deterministic fault-injection plane (drops,
+//!   duplicates, reorders, latency spikes, per-endpoint outages) driven
+//!   by a seeded schedule in virtual time; composes with adversaries.
 //! * [`rpc`] — a minimal synchronous request/response fabric standing in
 //!   for the paper's gRPC stack.
 //!
@@ -39,6 +42,7 @@
 pub mod adversary;
 pub mod channel;
 pub mod clock;
+pub mod fault;
 pub mod latency;
 pub mod rpc;
 

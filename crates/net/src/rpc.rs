@@ -9,11 +9,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::channel::Channel;
 use crate::clock::SimClock;
+use crate::fault::FaultPlane;
 use crate::latency::{LatencyModel, LinkClass};
 use crate::NetError;
 
@@ -46,6 +48,7 @@ struct FabricInner {
     endpoints: Mutex<HashMap<String, MethodMap>>,
     channels: Mutex<HashMap<(String, String), Channel>>,
     routes: Mutex<HashMap<(String, String), LinkClass>>,
+    fault_plane: Mutex<Option<FaultPlane>>,
 }
 
 impl std::fmt::Debug for RpcFabric {
@@ -66,8 +69,27 @@ impl RpcFabric {
                 endpoints: Mutex::new(HashMap::new()),
                 channels: Mutex::new(HashMap::new()),
                 routes: Mutex::new(HashMap::new()),
+                fault_plane: Mutex::new(None),
             }),
         }
+    }
+
+    /// Installs `plane` on every channel of the fabric — existing and
+    /// future. Fault decisions and held-back messages live on the plane,
+    /// so one plane shared across channels forms one coherent schedule.
+    pub fn install_fault_plane(&self, plane: FaultPlane) {
+        for channel in self.inner.channels.lock().values() {
+            channel.set_fault_plane(plane.clone());
+        }
+        *self.inner.fault_plane.lock() = Some(plane);
+    }
+
+    /// Removes the fault plane from the fabric and all its channels.
+    pub fn clear_fault_plane(&self) {
+        for channel in self.inner.channels.lock().values() {
+            channel.clear_fault_plane();
+        }
+        *self.inner.fault_plane.lock() = None;
     }
 
     /// The fabric's shared clock.
@@ -108,13 +130,17 @@ impl RpcFabric {
             .lock()
             .entry((src.to_owned(), dst.to_owned()))
             .or_insert_with(|| {
-                Channel::new(
+                let channel = Channel::new(
                     src,
                     dst,
                     class,
                     self.inner.model.clone(),
                     self.inner.clock.clone(),
-                )
+                );
+                if let Some(plane) = self.inner.fault_plane.lock().as_ref() {
+                    channel.set_fault_plane(plane.clone());
+                }
+                channel
             })
             .clone()
     }
@@ -137,6 +163,29 @@ impl RpcFabric {
         method: &str,
         payload: &[u8],
     ) -> Result<Vec<u8>, NetError> {
+        self.call_with_deadline(src, dst, method, payload, None)
+    }
+
+    /// [`call`](RpcFabric::call) with an optional per-call deadline.
+    ///
+    /// The deadline covers the whole round trip in *virtual* time: if
+    /// either direction is lost or the handler's virtual cost pushes the
+    /// call past the budget, the caller is charged the remaining wait
+    /// and gets [`NetError::TimedOut`]. When the fault plane duplicates
+    /// the request, the handler runs twice (the duplicate's response is
+    /// discarded) — services must be idempotent to tolerate this.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](RpcFabric::call), plus [`NetError::TimedOut`].
+    pub fn call_with_deadline(
+        &self,
+        src: &str,
+        dst: &str,
+        method: &str,
+        payload: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, NetError> {
         let handler = {
             let endpoints = self.inner.endpoints.lock();
             let methods = endpoints
@@ -148,16 +197,33 @@ impl RpcFabric {
                 .clone()
         };
 
+        let sw = self.inner.clock.stopwatch();
+        let remaining =
+            |sw: &crate::clock::Stopwatch| deadline.map(|d| d.saturating_sub(sw.elapsed()));
+
         let forward = self.channel(src, dst);
         let framed = frame(method, payload);
-        let observed = forward.transmit(&framed)?;
-        let (_, observed_payload) = unframe(&observed)
+        let delivery = forward.transmit_ext(&framed, remaining(&sw))?;
+        let (_, observed_payload) = unframe(&delivery.bytes)
             .ok_or_else(|| NetError::Remote("malformed request frame".to_owned()))?;
 
         let response = handler.lock()(observed_payload).map_err(NetError::Remote)?;
+        if delivery.duplicated {
+            // The fabric delivered the request twice: the handler runs
+            // again and its second response is discarded on the floor.
+            let _ = handler.lock()(observed_payload);
+        }
+
+        if let Some(d) = deadline {
+            if sw.elapsed() >= d {
+                return Err(NetError::TimedOut);
+            }
+        }
 
         let backward = self.channel(dst, src);
-        backward.transmit(&response)
+        backward
+            .transmit_ext(&response, remaining(&sw))
+            .map(|d| d.bytes)
     }
 }
 
@@ -249,6 +315,94 @@ mod tests {
         f.register_handler("srv", "echo", Box::new(|req| Ok(req.to_vec())));
         f.channel("cli", "srv").interpose(Dropper::after(0));
         assert_eq!(f.call("cli", "srv", "echo", b"x"), Err(NetError::Dropped));
+    }
+
+    #[test]
+    fn dropped_response_is_an_error_and_handler_side_effects_stick() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let f = fabric();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        f.register_handler(
+            "srv",
+            "echo",
+            Box::new(move |req| {
+                h.fetch_add(1, Ordering::SeqCst);
+                Ok(req.to_vec())
+            }),
+        );
+        // Only the response direction is lossy.
+        f.channel("srv", "cli").interpose(Dropper::after(0));
+        assert_eq!(f.call("cli", "srv", "echo", b"x"), Err(NetError::Dropped));
+        // The server *did* process the request — exactly the asymmetry
+        // idempotent retry has to survive.
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // The request direction keeps working.
+        f.channel("cli", "srv")
+            .interpose(crate::adversary::Snooper::new());
+        assert_eq!(f.call("cli", "srv", "echo", b"y"), Err(NetError::Dropped));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn duplicate_delivery_invokes_handler_twice_returns_first_response() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let f = fabric();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        // A counter service: each invocation observably mutates state.
+        f.register_handler(
+            "srv",
+            "count",
+            Box::new(move |_| {
+                let n = h.fetch_add(1, Ordering::SeqCst) + 1;
+                Ok(vec![n as u8])
+            }),
+        );
+        // Duplicate only the request direction: decisions alternate per
+        // message, so pick a spec that duplicates everything and clear
+        // the plane from the response channel.
+        f.install_fault_plane(FaultPlane::new(
+            1,
+            FaultSpec::default().with_duplicate_per_mille(1000),
+        ));
+        f.channel("srv", "cli").clear_fault_plane();
+        let rsp = f.call("cli", "srv", "count", b"").unwrap();
+        // Handler ran twice; the duplicate's response was discarded.
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(rsp, vec![1]);
+    }
+
+    #[test]
+    fn call_deadline_times_out_on_drop_and_charges_virtual_time() {
+        use crate::fault::{FaultPlane, FaultSpec};
+        let f = fabric();
+        f.register_handler("srv", "echo", Box::new(|req| Ok(req.to_vec())));
+        f.install_fault_plane(FaultPlane::new(
+            2,
+            FaultSpec::default().with_drop_per_mille(1000),
+        ));
+        let deadline = Duration::from_millis(100);
+        let before = f.clock().now();
+        assert_eq!(
+            f.call_with_deadline("cli", "srv", "echo", b"x", Some(deadline)),
+            Err(NetError::TimedOut)
+        );
+        assert_eq!(f.clock().now() - before, deadline);
+    }
+
+    #[test]
+    fn call_deadline_met_is_transparent() {
+        let f = RpcFabric::new(SimClock::new(), LatencyModel::paper_calibrated());
+        f.register_handler("srv", "echo", Box::new(|req| Ok(req.to_vec())));
+        f.set_route("cli", "srv", LinkClass::Wan);
+        let rsp = f
+            .call_with_deadline("cli", "srv", "echo", b"x", Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(rsp, b"x");
+        // Only the two crossings are charged, not the deadline.
+        assert!(f.clock().now() < Duration::from_millis(100));
     }
 
     #[test]

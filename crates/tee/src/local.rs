@@ -231,12 +231,30 @@ impl SecureChannel {
     /// [`TeeError::VerificationFailed`] for tampered or replayed
     /// messages.
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, TeeError> {
-        let nonce = Self::nonce(self.recv_ctr);
-        let plain = AesGcm256::new(&self.recv_key)
-            .open(&nonce, b"", sealed)
-            .map_err(|_| TeeError::VerificationFailed("channel message"))?;
-        self.recv_ctr += 1;
-        Ok(plain)
+        self.open_window(sealed, 0)
+    }
+
+    /// Decrypts an inbound message, tolerating up to `window` *lost*
+    /// predecessors: the message may have been sealed at any counter in
+    /// `recv_ctr ..= recv_ctr + window`, and on success the receive
+    /// counter fast-forwards past it. Counters below `recv_ctr` remain
+    /// unreachable, so true replays (old ciphertexts) and tampering
+    /// still fail — the window only forgives messages the sender sealed
+    /// but the transport lost, which is what a retrying peer produces.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::VerificationFailed`] for tampered or replayed
+    /// messages.
+    pub fn open_window(&mut self, sealed: &[u8], window: u64) -> Result<Vec<u8>, TeeError> {
+        let cipher = AesGcm256::new(&self.recv_key);
+        for ctr in self.recv_ctr..=self.recv_ctr.saturating_add(window) {
+            if let Ok(plain) = cipher.open(&Self::nonce(ctr), b"", sealed) {
+                self.recv_ctr = ctr + 1;
+                return Ok(plain);
+            }
+        }
+        Err(TeeError::VerificationFailed("channel message"))
     }
 }
 
@@ -325,6 +343,40 @@ mod tests {
         assert_eq!(chan_b.open(&sealed).unwrap(), b"one");
         // Replay of the same ciphertext fails: counter has advanced.
         assert!(chan_b.open(&sealed).is_err());
+    }
+
+    #[test]
+    fn open_window_tolerates_lost_predecessors_but_not_replays() {
+        let (a, b) = two_enclaves();
+        let (pending, msg) = initiate(&a, b.measurement());
+        let (mut chan_b, reply) = respond(&b, a.measurement(), &msg).unwrap();
+        let mut chan_a = pending.finish(&reply).unwrap();
+
+        // Message 0 is lost in transit; the sender re-seals at ctr 1.
+        let lost = chan_a.seal(b"first attempt");
+        let resent = chan_a.seal(b"second attempt");
+        assert_eq!(chan_b.open_window(&resent, 4).unwrap(), b"second attempt");
+        // The window fast-forwarded past the lost counter: the old
+        // ciphertext is now a true replay and stays rejected.
+        assert!(chan_b.open_window(&lost, 4).is_err());
+        // Zero-width window is exactly the strict behaviour.
+        let next = chan_a.seal(b"third");
+        assert_eq!(chan_b.open_window(&next, 0).unwrap(), b"third");
+    }
+
+    #[test]
+    fn open_window_rejects_messages_beyond_window() {
+        let (a, b) = two_enclaves();
+        let (pending, msg) = initiate(&a, b.measurement());
+        let (mut chan_b, reply) = respond(&b, a.measurement(), &msg).unwrap();
+        let mut chan_a = pending.finish(&reply).unwrap();
+
+        chan_a.seal(b"0");
+        chan_a.seal(b"1");
+        let third = chan_a.seal(b"2");
+        // Sealed at ctr 2; a window of 1 only reaches ctr 1.
+        assert!(chan_b.open_window(&third, 1).is_err());
+        assert_eq!(chan_b.open_window(&third, 2).unwrap(), b"2");
     }
 
     #[test]
