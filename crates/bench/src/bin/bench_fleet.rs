@@ -1,0 +1,82 @@
+//! Records the fleet deploy-rate trajectory: cold vs warm tenant
+//! deploys on one control plane.
+//!
+//! Uses the paper-calibrated virtual-time cost model, so the numbers
+//! are model time (what Fig. 9 reports), not host wall time. Three
+//! paths are measured on one board:
+//!
+//! * **cold** — first tenant on the board: full Fig. 3 boot including
+//!   the manufacturer round trip.
+//! * **warm-key** — later tenants on a keyed board: the cached
+//!   `Key_device` skips the manufacturer and SM-quote phases.
+//! * **warm-image** — an evicted tenant returning to its slot: reload
+//!   the parked ciphertext + CL re-attestation only.
+//!
+//! Results go to stdout and `BENCH_fleet.json` so future PRs can
+//! compare against this PR's numbers.
+
+use salus_core::boot::BootOutcome;
+use salus_core::dev::loopback_accelerator;
+use salus_core::platform::{ControlPlane, DeployPath, PlatformConfig};
+
+fn model_seconds(outcome: &BootOutcome) -> f64 {
+    outcome.breakdown.total().as_secs_f64()
+}
+
+fn main() {
+    let plane = ControlPlane::provision(PlatformConfig::paper(1, 2)).expect("provision");
+    let mut rows = Vec::new();
+    println!("Fleet deploy paths (virtual time, paper-calibrated model)\n");
+
+    // Cold: Alice takes the board's first boot, manufacturer included.
+    let alice = plane.register_tenant("alice");
+    let a = plane.deploy(alice, loopback_accelerator()).expect("cold");
+    assert_eq!(a.path, DeployPath::Cold);
+    let cold_s = model_seconds(&a.outcome);
+
+    // Warm-key: Bob reuses the fleet-cached device key.
+    let bob = plane.register_tenant("bob");
+    let b = plane.deploy(bob, loopback_accelerator()).expect("warm");
+    assert_eq!(b.path, DeployPath::WarmKey);
+    let warm_key_s = model_seconds(&b.outcome);
+
+    // Warm-image: Alice is evicted and comes back to her slot.
+    plane.evict(a).expect("evict");
+    let a2 = plane.redeploy(alice).expect("redeploy");
+    assert_eq!(a2.path, DeployPath::WarmImage);
+    let warm_image_s = model_seconds(&a2.outcome);
+
+    for (path, secs) in [
+        ("cold", cold_s),
+        ("warm_key", warm_key_s),
+        ("warm_image", warm_image_s),
+    ] {
+        let rate = 1.0 / secs;
+        let speedup = cold_s / secs;
+        println!("{path:<12} {secs:>8.3} s/deploy  {rate:>8.2} deploys/s  ({speedup:.2}x vs cold)");
+        rows.push(serde_json::json!({
+            "path": path.to_owned(),
+            "model_seconds_per_deploy": secs,
+            "deploys_per_second": rate,
+            "speedup_vs_cold": speedup,
+        }));
+    }
+
+    // The warm paths must actually be faster, or the cache is broken.
+    assert!(warm_key_s < cold_s, "warm-key deploy not faster than cold");
+    assert!(
+        warm_image_s < warm_key_s,
+        "warm-image deploy not faster than warm-key"
+    );
+
+    let report = serde_json::json!({
+        "experiment": "bench_fleet",
+        "devices": 1_u64,
+        "partitions": 2_u64,
+        "data": rows,
+    });
+    let rendered = format!("{report}");
+    std::fs::write("BENCH_fleet.json", &rendered).expect("write BENCH_fleet.json");
+    println!("\nJSON: {rendered}");
+    println!("\nWrote BENCH_fleet.json");
+}

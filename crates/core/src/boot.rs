@@ -34,7 +34,7 @@ use std::time::Duration;
 use salus_crypto::drbg::HmacDrbg;
 
 use crate::cl_attest::{AttestRequest, AttestResponse};
-use crate::instance::{endpoints, TestBed};
+use crate::instance::TestBed;
 use crate::ra::RaEnvelope;
 use crate::sm_logic::SmLogic;
 use crate::timing::Op;
@@ -101,7 +101,7 @@ impl BootBreakdown {
         self.phases.iter().map(|(_, d)| *d).sum()
     }
 
-    fn push(&mut self, phase: BootPhase, d: Duration) {
+    pub(crate) fn push(&mut self, phase: BootPhase, d: Duration) {
         self.phases.push((phase, d));
     }
 }
@@ -794,7 +794,7 @@ fn exec_step(
         // ── ② Client initiates RA of the user enclave ─────────────────
         BootStep::InitialRa => {
             let challenge = bed.client.begin_ra();
-            let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
+            let c2h = bed.fabric.channel(&bed.names.client, &bed.names.host);
             let challenge_bytes = send(&c2h, &challenge, plan)?;
             let challenge: [u8; 32] = challenge_bytes
                 .try_into()
@@ -811,7 +811,7 @@ fn exec_step(
         BootStep::UserQuoteVerify => {
             let quote1 = need(&state.quote1, "machine: no initial quote")?;
             let pubkey1 = need(&state.pubkey1, "machine: no ra pubkey")?;
-            let h2c = bed.fabric.channel(endpoints::HOST, endpoints::CLIENT);
+            let h2c = bed.fabric.channel(&bed.names.host, &bed.names.client);
             let mut wire = quote1.to_bytes();
             wire.extend_from_slice(pubkey1);
             let observed = send(&h2c, &wire, plan)?;
@@ -826,7 +826,7 @@ fn exec_step(
         }
         BootStep::MetadataTransfer => {
             let envelope = need(&state.metadata_envelope, "machine: no metadata envelope")?;
-            let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
+            let c2h = bed.fabric.channel(&bed.names.client, &bed.names.host);
             let observed = send(&c2h, &envelope.to_bytes(), plan)?;
             let envelope = RaEnvelope::from_bytes(&observed)?;
             bed.cost.charge(&clock, Op::EnclaveTransition);
@@ -836,10 +836,10 @@ fn exec_step(
         BootStep::LocalAttestation => {
             let u2s = bed
                 .fabric
-                .channel(endpoints::USER_ENCLAVE, endpoints::SM_ENCLAVE);
+                .channel(&bed.names.user_enclave, &bed.names.sm_enclave);
             let s2u = bed
                 .fabric
-                .channel(endpoints::SM_ENCLAVE, endpoints::USER_ENCLAVE);
+                .channel(&bed.names.sm_enclave, &bed.names.user_enclave);
 
             bed.cost.charge(&clock, Op::LocalAttestSide);
             let msg = bed.user_app.la_initiate();
@@ -868,8 +868,8 @@ fn exec_step(
         }
         BootStep::MfrChallenge => {
             let dna = *need(&state.dna, "machine: no target dna")?;
-            let h2m = bed.fabric.channel(endpoints::HOST, endpoints::MANUFACTURER);
-            let m2h = bed.fabric.channel(endpoints::MANUFACTURER, endpoints::HOST);
+            let h2m = bed.fabric.channel(&bed.names.host, &bed.names.manufacturer);
+            let m2h = bed.fabric.channel(&bed.names.manufacturer, &bed.names.host);
             let observed = send(&h2m, &dna.to_le_bytes(), plan)?;
             let dna_req = u64::from_le_bytes(
                 observed
@@ -877,7 +877,7 @@ fn exec_step(
                     .map_err(|_| SalusError::Malformed("dna request"))?,
             );
             let challenge = bed
-                .manufacturer
+                .key_service()
                 .begin_key_request_idem(dna_req, mfr_token)?;
             let observed = send(&m2h, &challenge, plan)?;
             let challenge: [u8; 32] = observed
@@ -895,7 +895,7 @@ fn exec_step(
             let dna = *need(&state.dna, "machine: no target dna")?;
             let mfr_challenge = *need(&state.mfr_challenge, "machine: no mfr challenge")?;
             let (sm_quote, sm_pub) = need(&state.sm_quote, "machine: no sm quote")?;
-            let h2m = bed.fabric.channel(endpoints::HOST, endpoints::MANUFACTURER);
+            let h2m = bed.fabric.channel(&bed.names.host, &bed.names.manufacturer);
             let mut wire = dna.to_le_bytes().to_vec();
             wire.extend_from_slice(&mfr_challenge);
             wire.extend_from_slice(&sm_quote.to_bytes());
@@ -911,13 +911,13 @@ fn exec_step(
             bed.cost
                 .charge(&clock, Op::QuoteVerification { wan: false });
             state.key_envelope = Some(
-                bed.manufacturer
+                bed.key_service()
                     .redeem_key_request_idem(mfr_token, dna_req, challenge, &quote, &pk)?,
             );
         }
         BootStep::DeviceKeyTransfer => {
             let key_envelope = need(&state.key_envelope, "machine: no key envelope")?;
-            let m2h = bed.fabric.channel(endpoints::MANUFACTURER, endpoints::HOST);
+            let m2h = bed.fabric.channel(&bed.names.manufacturer, &bed.names.host);
             let observed = send(&m2h, &key_envelope.to_bytes(), plan)?;
             let envelope = RaEnvelope::from_bytes(&observed)?;
             bed.cost.charge(&clock, Op::EnclaveTransition);
@@ -941,7 +941,7 @@ fn exec_step(
         // ── ⑤→⑥ Shell deployment and internal decryption ─────────────
         BootStep::ClLoad => {
             let encrypted = need(&state.encrypted, "machine: no encrypted bitstream")?;
-            let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
+            let h2f = bed.fabric.channel(&bed.names.host, &bed.names.fpga);
             let observed = send(&h2f, encrypted, plan)?;
             bed.cost.charge(&clock, Op::IcapProgram(observed.len()));
             bed.shell.deploy_bitstream(&observed)?;
@@ -952,13 +952,13 @@ fn exec_step(
 
             let request = bed.sm_app.attest_request()?;
             bed.cost.charge(&clock, Op::SmLogicMac);
-            let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
+            let h2f = bed.fabric.channel(&bed.names.host, &bed.names.fpga);
             let observed = send(&h2f, &request.to_bytes(), plan)?;
             let observed = AttestRequest::from_bytes(&observed)?;
 
             bed.cost.charge(&clock, Op::SmLogicMac);
             let response = sm_logic.handle_attestation(&observed)?;
-            let f2h = bed.fabric.channel(endpoints::FPGA, endpoints::HOST);
+            let f2h = bed.fabric.channel(&bed.names.fpga, &bed.names.host);
             let observed = send(&f2h, &response.to_bytes(), plan)?;
             let observed = AttestResponse::from_bytes(&observed)?;
 
@@ -970,7 +970,7 @@ fn exec_step(
         BootStep::ClResultRelay => {
             let s2u = bed
                 .fabric
-                .channel(endpoints::SM_ENCLAVE, endpoints::USER_ENCLAVE);
+                .channel(&bed.names.sm_enclave, &bed.names.user_enclave);
             let sealed = bed.sm_app.cl_result_message()?;
             let observed = send(&s2u, &sealed, plan)?;
             bed.user_app.receive_cl_result(&observed)?;
@@ -983,7 +983,7 @@ fn exec_step(
         }
         BootStep::FinalQuoteVerify => {
             let final_quote = need(&state.final_quote, "machine: no final quote")?;
-            let h2c = bed.fabric.channel(endpoints::HOST, endpoints::CLIENT);
+            let h2c = bed.fabric.channel(&bed.names.host, &bed.names.client);
             let observed = send(&h2c, &final_quote.to_bytes(), plan)?;
             let quote = salus_tee::quote::Quote::from_bytes(&observed)?;
             bed.cost.charge(&clock, Op::QuoteVerification { wan: true });
@@ -992,7 +992,7 @@ fn exec_step(
         // ── ⑨ Data-key release ─────────────────────────────────────────
         BootStep::DataKeyTransfer => {
             let envelope = need(&state.data_key_envelope, "machine: no data key envelope")?;
-            let c2h = bed.fabric.channel(endpoints::CLIENT, endpoints::HOST);
+            let c2h = bed.fabric.channel(&bed.names.client, &bed.names.host);
             let observed = send(&c2h, &envelope.to_bytes(), plan)?;
             let envelope = RaEnvelope::from_bytes(&observed)?;
             bed.user_app.receive_data_key(&envelope)?;

@@ -31,6 +31,8 @@ pub enum SalusError {
     Malformed(&'static str),
     /// The SM logic is absent or undecodable on the loaded CL.
     SmLogicUnavailable(&'static str),
+    /// The fleet scheduler could not place or restore a deployment.
+    Scheduler(&'static str),
     /// Underlying TEE failure.
     Tee(TeeError),
     /// Underlying FPGA failure.
@@ -96,6 +98,7 @@ impl fmt::Display for SalusError {
             }
             SalusError::Malformed(what) => write!(f, "malformed message: {what}"),
             SalusError::SmLogicUnavailable(what) => write!(f, "sm logic unavailable: {what}"),
+            SalusError::Scheduler(what) => write!(f, "scheduler: {what}"),
             SalusError::Tee(e) => write!(f, "tee: {e}"),
             SalusError::Fpga(e) => write!(f, "fpga: {e}"),
             SalusError::Bitstream(e) => write!(f, "bitstream: {e}"),
@@ -160,6 +163,7 @@ mod tests {
             SalusError::CascadeReportInvalid("hash"),
             SalusError::Malformed("frame"),
             SalusError::SmLogicUnavailable("not booted"),
+            SalusError::Scheduler("fleet saturated"),
             SalusError::Tee(TeeError::VerificationFailed("report")),
             SalusError::Fpga(FpgaError::DecryptionFailed),
             SalusError::Bitstream(BitstreamError::ResourceOverflow { class: "LUT" }),

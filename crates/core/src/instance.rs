@@ -2,6 +2,13 @@
 //! setup): a TEE-enabled host with user + SM enclaves, a shell-managed
 //! FPGA over PCIe, a manufacturer key server intra-cloud, a user client
 //! over the WAN, and the attestation service.
+//!
+//! Construction goes through [`TestBedBuilder`]: the legacy presets
+//! ([`TestBed::quick_demo`] / [`TestBed::paper_scale`]) build a private
+//! single-tenant world, while the platform control plane passes a
+//! [`SharedPlatform`](crate::platform::SharedPlatform), a leased fleet
+//! device, and per-tenant [`EndpointNames`] so many beds coexist on one
+//! fabric.
 
 use salus_bitstream::netlist::Module;
 use salus_fpga::geometry::DeviceGeometry;
@@ -10,21 +17,23 @@ use salus_net::clock::SimClock;
 use salus_net::latency::{LatencyModel, LinkClass};
 use salus_net::rpc::RpcFabric;
 use salus_tee::platform::SgxPlatform;
-use salus_tee::quote::{AttestationService, QuotingEnclave};
+use salus_tee::quote::AttestationService;
 
 use crate::client::UserClient;
 use crate::dev::{
     develop_cl, loopback_accelerator, sm_enclave_image, user_enclave_image, ClPackage,
 };
 use crate::keys::KeyData;
-use crate::manufacturer::Manufacturer;
+use crate::platform::{KeyService, SharedManufacturer, SharedPlatform};
 use crate::reg_channel::HostRegChannel;
 use crate::sm_app::SmApp;
 use crate::sm_logic::SmLogic;
 use crate::timing::CostModel;
 use crate::user_app::UserApp;
 
-/// Fabric endpoint names of the deployment's parties.
+/// Fabric endpoint names of a standalone single-tenant deployment.
+/// Fleet deployments use per-tenant names (see
+/// [`EndpointNames::tenant`]); these constants remain the default.
 pub mod endpoints {
     /// The data owner's laptop.
     pub const CLIENT: &str = "user-client";
@@ -38,6 +47,62 @@ pub mod endpoints {
     pub const USER_ENCLAVE: &str = "user-enclave";
     /// The SM enclave's IPC endpoint.
     pub const SM_ENCLAVE: &str = "sm-enclave";
+}
+
+/// The fabric endpoint names one deployment's parties answer on.
+///
+/// Every protocol step addresses peers through this table instead of
+/// the global constants, which is what lets many tenants share one
+/// fabric: tenant-scoped names for the per-tenant parties, the shared
+/// name for the manufacturer, and the fleet name for the leased board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointNames {
+    /// The data owner's client endpoint.
+    pub client: String,
+    /// The cloud host endpoint.
+    pub host: String,
+    /// The manufacturer key-server endpoint (shared across tenants).
+    pub manufacturer: String,
+    /// The FPGA board endpoint.
+    pub fpga: String,
+    /// The user enclave's IPC endpoint.
+    pub user_enclave: String,
+    /// The SM enclave's IPC endpoint.
+    pub sm_enclave: String,
+}
+
+impl Default for EndpointNames {
+    fn default() -> EndpointNames {
+        EndpointNames::legacy()
+    }
+}
+
+impl EndpointNames {
+    /// The standalone single-tenant names ([`endpoints`] constants).
+    pub fn legacy() -> EndpointNames {
+        EndpointNames {
+            client: endpoints::CLIENT.to_string(),
+            host: endpoints::HOST.to_string(),
+            manufacturer: endpoints::MANUFACTURER.to_string(),
+            fpga: endpoints::FPGA.to_string(),
+            user_enclave: endpoints::USER_ENCLAVE.to_string(),
+            sm_enclave: endpoints::SM_ENCLAVE.to_string(),
+        }
+    }
+
+    /// Names for fleet tenant `tenant` deploying onto the board at
+    /// `fpga_endpoint` (e.g. `fleet.dev2.fpga`): tenant-scoped client,
+    /// host, and enclave endpoints; the shared manufacturer.
+    pub fn tenant(tenant: u64, fpga_endpoint: &str) -> EndpointNames {
+        EndpointNames {
+            client: format!("tenant{tenant}.client"),
+            host: format!("tenant{tenant}.host"),
+            manufacturer: endpoints::MANUFACTURER.to_string(),
+            fpga: fpga_endpoint.to_string(),
+            user_enclave: format!("tenant{tenant}.user-enclave"),
+            sm_enclave: format!("tenant{tenant}.sm-enclave"),
+        }
+    }
 }
 
 /// Configuration for provisioning a test bed.
@@ -95,6 +160,153 @@ impl TestBedConfig {
     }
 }
 
+/// Builder for [`TestBed`]: the single provisioning path shared by the
+/// legacy presets and the fleet control plane.
+#[derive(Debug)]
+pub struct TestBedBuilder {
+    config: TestBedConfig,
+    names: EndpointNames,
+    shared: Option<SharedPlatform>,
+    device: Option<(Shell, usize)>,
+    tenant_seed: Option<u64>,
+}
+
+impl TestBedBuilder {
+    /// Starts a builder from `config` with legacy endpoint names, a
+    /// private platform, and a freshly manufactured device.
+    pub fn new(config: TestBedConfig) -> TestBedBuilder {
+        TestBedBuilder {
+            config,
+            names: EndpointNames::legacy(),
+            shared: None,
+            device: None,
+            tenant_seed: None,
+        }
+    }
+
+    /// Uses `names` instead of the legacy endpoint constants.
+    pub fn names(mut self, names: EndpointNames) -> TestBedBuilder {
+        self.names = names;
+        self
+    }
+
+    /// Reuses the long-lived shared platform (clock, fabric,
+    /// attestation, host TEE, manufacturer) instead of provisioning a
+    /// private one.
+    pub fn on_platform(mut self, shared: SharedPlatform) -> TestBedBuilder {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Targets an already-provisioned board (a fleet lease) at
+    /// `partition` instead of manufacturing a private device.
+    pub fn with_device(mut self, shell: Shell, partition: usize) -> TestBedBuilder {
+        self.device = Some((shell, partition));
+        self
+    }
+
+    /// Seeds the data owner's randomness and data key per tenant
+    /// (defaults to the config seed).
+    pub fn tenant_seed(mut self, seed: u64) -> TestBedBuilder {
+        self.tenant_seed = Some(seed);
+        self
+    }
+
+    /// Provisions the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator does not fit the configured geometry —
+    /// a configuration error, not a runtime condition.
+    pub fn build(self) -> TestBed {
+        let TestBedBuilder {
+            config,
+            names,
+            shared,
+            device,
+            tenant_seed,
+        } = self;
+        let tenant_seed = tenant_seed.unwrap_or(config.seed);
+
+        let SharedPlatform {
+            clock,
+            fabric,
+            attestation,
+            sgx: platform,
+            qe,
+            manufacturer,
+        } = shared.unwrap_or_else(|| {
+            SharedPlatform::provision(config.seed, config.platform_svn, config.latency.clone())
+        });
+
+        fabric.set_route(&names.client, &names.host, LinkClass::Wan);
+        fabric.set_route(&names.host, &names.manufacturer, LinkClass::IntraCloud);
+        fabric.set_route(&names.host, &names.fpga, LinkClass::Pcie);
+        fabric.set_route(&names.user_enclave, &names.sm_enclave, LinkClass::Loopback);
+
+        let user_image = user_enclave_image();
+        let sm_image = sm_enclave_image();
+
+        // Instance creation: either the CSP already leased us a
+        // provisioned board (fleet path) or we manufacture one and load
+        // the shell ourselves (standalone path).
+        let (shell, partition) = device.unwrap_or_else(|| {
+            let device = manufacturer.manufacture_device(config.geometry.clone(), config.seed);
+            let shell_image = crate::dev::build_shell_image(&config.geometry)
+                .expect("shell compiles for configured geometry");
+            let shell = Shell::provision(device, &shell_image).expect("shell image loads");
+            (shell, 0)
+        });
+
+        // Development domain.
+        let package = develop_cl(
+            config.accelerator.clone(),
+            config.geometry.partitions[partition],
+            partition,
+        )
+        .expect("accelerator fits configured geometry");
+        let cl_store = package.compiled.wire.clone();
+
+        // Cloud instance domain.
+        let user_enclave = platform.load_enclave(&user_image).expect("EPC space");
+        let sm_enclave = platform.load_enclave(&sm_image).expect("EPC space");
+        let user_app = UserApp::new(user_enclave, qe.clone(), sm_image.measure());
+        let sm_app = SmApp::new(sm_enclave, qe, user_image.measure());
+
+        // Data owner domain.
+        let mut key_seed = [0u8; 32];
+        key_seed[..8].copy_from_slice(&tenant_seed.to_le_bytes());
+        let client = UserClient::new(
+            user_image.measure(),
+            sm_image.measure(),
+            attestation.clone(),
+            package.metadata(),
+            KeyData::from_bytes(key_seed),
+            &tenant_seed.to_le_bytes(),
+        );
+
+        TestBed {
+            clock,
+            fabric,
+            cost: config.cost,
+            platform,
+            attestation,
+            manufacturer,
+            shell,
+            package,
+            cl_store,
+            client,
+            user_app,
+            sm_app,
+            sm_logic: None,
+            host_reg: None,
+            partition,
+            names,
+            advertised_dna_override: None,
+        }
+    }
+}
+
 /// One fully wired deployment.
 pub struct TestBed {
     /// Shared virtual clock.
@@ -107,8 +319,9 @@ pub struct TestBed {
     pub platform: SgxPlatform,
     /// The (trusted) attestation service.
     pub attestation: AttestationService,
-    /// The manufacturer (factory + key server).
-    pub manufacturer: Manufacturer,
+    /// The manufacturer (factory + key server), shared with every other
+    /// bed on the same platform.
+    pub manufacturer: SharedManufacturer,
     /// The CSP shell managing the FPGA.
     pub shell: Shell,
     /// The developed CL package.
@@ -128,6 +341,8 @@ pub struct TestBed {
     pub host_reg: Option<HostRegChannel>,
     /// Target reconfigurable partition.
     pub partition: usize,
+    /// The fabric endpoint names this deployment's parties answer on.
+    pub names: EndpointNames,
     /// The DNA string the (untrusted) CSP advertises for the rented
     /// board. `None` means the CSP reports the true value; attacks set
     /// it to model a lying CSP.
@@ -143,96 +358,15 @@ impl std::fmt::Debug for TestBed {
 }
 
 impl TestBed {
-    /// Provisions a full deployment from `config`.
+    /// Provisions a full deployment from `config` (standalone world:
+    /// private platform, legacy endpoint names, fresh device).
     ///
     /// # Panics
     ///
     /// Panics if the accelerator does not fit the configured geometry —
     /// a configuration error, not a runtime condition.
     pub fn provision(config: TestBedConfig) -> TestBed {
-        let clock = SimClock::new();
-        let fabric = RpcFabric::new(clock.clone(), config.latency.clone());
-        fabric.set_route(endpoints::CLIENT, endpoints::HOST, LinkClass::Wan);
-        fabric.set_route(
-            endpoints::HOST,
-            endpoints::MANUFACTURER,
-            LinkClass::IntraCloud,
-        );
-        fabric.set_route(endpoints::HOST, endpoints::FPGA, LinkClass::Pcie);
-        fabric.set_route(
-            endpoints::USER_ENCLAVE,
-            endpoints::SM_ENCLAVE,
-            LinkClass::Loopback,
-        );
-
-        // Manufacturing domain.
-        let mut attestation = AttestationService::new(b"salus-provisioning-secret");
-        let platform =
-            SgxPlatform::with_svn(&config.seed.to_le_bytes(), config.seed, config.platform_svn);
-        attestation.register_platform(config.seed);
-        let mut qe = QuotingEnclave::load(&platform).expect("QE loads");
-        qe.provision(attestation.provisioning_secret());
-
-        let user_image = user_enclave_image();
-        let sm_image = sm_enclave_image();
-        let mut manufacturer = Manufacturer::new(
-            &config.seed.to_le_bytes(),
-            attestation.clone(),
-            sm_image.measure(),
-        );
-        let device = manufacturer.manufacture_device(config.geometry.clone(), config.seed);
-        // Instance creation: the CSP loads its shell into the static
-        // region before handing the board to the tenant.
-        let shell_image = crate::dev::build_shell_image(&config.geometry)
-            .expect("shell compiles for configured geometry");
-        let shell = Shell::provision(device, &shell_image).expect("shell image loads");
-
-        // Development domain.
-        let partition = 0;
-        let package = develop_cl(
-            config.accelerator.clone(),
-            config.geometry.partitions[partition],
-            partition,
-        )
-        .expect("accelerator fits configured geometry");
-        let cl_store = package.compiled.wire.clone();
-
-        // Cloud instance domain.
-        let user_enclave = platform.load_enclave(&user_image).expect("EPC space");
-        let sm_enclave = platform.load_enclave(&sm_image).expect("EPC space");
-        let user_app = UserApp::new(user_enclave, qe.clone(), sm_image.measure());
-        let sm_app = SmApp::new(sm_enclave, qe, user_image.measure());
-
-        // Data owner domain.
-        let mut key_seed = [0u8; 32];
-        key_seed[..8].copy_from_slice(&config.seed.to_le_bytes());
-        let client = UserClient::new(
-            user_image.measure(),
-            sm_image.measure(),
-            attestation.clone(),
-            package.metadata(),
-            KeyData::from_bytes(key_seed),
-            &config.seed.to_le_bytes(),
-        );
-
-        TestBed {
-            clock,
-            fabric,
-            cost: config.cost,
-            platform,
-            attestation,
-            manufacturer,
-            shell,
-            package,
-            cl_store,
-            client,
-            user_app,
-            sm_app,
-            sm_logic: None,
-            host_reg: None,
-            partition,
-            advertised_dna_override: None,
-        }
+        TestBedBuilder::new(config).build()
     }
 
     /// A tiny zero-cost bed for examples and doc tests.
@@ -243,6 +377,13 @@ impl TestBed {
     /// The paper-scale bed (U200 geometry, calibrated costs).
     pub fn paper_scale() -> TestBed {
         TestBed::provision(TestBedConfig::paper())
+    }
+
+    /// The key-distribution service this deployment's boot talks to,
+    /// as an interface: the boot machine never sees the concrete
+    /// manufacturer.
+    pub fn key_service(&mut self) -> &mut dyn KeyService {
+        &mut self.manufacturer
     }
 
     /// Performs a secure register write through the attested channel.
@@ -279,14 +420,14 @@ impl TestBed {
         let sealed = host_reg.seal_op(op);
 
         // The transaction crosses the shell-controlled PCIe bus.
-        let channel = self.fabric.channel(endpoints::HOST, endpoints::FPGA);
+        let channel = self.fabric.channel(&self.names.host, &self.names.fpga);
         let observed = channel.transmit(&sealed.to_bytes())?;
         let observed = crate::reg_channel::SealedRegMsg::from_bytes(&observed)?;
         let response = logic.handle_register(&observed)?;
 
         let back = self
             .fabric
-            .channel(endpoints::FPGA, endpoints::HOST)
+            .channel(&self.names.fpga, &self.names.host)
             .transmit(&response.to_bytes())?;
         let back = crate::reg_channel::SealedRegMsg::from_bytes(&back)?;
         host_reg.open_response(&back)
@@ -304,6 +445,7 @@ mod tests {
         assert!(!bed.client.platform_attested());
         assert!(bed.sm_logic.is_none());
         assert_eq!(bed.cl_store, bed.package.compiled.wire);
+        assert_eq!(bed.names, EndpointNames::legacy());
     }
 
     #[test]
@@ -319,5 +461,15 @@ mod tests {
         let b = TestBed::quick_demo();
         assert_eq!(a.package.digest, b.package.digest);
         assert_eq!(a.shell.advertised_dna(), b.shell.advertised_dna());
+    }
+
+    #[test]
+    fn tenant_names_scope_everything_but_shared_services() {
+        let names = EndpointNames::tenant(3, "fleet.dev1.fpga");
+        assert_eq!(names.client, "tenant3.client");
+        assert_eq!(names.host, "tenant3.host");
+        assert_eq!(names.fpga, "fleet.dev1.fpga");
+        assert_eq!(names.manufacturer, endpoints::MANUFACTURER);
+        assert_ne!(names, EndpointNames::tenant(4, "fleet.dev1.fpga"));
     }
 }

@@ -34,6 +34,9 @@
 //! * [`timing`] — calibrated operation costs.
 //! * [`attacks`] — attack-injection drivers for the Table 3 experiments.
 //! * [`multi_rp`] — the §4.7 multi-partition extension.
+//! * [`platform`] — the multi-tenant control plane: shared platform
+//!   resources behind service traits, the device fleet, and the
+//!   tenant deployment scheduler with warm redeploys.
 //! * [`related`] — the qualitative comparison data behind Table 1.
 //!
 //! ## Quickstart
@@ -61,6 +64,7 @@ pub mod instance;
 pub mod keys;
 pub mod manufacturer;
 pub mod multi_rp;
+pub mod platform;
 pub mod ra;
 pub mod reg_channel;
 pub mod related;

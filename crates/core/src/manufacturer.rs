@@ -16,6 +16,7 @@ use salus_tee::measurement::Measurement;
 use salus_tee::quote::{AttestationService, Quote};
 
 use crate::keys::KeyDevice;
+use crate::platform::AttestationVerifier;
 use crate::ra::{RaEnvelope, RaVerifier};
 use crate::SalusError;
 
@@ -109,8 +110,12 @@ impl Manufacturer {
             .key_db
             .get(&dna)
             .ok_or(SalusError::KeyDistributionRefused("unknown device"))?;
-        let verifier = RaVerifier::new(self.expected_sm_enclave);
-        verifier.verify(&self.attestation, quote, enclave_pub, &challenge)?;
+        self.attestation.verify_binding(
+            self.expected_sm_enclave,
+            quote,
+            enclave_pub,
+            &challenge,
+        )?;
         let entropy: [u8; 44] = self.drbg.generate_array();
         Ok(RaVerifier::encrypt_to(
             enclave_pub,

@@ -14,6 +14,7 @@ use salus_tee::quote::{AttestationService, QuotingEnclave};
 
 use crate::dev::{develop_cl, sm_enclave_image, user_enclave_image};
 use crate::manufacturer::Manufacturer;
+use crate::platform::distribute_device_key;
 use crate::sm_app::SmApp;
 use crate::sm_logic::SmLogic;
 use crate::SalusError;
@@ -65,16 +66,7 @@ pub fn deploy_multi_rp(
         qe.clone(),
         user_enclave_image().measure(),
     );
-    master.set_target_device(dna);
-    let challenge = manufacturer.begin_key_request(dna)?;
-    let (quote, pubkey) = master.key_request_quote(challenge)?;
-    let envelope = manufacturer.redeem_key_request(dna, challenge, &quote, &pubkey)?;
-    master.receive_device_key(&envelope)?;
-    let key_device = master
-        .device_key()
-        .ok_or(SalusError::KeyDistributionRefused(
-            "key missing after redeem",
-        ))?;
+    let key_device = distribute_device_key(&mut manufacturer, &mut master, dna)?;
 
     // Phase 1 — independent per-partition work, run concurrently: each
     // partition's agent compiles its CL, verifies/manipulates it (RoT

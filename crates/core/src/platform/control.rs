@@ -1,0 +1,561 @@
+//! The control plane: tenant registration, scheduled deployments,
+//! eviction, and warm redeploys.
+//!
+//! One [`ControlPlane`] owns a [`SharedPlatform`] plus a
+//! [`DeviceFleet`] and serves any number of tenants. A *cold* deploy
+//! runs the full Fig. 3 boot (manufacturer round trip included); once
+//! any tenant has redeemed a board's `Key_device`, later deploys on
+//! that board go *warm-key* (the boot machine's warm path skips the
+//! manufacturer and quote phases); an evicted tenant's deployment is
+//! parked with its pre-encrypted bitstream and comes back *warm-image*
+//! — reload and CL-attest only, no manufacturer, no manipulation, no
+//! re-encryption.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use salus_bitstream::netlist::Module;
+use salus_fpga::geometry::DeviceGeometry;
+use salus_net::latency::LatencyModel;
+
+use crate::boot::{
+    secure_boot_with, BootBreakdown, BootOptions, BootOutcome, BootPhase, CascadeReport,
+};
+use crate::cl_attest::{AttestRequest, AttestResponse};
+use crate::instance::{EndpointNames, TestBed, TestBedBuilder, TestBedConfig};
+use crate::sm_logic::SmLogic;
+use crate::timing::{CostModel, Op};
+use crate::SalusError;
+
+use super::fleet::{
+    DeployPath, DeviceFleet, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
+};
+use super::scheduler::{PlacePolicy, Scheduler};
+use super::traits::DeviceBroker;
+use super::SharedPlatform;
+
+/// Configuration of one platform node.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Number of fleet boards.
+    pub devices: usize,
+    /// Per-board geometry (its partition list is the slot grid).
+    pub geometry: DeviceGeometry,
+    /// Operation cost model charged by every tenant boot.
+    pub cost: CostModel,
+    /// Link latency model of the shared fabric.
+    pub latency: LatencyModel,
+    /// Deterministic seed for the platform's randomness.
+    pub seed: u64,
+    /// Placement policy.
+    pub policy: PlacePolicy,
+}
+
+impl PlatformConfig {
+    /// Tiny zero-cost fleet for fast functional tests: `devices` boards
+    /// with `partitions` full-size tiny RPs each.
+    pub fn quick(devices: usize, partitions: usize) -> PlatformConfig {
+        PlatformConfig {
+            devices,
+            geometry: DeviceGeometry::tiny_multi_rp(partitions),
+            cost: CostModel::zero(),
+            latency: LatencyModel::zero(),
+            seed: 42,
+            policy: PlacePolicy::default(),
+        }
+    }
+
+    /// Paper-scale fleet: U200 boards split into `partitions` RPs,
+    /// calibrated costs and latencies.
+    pub fn paper(devices: usize, partitions: usize) -> PlatformConfig {
+        PlatformConfig {
+            devices,
+            geometry: DeviceGeometry::u200_multi_rp(partitions),
+            cost: CostModel::paper_calibrated(),
+            latency: LatencyModel::paper_calibrated(),
+            seed: 42,
+            policy: PlacePolicy::default(),
+        }
+    }
+
+    /// Replaces the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> PlatformConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the placement policy (builder-style).
+    pub fn with_policy(mut self, policy: PlacePolicy) -> PlatformConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the board geometry (builder-style).
+    pub fn with_geometry(mut self, geometry: DeviceGeometry) -> PlatformConfig {
+        self.geometry = geometry;
+        self
+    }
+}
+
+/// A parked (evicted) deployment, ready for warm redeploy.
+struct ParkedDeployment {
+    bed: TestBed,
+    slot: SlotId,
+    encrypted: Vec<u8>,
+}
+
+/// One tenant's running deployment, as handed out by the control
+/// plane. Owns the per-tenant bed; the slot stays leased until the
+/// deployment is evicted.
+pub struct TenantDeployment {
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// The leased (device, partition) slot.
+    pub slot: SlotId,
+    /// The tenant's wired deployment (booted).
+    pub bed: TestBed,
+    /// Boot outcome (breakdown + cascade report).
+    pub outcome: BootOutcome,
+    /// Which path the deployment took.
+    pub path: DeployPath,
+}
+
+impl std::fmt::Debug for TenantDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantDeployment")
+            .field("tenant", &self.tenant)
+            .field("slot", &self.slot)
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The platform control plane.
+pub struct ControlPlane {
+    shared: SharedPlatform,
+    fleet: Mutex<DeviceFleet>,
+    scheduler: Scheduler,
+    registry: Mutex<TenantRegistry>,
+    parked: Mutex<HashMap<TenantId, ParkedDeployment>>,
+    config: PlatformConfig,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("devices", &self.config.devices)
+            .field("tenants", &self.registry.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlPlane {
+    /// Provisions the shared platform, the device fleet, and the
+    /// manufacturer's RPC face on the shared fabric.
+    ///
+    /// # Errors
+    ///
+    /// Shell compilation or provisioning failures.
+    pub fn provision(config: PlatformConfig) -> Result<ControlPlane, SalusError> {
+        let shared = SharedPlatform::provision(
+            config.seed,
+            salus_tee::quote::CURRENT_SVN,
+            config.latency.clone(),
+        );
+        let fleet = DeviceFleet::provision(
+            &shared.manufacturer,
+            config.geometry.clone(),
+            config.devices,
+            1_000,
+        )?;
+        // The key service answers RPC on the shared fabric too, for
+        // parties that reach it over the wire rather than in-process.
+        crate::services::serve_manufacturer(&shared.fabric, shared.manufacturer.clone());
+        Ok(ControlPlane {
+            shared,
+            fleet: Mutex::new(fleet),
+            scheduler: Scheduler::new(config.policy),
+            registry: Mutex::new(TenantRegistry::new()),
+            parked: Mutex::new(HashMap::new()),
+            config,
+        })
+    }
+
+    /// The shared platform resources (cloneable handles).
+    pub fn shared(&self) -> &SharedPlatform {
+        &self.shared
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Number of fleet boards.
+    pub fn device_count(&self) -> usize {
+        self.fleet.lock().device_count()
+    }
+
+    /// Partitions per board.
+    pub fn partitions_per_device(&self) -> usize {
+        self.fleet.lock().partitions_per_device()
+    }
+
+    /// Currently free slots.
+    pub fn free_slots(&self) -> usize {
+        DeviceBroker::free_slots(&*self.fleet.lock())
+    }
+
+    /// True DNAs of the fleet boards, in device order.
+    pub fn fleet_dnas(&self) -> Vec<u64> {
+        self.fleet.lock().dnas()
+    }
+
+    /// Occupancy snapshot: `(slot, tenant)` for every held slot.
+    pub fn occupancy(&self) -> Vec<(SlotId, TenantId)> {
+        self.fleet.lock().occupancy()
+    }
+
+    /// Registers a tenant under `name` with a deterministic per-tenant
+    /// seed derived from the platform seed.
+    pub fn register_tenant(&self, name: &str) -> TenantId {
+        let mut registry = self.registry.lock();
+        let seed = self
+            .config
+            .seed
+            .wrapping_add(7_919 * (registry.len() as u64 + 1));
+        registry.register(name, seed)
+    }
+
+    /// The bookkeeping record for `tenant`.
+    pub fn tenant_record(&self, tenant: TenantId) -> Option<TenantRecord> {
+        self.registry.lock().get(tenant).cloned()
+    }
+
+    /// Whether `tenant` has a parked (evicted) deployment.
+    pub fn has_parked(&self, tenant: TenantId) -> bool {
+        self.parked.lock().contains_key(&tenant)
+    }
+
+    /// Deploys `accelerator` for `tenant` onto a scheduler-chosen free
+    /// slot and runs the secure boot. Cold on a board nobody has booted
+    /// yet; warm-key (manufacturer phases skipped) once the board's
+    /// `Key_device` is in the fleet cache. The boot itself runs outside
+    /// the fleet lock, so deployments of different tenants proceed
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] for unknown tenants and saturated
+    /// fleets; boot errors propagate (the slot is released).
+    pub fn deploy(
+        &self,
+        tenant: TenantId,
+        accelerator: Module,
+    ) -> Result<TenantDeployment, SalusError> {
+        let seed = self
+            .registry
+            .lock()
+            .get(tenant)
+            .ok_or(SalusError::Scheduler("unknown tenant"))?
+            .seed;
+        let (lease, cached) = {
+            let mut fleet = self.fleet.lock();
+            let slot = self.scheduler.place(&fleet, None)?;
+            let broker: &mut dyn DeviceBroker = &mut *fleet;
+            let lease = broker.lease_at(slot, tenant)?;
+            let cached = fleet.cached_key(slot.device);
+            (lease, cached)
+        };
+        match self.boot_on_lease(tenant, seed, accelerator, &lease, cached) {
+            Ok(deployment) => {
+                self.registry.lock().record_deploy(tenant, deployment.path);
+                Ok(deployment)
+            }
+            Err(e) => {
+                let mut fleet = self.fleet.lock();
+                let broker: &mut dyn DeviceBroker = &mut *fleet;
+                let _ = broker.release(lease.slot);
+                Err(e)
+            }
+        }
+    }
+
+    fn boot_on_lease(
+        &self,
+        tenant: TenantId,
+        seed: u64,
+        accelerator: Module,
+        lease: &DeviceLease,
+        cached: Option<crate::keys::KeyDevice>,
+    ) -> Result<TenantDeployment, SalusError> {
+        let config = TestBedConfig {
+            geometry: self.config.geometry.clone(),
+            cost: self.config.cost.clone(),
+            latency: self.config.latency.clone(),
+            seed: self.config.seed,
+            accelerator,
+            platform_svn: salus_tee::quote::CURRENT_SVN,
+        };
+        let mut bed = TestBedBuilder::new(config)
+            .names(EndpointNames::tenant(tenant.0, &lease.endpoint))
+            .on_platform(self.shared.clone())
+            .with_device(lease.shell.clone(), lease.slot.partition)
+            .tenant_seed(seed)
+            .build();
+
+        let warm = cached.is_some();
+        if let Some(key) = cached {
+            bed.sm_app.install_device_key(key);
+        }
+        let outcome = secure_boot_with(
+            &mut bed,
+            BootOptions {
+                reuse_cached_device_key: true,
+            },
+        )?;
+        if !warm {
+            // First successful boot on this board: harvest the redeemed
+            // key so every later deployment here goes warm.
+            if let Some(key) = bed.sm_app.device_key() {
+                self.fleet.lock().cache_key(lease.slot.device, key);
+            }
+        }
+        Ok(TenantDeployment {
+            tenant,
+            slot: lease.slot,
+            bed,
+            outcome,
+            path: if warm {
+                DeployPath::WarmKey
+            } else {
+                DeployPath::Cold
+            },
+        })
+    }
+
+    /// Evicts a deployment: parks the bed together with its
+    /// pre-encrypted bitstream and frees the slot for other tenants.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when the deployment never prepared a
+    /// bitstream (nothing to park) or its slot is not leased.
+    pub fn evict(&self, deployment: TenantDeployment) -> Result<TenantId, SalusError> {
+        let TenantDeployment {
+            tenant, slot, bed, ..
+        } = deployment;
+        let encrypted = bed
+            .sm_app
+            .prepared_bitstream()
+            .ok_or(SalusError::Scheduler("nothing to park"))?;
+        {
+            let mut fleet = self.fleet.lock();
+            let broker: &mut dyn DeviceBroker = &mut *fleet;
+            broker.release(slot)?;
+        }
+        self.parked.lock().insert(
+            tenant,
+            ParkedDeployment {
+                bed,
+                slot,
+                encrypted,
+            },
+        );
+        self.registry.lock().record_eviction(tenant);
+        Ok(tenant)
+    }
+
+    /// Warm-image redeploy of `tenant`'s parked deployment: reload the
+    /// parked ciphertext on the same slot and re-run CL attestation —
+    /// no manufacturer round trip, no manipulation, no re-encryption.
+    /// The ciphertext is bound to that exact slot (device DNA in the
+    /// GCM AAD, partition index in the digest), so the scheduler places
+    /// with affinity; if the slot was taken meanwhile, the deployment
+    /// stays parked and the caller can fall back to a cold deploy.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when nothing is parked or the affine
+    /// slot is occupied (deployment re-parked); protocol errors if the
+    /// reloaded CL fails attestation.
+    pub fn redeploy(&self, tenant: TenantId) -> Result<TenantDeployment, SalusError> {
+        let parked = self
+            .parked
+            .lock()
+            .remove(&tenant)
+            .ok_or(SalusError::Scheduler("no parked deployment"))?;
+        let leased = {
+            let mut fleet = self.fleet.lock();
+            self.scheduler
+                .place(&fleet, Some(parked.slot))
+                .and_then(|slot| {
+                    let broker: &mut dyn DeviceBroker = &mut *fleet;
+                    broker.lease_at(slot, tenant)
+                })
+        };
+        let lease = match leased {
+            Ok(lease) => lease,
+            Err(e) => {
+                self.parked.lock().insert(tenant, parked);
+                return Err(e);
+            }
+        };
+        match Self::warm_image_boot(parked) {
+            Ok((bed, breakdown)) => {
+                let outcome = BootOutcome {
+                    breakdown,
+                    report: CascadeReport {
+                        user_attested: bed.client.platform_attested(),
+                        sm_attested: bed.user_app.platform_attested(),
+                        cl_attested: bed.sm_app.cl_attested(),
+                    },
+                };
+                self.registry
+                    .lock()
+                    .record_deploy(tenant, DeployPath::WarmImage);
+                Ok(TenantDeployment {
+                    tenant,
+                    slot: lease.slot,
+                    bed,
+                    outcome,
+                    path: DeployPath::WarmImage,
+                })
+            }
+            Err(e) => {
+                let mut fleet = self.fleet.lock();
+                let broker: &mut dyn DeviceBroker = &mut *fleet;
+                let _ = broker.release(lease.slot);
+                Err(e)
+            }
+        }
+    }
+
+    /// The warm-image fast path: ClLoad + ClAuthentication only.
+    fn warm_image_boot(parked: ParkedDeployment) -> Result<(TestBed, BootBreakdown), SalusError> {
+        let ParkedDeployment {
+            mut bed, encrypted, ..
+        } = parked;
+        let clock = bed.clock.clone();
+        let mut breakdown = BootBreakdown::default();
+
+        // ClLoad: PCIe transfer + ICAP programming of the parked stream.
+        let sw = clock.stopwatch();
+        let h2f = bed.fabric.channel(&bed.names.host, &bed.names.fpga);
+        let observed = h2f.transmit(&encrypted)?;
+        bed.cost.charge(&clock, Op::IcapProgram(observed.len()));
+        bed.shell.deploy_bitstream(&observed)?;
+        breakdown.push(BootPhase::ClLoad, sw.elapsed());
+
+        // ClAuthentication: the loaded CL still holds the injected
+        // Key_attest, so the standard round trip re-attests it.
+        let sw = clock.stopwatch();
+        let sm_logic = SmLogic::bind(bed.shell.device(), bed.partition)?;
+        let request = bed.sm_app.attest_request()?;
+        bed.cost.charge(&clock, Op::SmLogicMac);
+        let h2f = bed.fabric.channel(&bed.names.host, &bed.names.fpga);
+        let observed = h2f.transmit(&request.to_bytes())?;
+        let observed = AttestRequest::from_bytes(&observed)?;
+
+        bed.cost.charge(&clock, Op::SmLogicMac);
+        let response = sm_logic.handle_attestation(&observed)?;
+        let f2h = bed.fabric.channel(&bed.names.fpga, &bed.names.host);
+        let observed = f2h.transmit(&response.to_bytes())?;
+        let observed = AttestResponse::from_bytes(&observed)?;
+
+        bed.cost.charge(&clock, Op::SmLogicMac);
+        bed.sm_app.process_attest_response(&observed)?;
+        bed.sm_logic = Some(sm_logic);
+        bed.host_reg = Some(bed.sm_app.host_reg_channel()?);
+        breakdown.push(BootPhase::ClAuthentication, sw.elapsed());
+
+        Ok((bed, breakdown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::loopback_accelerator;
+
+    #[test]
+    fn cold_then_warm_key_then_warm_image() {
+        let plane = ControlPlane::provision(PlatformConfig::quick(1, 2)).unwrap();
+        let alice = plane.register_tenant("alice");
+        let bob = plane.register_tenant("bob");
+
+        let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+        assert_eq!(a.path, DeployPath::Cold);
+        assert!(a.outcome.report.all_attested());
+
+        // Bob lands on the same board: the fleet-cached key makes his
+        // boot warm — zero time in any manufacturer-facing phase.
+        let b = plane.deploy(bob, loopback_accelerator()).unwrap();
+        assert_eq!(b.path, DeployPath::WarmKey);
+        assert!(b.outcome.report.all_attested());
+        for phase in [
+            BootPhase::SmQuoteGen,
+            BootPhase::SmQuoteVerify,
+            BootPhase::DeviceKeyTransfer,
+        ] {
+            assert!(
+                !b.outcome
+                    .breakdown
+                    .phases()
+                    .iter()
+                    .any(|(p, _)| *p == phase),
+                "warm-key boot ran manufacturer phase {phase:?}"
+            );
+        }
+
+        // Evict Alice and bring her back warm-image: only ClLoad and
+        // ClAuthentication run.
+        let slot = a.slot;
+        plane.evict(a).unwrap();
+        assert!(plane.has_parked(alice));
+        let a2 = plane.redeploy(alice).unwrap();
+        assert_eq!(a2.path, DeployPath::WarmImage);
+        assert_eq!(a2.slot, slot);
+        assert!(a2.outcome.report.all_attested());
+        let phases: Vec<BootPhase> = a2
+            .outcome
+            .breakdown
+            .phases()
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(phases, vec![BootPhase::ClLoad, BootPhase::ClAuthentication]);
+
+        let rec = plane.tenant_record(alice).unwrap();
+        assert_eq!((rec.cold_deploys, rec.warm_image_deploys), (1, 1));
+        assert_eq!(rec.evictions, 1);
+    }
+
+    #[test]
+    fn redeploy_onto_a_stolen_slot_stays_parked() {
+        let plane = ControlPlane::provision(PlatformConfig::quick(1, 1)).unwrap();
+        let alice = plane.register_tenant("alice");
+        let bob = plane.register_tenant("bob");
+
+        let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+        plane.evict(a).unwrap();
+        let b = plane.deploy(bob, loopback_accelerator()).unwrap();
+
+        let err = plane.redeploy(alice).unwrap_err();
+        assert_eq!(err, SalusError::Scheduler("affinity slot occupied"));
+        assert!(plane.has_parked(alice), "deployment must stay parked");
+
+        plane.evict(b).unwrap();
+        let a2 = plane.redeploy(alice).unwrap();
+        assert_eq!(a2.path, DeployPath::WarmImage);
+    }
+
+    #[test]
+    fn unknown_tenants_are_refused() {
+        let plane = ControlPlane::provision(PlatformConfig::quick(1, 1)).unwrap();
+        let err = plane
+            .deploy(TenantId(99), loopback_accelerator())
+            .unwrap_err();
+        assert_eq!(err, SalusError::Scheduler("unknown tenant"));
+    }
+}

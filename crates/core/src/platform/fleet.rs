@@ -1,0 +1,413 @@
+//! The shared device fleet and the tenant registry.
+//!
+//! A fleet is M manufactured boards of one geometry, provisioned with
+//! one CSP shell image and reachable on one RPC fabric under
+//! `fleet.dev{i}.fpga` endpoints. Each board fuses its own
+//! `Key_device`; the fleet additionally caches the key once a tenant's
+//! SM enclave has redeemed it, so later deployments on the same board
+//! skip the manufacturer round trip (warm boot, Fig. 3 fast path).
+
+use std::collections::HashMap;
+
+use salus_fpga::geometry::DeviceGeometry;
+use salus_fpga::shell::Shell;
+
+use crate::keys::KeyDevice;
+use crate::SalusError;
+
+use super::traits::{DeviceBroker, SharedManufacturer};
+
+/// A platform tenant's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// One schedulable unit: a reconfigurable partition on a fleet device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId {
+    /// Fleet device index.
+    pub device: usize,
+    /// Partition index on that device.
+    pub partition: usize,
+}
+
+impl std::fmt::Display for SlotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}.rp{}", self.device, self.partition)
+    }
+}
+
+/// A granted lease: everything a deployment needs to reach its board.
+#[derive(Debug, Clone)]
+pub struct DeviceLease {
+    /// The leased slot.
+    pub slot: SlotId,
+    /// Handle to the board's CSP shell (cloneable; `Arc` inside).
+    pub shell: Shell,
+    /// The board's true DNA.
+    pub dna: u64,
+    /// The board's fabric endpoint (`fleet.dev{i}.fpga`).
+    pub endpoint: String,
+}
+
+/// One board of the fleet.
+struct FleetDevice {
+    shell: Shell,
+    dna: u64,
+    endpoint: String,
+    /// Per-partition occupancy.
+    slots: Vec<Option<TenantId>>,
+    /// `Key_device` as redeemed by the first SM enclave to boot here.
+    cached_key: Option<KeyDevice>,
+}
+
+/// M provisioned boards of one geometry on one fabric.
+pub struct DeviceFleet {
+    devices: Vec<FleetDevice>,
+    geometry: DeviceGeometry,
+}
+
+impl std::fmt::Debug for DeviceFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceFleet")
+            .field("devices", &self.devices.len())
+            .field("free_slots", &DeviceBroker::free_slots(self))
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceFleet {
+    /// Manufactures `count` boards of `geometry` (serials
+    /// `base_serial..base_serial+count`) and provisions each with one
+    /// shared shell image — the CSP builds the shell once per geometry,
+    /// not once per board.
+    ///
+    /// # Errors
+    ///
+    /// Shell compilation or provisioning failures.
+    pub fn provision(
+        manufacturer: &SharedManufacturer,
+        geometry: DeviceGeometry,
+        count: usize,
+        base_serial: u64,
+    ) -> Result<DeviceFleet, SalusError> {
+        let shell_image = crate::dev::build_shell_image(&geometry)?;
+        let mut devices = Vec::with_capacity(count);
+        for i in 0..count {
+            let device = manufacturer.manufacture_device(geometry.clone(), base_serial + i as u64);
+            let dna = device.dna().read();
+            let shell = Shell::provision(device, &shell_image)?;
+            devices.push(FleetDevice {
+                shell,
+                dna,
+                endpoint: format!("fleet.dev{i}.fpga"),
+                slots: vec![None; geometry.partitions.len()],
+                cached_key: None,
+            });
+        }
+        Ok(DeviceFleet { devices, geometry })
+    }
+
+    /// Number of boards in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Partitions per board.
+    pub fn partitions_per_device(&self) -> usize {
+        self.geometry.partitions.len()
+    }
+
+    /// The fleet's board geometry.
+    pub fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    /// The shell of board `device`, if it exists.
+    pub fn shell(&self, device: usize) -> Option<Shell> {
+        self.devices.get(device).map(|d| d.shell.clone())
+    }
+
+    /// The true DNA of board `device`, if it exists.
+    pub fn dna(&self, device: usize) -> Option<u64> {
+        self.devices.get(device).map(|d| d.dna)
+    }
+
+    /// The fabric endpoint of board `device`, if it exists.
+    pub fn endpoint(&self, device: usize) -> Option<String> {
+        self.devices.get(device).map(|d| d.endpoint.clone())
+    }
+
+    /// True DNAs of every board, in device order.
+    pub fn dnas(&self) -> Vec<u64> {
+        self.devices.iter().map(|d| d.dna).collect()
+    }
+
+    /// The cached `Key_device` for board `device`, if any tenant has
+    /// redeemed it.
+    pub fn cached_key(&self, device: usize) -> Option<KeyDevice> {
+        self.devices.get(device).and_then(|d| d.cached_key)
+    }
+
+    /// Caches the redeemed `Key_device` for board `device`. Idempotent:
+    /// every honest redemption of one board yields the same fused key.
+    pub fn cache_key(&mut self, device: usize, key: KeyDevice) {
+        if let Some(d) = self.devices.get_mut(device) {
+            d.cached_key = Some(key);
+        }
+    }
+
+    /// Free partitions on board `device` (0 for unknown boards).
+    pub fn free_slots_on(&self, device: usize) -> usize {
+        self.devices
+            .get(device)
+            .map(|d| d.slots.iter().filter(|s| s.is_none()).count())
+            .unwrap_or(0)
+    }
+
+    /// The tenant currently holding `slot`, if any.
+    pub fn holder(&self, slot: SlotId) -> Option<TenantId> {
+        self.devices
+            .get(slot.device)
+            .and_then(|d| d.slots.get(slot.partition))
+            .copied()
+            .flatten()
+    }
+
+    /// Occupancy snapshot: `(slot, tenant)` for every held slot.
+    pub fn occupancy(&self) -> Vec<(SlotId, TenantId)> {
+        let mut out = Vec::new();
+        for (di, d) in self.devices.iter().enumerate() {
+            for (pi, s) in d.slots.iter().enumerate() {
+                if let Some(t) = s {
+                    out.push((
+                        SlotId {
+                            device: di,
+                            partition: pi,
+                        },
+                        *t,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl DeviceBroker for DeviceFleet {
+    fn lease_at(&mut self, slot: SlotId, tenant: TenantId) -> Result<DeviceLease, SalusError> {
+        let device = self
+            .devices
+            .get_mut(slot.device)
+            .ok_or(SalusError::Scheduler("unknown device"))?;
+        let entry = device
+            .slots
+            .get_mut(slot.partition)
+            .ok_or(SalusError::Scheduler("unknown partition"))?;
+        if entry.is_some() {
+            return Err(SalusError::Scheduler("slot occupied"));
+        }
+        *entry = Some(tenant);
+        Ok(DeviceLease {
+            slot,
+            shell: device.shell.clone(),
+            dna: device.dna,
+            endpoint: device.endpoint.clone(),
+        })
+    }
+
+    fn release(&mut self, slot: SlotId) -> Result<TenantId, SalusError> {
+        let device = self
+            .devices
+            .get_mut(slot.device)
+            .ok_or(SalusError::Scheduler("unknown device"))?;
+        let entry = device
+            .slots
+            .get_mut(slot.partition)
+            .ok_or(SalusError::Scheduler("unknown partition"))?;
+        entry
+            .take()
+            .ok_or(SalusError::Scheduler("slot already free"))
+    }
+
+    fn free_slots(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.slots.iter().filter(|s| s.is_none()).count())
+            .sum()
+    }
+}
+
+/// How a tenant deployment reached its running state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployPath {
+    /// Full boot including the manufacturer key round trip.
+    Cold,
+    /// Boot reusing the fleet-cached `Key_device` (manufacturer phases
+    /// skipped), but re-running manipulation and encryption.
+    WarmKey,
+    /// Redeploy of the parked pre-encrypted bitstream: load and
+    /// CL-attest only.
+    WarmImage,
+}
+
+/// Per-tenant bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TenantRecord {
+    /// The tenant's identity.
+    pub id: TenantId,
+    /// Human-readable name.
+    pub name: String,
+    /// Seed for the tenant's client-side randomness and data key.
+    pub seed: u64,
+    /// Completed cold deployments.
+    pub cold_deploys: usize,
+    /// Completed warm-key deployments.
+    pub warm_key_deploys: usize,
+    /// Completed warm-image redeployments.
+    pub warm_image_deploys: usize,
+    /// Evictions suffered.
+    pub evictions: usize,
+}
+
+/// Registry of known tenants.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: HashMap<TenantId, TenantRecord>,
+    next_id: u64,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Registers a tenant; the id doubles as a per-tenant seed
+    /// namespace (`base_seed + id`).
+    pub fn register(&mut self, name: &str, seed: u64) -> TenantId {
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.tenants.insert(
+            id,
+            TenantRecord {
+                id,
+                name: name.to_string(),
+                seed,
+                cold_deploys: 0,
+                warm_key_deploys: 0,
+                warm_image_deploys: 0,
+                evictions: 0,
+            },
+        );
+        id
+    }
+
+    /// The record for `id`, if registered.
+    pub fn get(&self, id: TenantId) -> Option<&TenantRecord> {
+        self.tenants.get(&id)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Records a completed deployment over `path`.
+    pub(crate) fn record_deploy(&mut self, id: TenantId, path: DeployPath) {
+        if let Some(t) = self.tenants.get_mut(&id) {
+            match path {
+                DeployPath::Cold => t.cold_deploys += 1,
+                DeployPath::WarmKey => t.warm_key_deploys += 1,
+                DeployPath::WarmImage => t.warm_image_deploys += 1,
+            }
+        }
+    }
+
+    /// Records an eviction.
+    pub(crate) fn record_eviction(&mut self, id: TenantId) {
+        if let Some(t) = self.tenants.get_mut(&id) {
+            t.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TestBed;
+
+    fn fleet(n: usize) -> (SharedManufacturer, DeviceFleet) {
+        let bed = TestBed::quick_demo();
+        let manufacturer = bed.manufacturer.clone();
+        let fleet = DeviceFleet::provision(&manufacturer, DeviceGeometry::tiny(), n, 100)
+            .expect("fleet provisions");
+        (manufacturer, fleet)
+    }
+
+    #[test]
+    fn fleet_boards_have_unique_dna_and_fused_keys() {
+        let (_m, fleet) = fleet(4);
+        let dnas = fleet.dnas();
+        let unique: std::collections::HashSet<_> = dnas.iter().collect();
+        assert_eq!(unique.len(), 4);
+        for i in 0..4 {
+            let shell = fleet.shell(i).unwrap();
+            assert!(shell.is_loaded());
+            assert!(shell.device().lock().has_device_key());
+        }
+    }
+
+    #[test]
+    fn lease_and_release_round_trip() {
+        let (_m, mut fleet) = fleet(2);
+        let slot = SlotId {
+            device: 1,
+            partition: 0,
+        };
+        let lease = fleet.lease_at(slot, TenantId(7)).unwrap();
+        assert_eq!(lease.dna, fleet.dna(1).unwrap());
+        assert_eq!(lease.endpoint, "fleet.dev1.fpga");
+        assert_eq!(fleet.holder(slot), Some(TenantId(7)));
+        assert_eq!(
+            fleet.lease_at(slot, TenantId(8)).unwrap_err(),
+            SalusError::Scheduler("slot occupied")
+        );
+        assert_eq!(fleet.release(slot), Ok(TenantId(7)));
+        assert_eq!(
+            fleet.release(slot),
+            Err(SalusError::Scheduler("slot already free"))
+        );
+    }
+
+    #[test]
+    fn registry_tracks_paths_and_evictions() {
+        let mut reg = TenantRegistry::new();
+        let a = reg.register("alice", 1);
+        let b = reg.register("bob", 2);
+        assert_ne!(a, b);
+        reg.record_deploy(a, DeployPath::Cold);
+        reg.record_deploy(a, DeployPath::WarmImage);
+        reg.record_eviction(a);
+        let rec = reg.get(a).unwrap();
+        assert_eq!(
+            (
+                rec.cold_deploys,
+                rec.warm_image_deploys,
+                rec.warm_key_deploys,
+                rec.evictions
+            ),
+            (1, 1, 0, 1)
+        );
+    }
+}

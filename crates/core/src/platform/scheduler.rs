@@ -1,0 +1,158 @@
+//! Placement of tenant deployments onto fleet slots.
+//!
+//! Deliberately simple and fully deterministic: given the same fleet
+//! occupancy the scheduler always picks the same slot, so fleet tests
+//! reproduce bit-for-bit under a fixed seed.
+
+use crate::SalusError;
+
+use super::fleet::{DeviceFleet, SlotId};
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacePolicy {
+    /// First free partition in (device, partition) order. Packs boards
+    /// densely — maximises §4.7 co-residency and warm-key reuse.
+    FirstFit,
+    /// Board with the most free partitions first (ties broken by the
+    /// lower device index). Spreads tenants across boards — maximises
+    /// isolation and per-board DRAM headroom.
+    #[default]
+    LeastLoaded,
+}
+
+/// The fleet scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scheduler {
+    policy: PlacePolicy,
+}
+
+impl Scheduler {
+    /// A scheduler with the given policy.
+    pub fn new(policy: PlacePolicy) -> Scheduler {
+        Scheduler { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> PlacePolicy {
+        self.policy
+    }
+
+    /// Chooses a free slot for a new deployment. With
+    /// `affinity = Some(slot)` the deployment must land exactly there
+    /// (warm-image redeploys: the parked ciphertext is bound to the
+    /// device DNA and the partition index baked into its digest).
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when the fleet is saturated or the
+    /// affinity slot is taken.
+    pub fn place(
+        &self,
+        fleet: &DeviceFleet,
+        affinity: Option<SlotId>,
+    ) -> Result<SlotId, SalusError> {
+        if let Some(slot) = affinity {
+            if slot.device >= fleet.device_count()
+                || slot.partition >= fleet.partitions_per_device()
+            {
+                return Err(SalusError::Scheduler("unknown affinity slot"));
+            }
+            return if fleet.holder(slot).is_none() {
+                Ok(slot)
+            } else {
+                Err(SalusError::Scheduler("affinity slot occupied"))
+            };
+        }
+
+        let order: Vec<usize> = match self.policy {
+            PlacePolicy::FirstFit => (0..fleet.device_count()).collect(),
+            PlacePolicy::LeastLoaded => {
+                let mut devs: Vec<usize> = (0..fleet.device_count()).collect();
+                // Stable sort: ties keep the lower device index first.
+                devs.sort_by_key(|&d| std::cmp::Reverse(fleet.free_slots_on(d)));
+                devs
+            }
+        };
+        for device in order {
+            for partition in 0..fleet.partitions_per_device() {
+                let slot = SlotId { device, partition };
+                if fleet.holder(slot).is_none() {
+                    return Ok(slot);
+                }
+            }
+        }
+        Err(SalusError::Scheduler("fleet saturated"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TestBed;
+    use crate::platform::fleet::TenantId;
+    use crate::platform::traits::DeviceBroker;
+    use salus_fpga::geometry::DeviceGeometry;
+
+    fn fleet(devices: usize, partitions: usize) -> DeviceFleet {
+        let bed = TestBed::quick_demo();
+        DeviceFleet::provision(
+            &bed.manufacturer,
+            DeviceGeometry::tiny_multi_rp(partitions),
+            devices,
+            500,
+        )
+        .expect("fleet provisions")
+    }
+
+    #[test]
+    fn least_loaded_spreads_across_devices() {
+        let mut fleet = fleet(3, 2);
+        let s = Scheduler::new(PlacePolicy::LeastLoaded);
+        let mut devices_used = Vec::new();
+        for t in 0..3 {
+            let slot = s.place(&fleet, None).unwrap();
+            fleet.lease_at(slot, TenantId(t)).unwrap();
+            devices_used.push(slot.device);
+        }
+        devices_used.sort_unstable();
+        assert_eq!(devices_used, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn first_fit_packs_one_device_before_the_next() {
+        let mut fleet = fleet(2, 2);
+        let s = Scheduler::new(PlacePolicy::FirstFit);
+        let mut slots = Vec::new();
+        for t in 0..3 {
+            let slot = s.place(&fleet, None).unwrap();
+            fleet.lease_at(slot, TenantId(t)).unwrap();
+            slots.push((slot.device, slot.partition));
+        }
+        assert_eq!(slots, vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn saturation_and_affinity_conflicts_are_reported() {
+        let mut fleet = fleet(1, 1);
+        let s = Scheduler::default();
+        let slot = s.place(&fleet, None).unwrap();
+        fleet.lease_at(slot, TenantId(0)).unwrap();
+        assert_eq!(
+            s.place(&fleet, None).unwrap_err(),
+            SalusError::Scheduler("fleet saturated")
+        );
+        assert_eq!(
+            s.place(&fleet, Some(slot)).unwrap_err(),
+            SalusError::Scheduler("affinity slot occupied")
+        );
+        let bogus = SlotId {
+            device: 9,
+            partition: 0,
+        };
+        assert_eq!(
+            s.place(&fleet, Some(bogus)).unwrap_err(),
+            SalusError::Scheduler("unknown affinity slot")
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! current session's `Key_attest` and the next heartbeat fails.
 
 use crate::cl_attest::{AttestRequest, AttestResponse};
-use crate::instance::{endpoints, TestBed};
+use crate::instance::TestBed;
 use crate::SalusError;
 
 /// Outcome of one heartbeat round.
@@ -40,7 +40,7 @@ pub fn heartbeat(bed: &mut TestBed) -> Result<Heartbeat, SalusError> {
     }
 
     let request = bed.sm_app.attest_request()?;
-    let h2f = bed.fabric.channel(endpoints::HOST, endpoints::FPGA);
+    let h2f = bed.fabric.channel(&bed.names.host, &bed.names.fpga);
     let observed = match h2f.transmit(&request.to_bytes()) {
         Ok(bytes) => bytes,
         Err(_) => return Ok(Heartbeat::Compromised),
@@ -61,7 +61,7 @@ pub fn heartbeat(bed: &mut TestBed) -> Result<Heartbeat, SalusError> {
         Err(_) => return Ok(Heartbeat::Compromised),
     };
 
-    let f2h = bed.fabric.channel(endpoints::FPGA, endpoints::HOST);
+    let f2h = bed.fabric.channel(&bed.names.fpga, &bed.names.host);
     let observed = match f2h.transmit(&response.to_bytes()) {
         Ok(bytes) => bytes,
         Err(_) => return Ok(Heartbeat::Compromised),

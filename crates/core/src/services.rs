@@ -2,10 +2,9 @@
 //!
 //! The boot driver moves bytes over raw channels for deterministic
 //! phase accounting; this module provides the service-style face the
-//! paper describes — the manufacturer's key-distribution service
-//! registered as RPC methods on the fabric, callable from any endpoint,
-//! with the same adversary surface (requests and responses cross
-//! interposable channels).
+//! paper describes — any [`KeyService`] registered as RPC methods on
+//! the fabric, callable from any endpoint, with the same adversary
+//! surface (requests and responses cross interposable channels).
 
 use std::sync::Arc;
 
@@ -16,7 +15,7 @@ use salus_net::NetError;
 use salus_tee::quote::Quote;
 
 use crate::instance::endpoints;
-use crate::manufacturer::Manufacturer;
+use crate::platform::{KeyService, SharedManufacturer};
 use crate::ra::RaEnvelope;
 use crate::SalusError;
 
@@ -24,12 +23,22 @@ use crate::SalusError;
 pub const METHOD_KEY_BEGIN: &str = "manufacturer.key.begin";
 /// Method name for redeeming a key request.
 pub const METHOD_KEY_REDEEM: &str = "manufacturer.key.redeem";
+/// Method name for the idempotent begin (token-prefixed payload).
+pub const METHOD_KEY_BEGIN_IDEM: &str = "manufacturer.key.begin_idem";
+/// Method name for the idempotent redeem (token-prefixed payload).
+pub const METHOD_KEY_REDEEM_IDEM: &str = "manufacturer.key.redeem_idem";
 
-/// Registers the manufacturer's key-distribution service on `fabric`.
-pub fn serve_manufacturer(fabric: &RpcFabric, manufacturer: Arc<Mutex<Manufacturer>>) {
-    let begin_mfr = Arc::clone(&manufacturer);
+/// Registers any [`KeyService`] implementation as the key-distribution
+/// RPC face on `fabric` at `endpoint`.
+pub fn serve_key_service<S>(fabric: &RpcFabric, endpoint: &str, service: S)
+where
+    S: KeyService + Send + 'static,
+{
+    let service = Arc::new(Mutex::new(service));
+
+    let svc = Arc::clone(&service);
     fabric.register_handler(
-        endpoints::MANUFACTURER,
+        endpoint,
         METHOD_KEY_BEGIN,
         Box::new(move |payload| {
             let dna = u64::from_le_bytes(
@@ -37,7 +46,7 @@ pub fn serve_manufacturer(fabric: &RpcFabric, manufacturer: Arc<Mutex<Manufactur
                     .try_into()
                     .map_err(|_| "malformed dna request".to_owned())?,
             );
-            let challenge = begin_mfr
+            let challenge = svc
                 .lock()
                 .begin_key_request(dna)
                 .map_err(|e| e.to_string())?;
@@ -45,41 +54,98 @@ pub fn serve_manufacturer(fabric: &RpcFabric, manufacturer: Arc<Mutex<Manufactur
         }),
     );
 
+    let svc = Arc::clone(&service);
     fabric.register_handler(
-        endpoints::MANUFACTURER,
+        endpoint,
         METHOD_KEY_REDEEM,
         Box::new(move |payload| {
-            if payload.len() < 8 + 32 + 32 {
-                return Err("malformed redeem request".to_owned());
-            }
-            let dna = u64::from_le_bytes(payload[..8].try_into().expect("8"));
-            let challenge: [u8; 32] = payload[8..40].try_into().expect("32");
-            let pubkey: [u8; 32] = payload[payload.len() - 32..].try_into().expect("32");
-            let quote =
-                Quote::from_bytes(&payload[40..payload.len() - 32]).map_err(|e| e.to_string())?;
-            let envelope = manufacturer
+            let (dna, challenge, quote, pubkey) = decode_redeem(payload)?;
+            let envelope = svc
                 .lock()
                 .redeem_key_request(dna, challenge, &quote, &pubkey)
                 .map_err(|e| e.to_string())?;
             Ok(envelope.to_bytes())
         }),
     );
+
+    let svc = Arc::clone(&service);
+    fabric.register_handler(
+        endpoint,
+        METHOD_KEY_BEGIN_IDEM,
+        Box::new(move |payload| {
+            if payload.len() != 16 {
+                return Err("malformed idem begin request".to_owned());
+            }
+            let token = u64::from_le_bytes(payload[..8].try_into().expect("8"));
+            let dna = u64::from_le_bytes(payload[8..].try_into().expect("8"));
+            let challenge = svc
+                .lock()
+                .begin_key_request_idem(dna, token)
+                .map_err(|e| e.to_string())?;
+            Ok(challenge.to_vec())
+        }),
+    );
+
+    fabric.register_handler(
+        endpoint,
+        METHOD_KEY_REDEEM_IDEM,
+        Box::new(move |payload| {
+            if payload.len() < 8 {
+                return Err("malformed idem redeem request".to_owned());
+            }
+            let token = u64::from_le_bytes(payload[..8].try_into().expect("8"));
+            let (dna, challenge, quote, pubkey) = decode_redeem(&payload[8..])?;
+            let envelope = service
+                .lock()
+                .redeem_key_request_idem(token, dna, challenge, &quote, &pubkey)
+                .map_err(|e| e.to_string())?;
+            Ok(envelope.to_bytes())
+        }),
+    );
 }
 
-/// Client stub for the manufacturer service, called from `from`.
+fn decode_redeem(payload: &[u8]) -> Result<(u64, [u8; 32], Quote, [u8; 32]), String> {
+    if payload.len() < 8 + 32 + 32 {
+        return Err("malformed redeem request".to_owned());
+    }
+    let dna = u64::from_le_bytes(payload[..8].try_into().expect("8"));
+    let challenge: [u8; 32] = payload[8..40].try_into().expect("32");
+    let pubkey: [u8; 32] = payload[payload.len() - 32..].try_into().expect("32");
+    let quote = Quote::from_bytes(&payload[40..payload.len() - 32]).map_err(|e| e.to_string())?;
+    Ok((dna, challenge, quote, pubkey))
+}
+
+/// Registers the shared manufacturer's key-distribution service on
+/// `fabric` at the standard manufacturer endpoint.
+pub fn serve_manufacturer(fabric: &RpcFabric, manufacturer: SharedManufacturer) {
+    serve_key_service(fabric, endpoints::MANUFACTURER, manufacturer);
+}
+
+/// Client stub for the key-distribution service, called from `from`.
+/// Implements [`KeyService`], so a caller on the far side of the wire
+/// drives the exact code path an in-process caller does.
 #[derive(Debug, Clone)]
 pub struct ManufacturerClient {
     fabric: RpcFabric,
     from: String,
+    service: String,
 }
 
 impl ManufacturerClient {
-    /// Creates a stub originating calls from endpoint `from`.
+    /// Creates a stub originating calls from endpoint `from` to the
+    /// standard manufacturer endpoint.
     pub fn new(fabric: RpcFabric, from: impl Into<String>) -> ManufacturerClient {
         ManufacturerClient {
             fabric,
             from: from.into(),
+            service: endpoints::MANUFACTURER.to_string(),
         }
+    }
+
+    /// Redirects the stub at a non-standard service endpoint.
+    pub fn with_service(mut self, service: impl Into<String>) -> ManufacturerClient {
+        self.service = service.into();
+        self
     }
 
     /// Starts a key request for `dna`, returning the RA challenge.
@@ -92,7 +158,7 @@ impl ManufacturerClient {
             .fabric
             .call(
                 &self.from,
-                endpoints::MANUFACTURER,
+                &self.service,
                 METHOD_KEY_BEGIN,
                 &dna.to_le_bytes(),
             )
@@ -114,18 +180,63 @@ impl ManufacturerClient {
         quote: &Quote,
         pubkey: &[u8; 32],
     ) -> Result<RaEnvelope, SalusError> {
-        let mut payload = dna.to_le_bytes().to_vec();
-        payload.extend_from_slice(&challenge);
-        payload.extend_from_slice(&quote.to_bytes());
-        payload.extend_from_slice(pubkey);
+        let payload = encode_redeem(dna, challenge, quote, pubkey);
         let response = self
             .fabric
-            .call(
-                &self.from,
-                endpoints::MANUFACTURER,
-                METHOD_KEY_REDEEM,
-                &payload,
-            )
+            .call(&self.from, &self.service, METHOD_KEY_REDEEM, &payload)
+            .map_err(map_net)?;
+        RaEnvelope::from_bytes(&response)
+    }
+}
+
+fn encode_redeem(dna: u64, challenge: [u8; 32], quote: &Quote, pubkey: &[u8; 32]) -> Vec<u8> {
+    let mut payload = dna.to_le_bytes().to_vec();
+    payload.extend_from_slice(&challenge);
+    payload.extend_from_slice(&quote.to_bytes());
+    payload.extend_from_slice(pubkey);
+    payload
+}
+
+impl KeyService for ManufacturerClient {
+    fn begin_key_request(&mut self, dna: u64) -> Result<[u8; 32], SalusError> {
+        ManufacturerClient::begin_key_request(self, dna)
+    }
+
+    fn redeem_key_request(
+        &mut self,
+        dna: u64,
+        challenge: [u8; 32],
+        quote: &Quote,
+        enclave_pub: &[u8; 32],
+    ) -> Result<RaEnvelope, SalusError> {
+        self.redeem(dna, challenge, quote, enclave_pub)
+    }
+
+    fn begin_key_request_idem(&mut self, dna: u64, token: u64) -> Result<[u8; 32], SalusError> {
+        let mut payload = token.to_le_bytes().to_vec();
+        payload.extend_from_slice(&dna.to_le_bytes());
+        let response = self
+            .fabric
+            .call(&self.from, &self.service, METHOD_KEY_BEGIN_IDEM, &payload)
+            .map_err(map_net)?;
+        response
+            .try_into()
+            .map_err(|_| SalusError::Malformed("challenge length"))
+    }
+
+    fn redeem_key_request_idem(
+        &mut self,
+        token: u64,
+        dna: u64,
+        challenge: [u8; 32],
+        quote: &Quote,
+        enclave_pub: &[u8; 32],
+    ) -> Result<RaEnvelope, SalusError> {
+        let mut payload = token.to_le_bytes().to_vec();
+        payload.extend_from_slice(&encode_redeem(dna, challenge, quote, enclave_pub));
+        let response = self
+            .fabric
+            .call(&self.from, &self.service, METHOD_KEY_REDEEM_IDEM, &payload)
             .map_err(map_net)?;
         RaEnvelope::from_bytes(&response)
     }
@@ -148,13 +259,10 @@ mod tests {
     use crate::instance::{TestBed, TestBedConfig};
 
     fn rpc_bed() -> (TestBed, ManufacturerClient) {
-        let mut bed = TestBed::provision(TestBedConfig::quick());
-        // Move the manufacturer behind the RPC fabric.
-        let manufacturer = std::mem::replace(
-            &mut bed.manufacturer,
-            Manufacturer::new(b"unused", bed.attestation.clone(), bed.sm_app.measurement()),
-        );
-        serve_manufacturer(&bed.fabric, Arc::new(Mutex::new(manufacturer)));
+        let bed = TestBed::provision(TestBedConfig::quick());
+        // Expose the bed's own manufacturer behind the RPC fabric: the
+        // shared handle means in-process and RPC callers hit one key DB.
+        serve_manufacturer(&bed.fabric, bed.manufacturer.clone());
         let client = ManufacturerClient::new(bed.fabric.clone(), endpoints::HOST);
         (bed, client)
     }
@@ -220,5 +328,25 @@ mod tests {
             .interpose(BitFlipper::new(0, 60));
         let envelope = client.redeem(dna, challenge, &quote, &pubkey).unwrap();
         assert!(bed.sm_app.receive_device_key(&envelope).is_err());
+    }
+
+    #[test]
+    fn idempotent_methods_replay_over_rpc() {
+        let (mut bed, base) = rpc_bed();
+        let mut client: ManufacturerClient = base;
+        let dna = bed.shell.advertised_dna();
+        bed.sm_app.set_target_device(dna);
+
+        let c1 = KeyService::begin_key_request_idem(&mut client, dna, 77).unwrap();
+        let c2 = KeyService::begin_key_request_idem(&mut client, dna, 77).unwrap();
+        assert_eq!(c1, c2, "same token must replay the same challenge");
+
+        let (quote, pubkey) = bed.sm_app.key_request_quote(c1).unwrap();
+        let e1 =
+            KeyService::redeem_key_request_idem(&mut client, 78, dna, c1, &quote, &pubkey).unwrap();
+        let e2 =
+            KeyService::redeem_key_request_idem(&mut client, 78, dna, c1, &quote, &pubkey).unwrap();
+        assert_eq!(e1.to_bytes(), e2.to_bytes(), "same token replays envelope");
+        bed.sm_app.receive_device_key(&e1).unwrap();
     }
 }

@@ -51,6 +51,12 @@ pub struct SmApp {
     target_dna: Option<u64>,
     pending_nonce: Option<u64>,
     cl_attested: bool,
+    /// The most recent device-encrypted CL produced by
+    /// [`prepare_bitstream`](SmApp::prepare_bitstream). The platform
+    /// control plane harvests this on eviction so a warm redeploy can
+    /// reload the identical ciphertext without re-running manipulation
+    /// and encryption.
+    prepared: Option<Vec<u8>>,
 }
 
 impl std::fmt::Debug for SmApp {
@@ -78,6 +84,7 @@ impl SmApp {
             target_dna: None,
             pending_nonce: None,
             cl_attested: false,
+            prepared: None,
         }
     }
 
@@ -180,6 +187,14 @@ impl SmApp {
         self.key_device
     }
 
+    /// The last device-encrypted CL this enclave prepared, if any.
+    /// Valid only for the (device, partition) pair it was prepared for —
+    /// the partition index is baked into the package digest and the
+    /// ciphertext is GCM-bound to the device DNA.
+    pub(crate) fn prepared_bitstream(&self) -> Option<Vec<u8>> {
+        self.prepared.clone()
+    }
+
     /// Step ⑤: verifies the fetched plaintext bitstream against `H`,
     /// injects fresh `Key_attest` / `Key_session` / `Ctr_session` by
     /// bitstream manipulation, and encrypts the result for the target
@@ -250,6 +265,7 @@ impl SmApp {
             ctr_seed,
         });
         self.cl_attested = false;
+        self.prepared = Some(encrypted.clone());
         Ok(encrypted)
     }
 

@@ -179,6 +179,21 @@ impl DeviceGeometry {
         }
     }
 
+    /// A multi-RP variant of [`tiny`](DeviceGeometry::tiny) for fleet and
+    /// co-residency tests: `n` full-size tiny partitions on one device, so
+    /// each RP still fits the SM logic alongside a small accelerator.
+    pub fn tiny_multi_rp(n: usize) -> DeviceGeometry {
+        assert!(n >= 1, "need at least one partition");
+        let base = DeviceGeometry::tiny();
+        let rp = base.partitions[0];
+        DeviceGeometry {
+            static_region: base.static_region,
+            partitions: vec![rp; n],
+            clock_hz: base.clock_hz,
+            dram_bytes: base.dram_bytes * n,
+        }
+    }
+
     /// Converts a cycle count at the fabric clock into wall time.
     pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
         Duration::from_nanos((cycles as u128 * 1_000_000_000 / self.clock_hz as u128) as u64)
@@ -256,6 +271,18 @@ mod tests {
         let g = DeviceGeometry::u200_multi_rp(2);
         assert_eq!(g.partitions.len(), 2);
         assert_eq!(g.partitions[0].capacity.bram, 348);
+    }
+
+    #[test]
+    fn tiny_multi_rp_replicates_full_partitions() {
+        let g = DeviceGeometry::tiny_multi_rp(3);
+        let base = DeviceGeometry::tiny();
+        assert_eq!(g.partitions.len(), 3);
+        for rp in &g.partitions {
+            assert_eq!(rp.capacity, base.partitions[0].capacity);
+            assert_eq!(rp.logic_frames, base.partitions[0].logic_frames);
+        }
+        assert_eq!(g.dram_bytes, base.dram_bytes * 3);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`accel`] — the five benchmark workloads and their runners.
 //! * [`session`] — the high-level front door: deploy, run, monitor,
 //!   redeploy.
+//! * [`node`] — the multi-tenant node: a shared device fleet serving
+//!   many tenants' sessions through the platform control plane.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod node;
 pub mod session;
 
 pub use salus_accel as accel;

@@ -1,0 +1,282 @@
+//! A shared multi-tenant Salus node.
+//!
+//! A [`SalusNode`] wraps the core's platform control plane
+//! ([`ControlPlane`]) with the workload layer: tenants register once,
+//! then deploy accelerator [`Workload`]s and get back ordinary
+//! [`SecureSession`]s, scheduled onto the node's device fleet. The
+//! handle is cheaply cloneable and `Send + Sync`, so many tenants can
+//! deploy concurrently from their own threads.
+//!
+//! ```
+//! use salus::accel::apps::conv::Conv;
+//! use salus::accel::workload::Workload;
+//! use salus::node::SalusNode;
+//!
+//! let node = SalusNode::quick(2, 2).expect("node provisions");
+//! let tenant = node.register_tenant("alice");
+//! let workload = Conv::paper_scale();
+//! let mut session = node.deploy(tenant, &workload).expect("deploy");
+//! let output = session.run(&workload).expect("attested run");
+//! assert_eq!(output, workload.compute(workload.input()));
+//! ```
+
+use std::sync::Arc;
+
+use salus_accel::harness;
+use salus_accel::workload::Workload;
+use salus_core::boot::{BootBreakdown, BootOutcome, CascadeReport};
+use salus_core::platform::{
+    ControlPlane, PlatformConfig, SlotId, TenantDeployment, TenantId, TenantRecord,
+};
+use salus_core::SalusError;
+use salus_fpga::geometry::{DeviceGeometry, PartitionGeometry, Resources};
+
+use crate::session::{MemoryProtection, SecureSession, Tenancy};
+
+/// A board geometry whose every partition is large enough for any of
+/// the paper's accelerator workloads, with few logic frames to keep
+/// per-tenant boots fast (the fleet analogue of the single-instance
+/// harness geometry).
+pub fn node_geometry(partitions: usize) -> DeviceGeometry {
+    let rp = PartitionGeometry {
+        logic_frames: 64,
+        capacity: Resources {
+            lut: 355_040,
+            register: 710_080,
+            bram: 696,
+        },
+    };
+    DeviceGeometry {
+        static_region: rp,
+        partitions: vec![rp; partitions],
+        clock_hz: 250_000_000,
+        dram_bytes: 8 << 20,
+    }
+}
+
+/// A shared, thread-safe handle onto one multi-tenant Salus node.
+#[derive(Clone)]
+pub struct SalusNode {
+    plane: Arc<ControlPlane>,
+}
+
+impl std::fmt::Debug for SalusNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SalusNode")
+            .field("devices", &self.plane.device_count())
+            .field("partitions_per_device", &self.plane.partitions_per_device())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SalusNode {
+    /// Provisions a node from an explicit platform configuration. The
+    /// configured geometry must leave each partition big enough for the
+    /// workloads you intend to deploy — [`node_geometry`] always is.
+    ///
+    /// # Errors
+    ///
+    /// Shell compilation or provisioning failures.
+    pub fn provision(config: PlatformConfig) -> Result<SalusNode, SalusError> {
+        Ok(SalusNode {
+            plane: Arc::new(ControlPlane::provision(config)?),
+        })
+    }
+
+    /// A zero-cost node for fast functional tests: `devices` boards
+    /// with `partitions` workload-capable slots each.
+    ///
+    /// # Errors
+    ///
+    /// Shell compilation or provisioning failures.
+    pub fn quick(devices: usize, partitions: usize) -> Result<SalusNode, SalusError> {
+        Self::provision(
+            PlatformConfig::quick(devices, partitions).with_geometry(node_geometry(partitions)),
+        )
+    }
+
+    /// A paper-calibrated node (virtual-time costs and latencies) with
+    /// workload-capable slots.
+    ///
+    /// # Errors
+    ///
+    /// Shell compilation or provisioning failures.
+    pub fn paper(devices: usize, partitions: usize) -> Result<SalusNode, SalusError> {
+        Self::provision(
+            PlatformConfig::paper(devices, partitions).with_geometry(node_geometry(partitions)),
+        )
+    }
+
+    /// The underlying control plane, for occupancy inspection and
+    /// protocol-level scenarios.
+    pub fn plane(&self) -> &ControlPlane {
+        &self.plane
+    }
+
+    /// Registers a tenant under `name`.
+    pub fn register_tenant(&self, name: &str) -> TenantId {
+        self.plane.register_tenant(name)
+    }
+
+    /// The bookkeeping record for `tenant`.
+    pub fn tenant_record(&self, tenant: TenantId) -> Option<TenantRecord> {
+        self.plane.tenant_record(tenant)
+    }
+
+    /// Currently free slots across the fleet.
+    pub fn free_slots(&self) -> usize {
+        self.plane.free_slots()
+    }
+
+    /// Occupancy snapshot: `(slot, tenant)` for every held slot.
+    pub fn occupancy(&self) -> Vec<(SlotId, TenantId)> {
+        self.plane.occupancy()
+    }
+
+    /// Deploys `workload` for `tenant` onto a scheduler-chosen slot,
+    /// runs the secure boot (cold or warm-key depending on the board's
+    /// key-cache state), and returns a ready [`SecureSession`]. Check
+    /// [`SecureSession::tenancy`] for the placement and boot path.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] for unknown tenants and saturated
+    /// fleets; any detected attack or protocol failure during boot.
+    pub fn deploy(
+        &self,
+        tenant: TenantId,
+        workload: &dyn Workload,
+    ) -> Result<SecureSession, SalusError> {
+        let deployment = self.plane.deploy(tenant, workload.accelerator_module())?;
+        Self::attach(deployment, workload)
+    }
+
+    /// Evicts a fleet session: its slot frees up for other tenants and
+    /// the pre-encrypted bitstream is parked for a warm-image
+    /// [`redeploy`](SalusNode::redeploy).
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when the session was not deployed
+    /// through this fleet API or has nothing to park.
+    pub fn evict(&self, session: SecureSession) -> Result<TenantId, SalusError> {
+        let (bed, tenancy) = session.into_fleet_parts();
+        let tenancy = tenancy.ok_or(SalusError::Scheduler("session is not fleet-managed"))?;
+        let report = CascadeReport {
+            user_attested: bed.client.platform_attested(),
+            sm_attested: bed.user_app.platform_attested(),
+            cl_attested: bed.sm_app.cl_attested(),
+        };
+        self.plane.evict(TenantDeployment {
+            tenant: tenancy.tenant,
+            slot: tenancy.slot,
+            bed,
+            outcome: BootOutcome {
+                breakdown: BootBreakdown::default(),
+                report,
+            },
+            path: tenancy.path,
+        })
+    }
+
+    /// Brings an evicted tenant back. Prefers the warm-image fast path
+    /// (reload the parked ciphertext on its bound slot, re-attest the
+    /// CL — no manufacturer round trip); if that slot was taken
+    /// meanwhile, falls back to a full scheduled deploy elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when nothing is parked and no capacity
+    /// remains; protocol failures during the re-boot.
+    pub fn redeploy(
+        &self,
+        tenant: TenantId,
+        workload: &dyn Workload,
+    ) -> Result<SecureSession, SalusError> {
+        match self.plane.redeploy(tenant) {
+            Ok(deployment) => Self::attach(deployment, workload),
+            Err(SalusError::Scheduler("affinity slot occupied")) => self.deploy(tenant, workload),
+            Err(SalusError::Scheduler("no parked deployment")) => self.deploy(tenant, workload),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Installs the workload's datapath behind the freshly attested SM
+    /// logic and wraps the deployment as a session.
+    fn attach(
+        mut deployment: TenantDeployment,
+        workload: &dyn Workload,
+    ) -> Result<SecureSession, SalusError> {
+        let compute = harness::workload_compute_fn(workload);
+        let ctl = harness::AcceleratorCtl::new(deployment.bed.shell.device(), compute);
+        deployment
+            .bed
+            .sm_logic
+            .as_mut()
+            .ok_or(SalusError::SmLogicUnavailable("fleet boot did not bind"))?
+            .set_accelerator(Box::new(ctl));
+        let tenancy = Tenancy {
+            tenant: deployment.tenant,
+            slot: deployment.slot,
+            path: deployment.path,
+        };
+        Ok(SecureSession::from_fleet(
+            deployment.bed,
+            MemoryProtection::Confidentiality,
+            deployment.outcome,
+            tenancy,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salus_accel::apps::affine::Affine;
+    use salus_accel::apps::conv::Conv;
+    use salus_core::platform::DeployPath;
+
+    #[test]
+    fn node_deploys_and_runs_a_workload() {
+        let node = SalusNode::quick(1, 1).unwrap();
+        let tenant = node.register_tenant("alice");
+        let workload = Conv::paper_scale();
+        let mut session = node.deploy(tenant, &workload).unwrap();
+        assert!(session.report().all_attested());
+        assert_eq!(session.tenancy().unwrap().path, DeployPath::Cold);
+        let output = session.run(&workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+        assert!(session.is_alive().unwrap());
+    }
+
+    #[test]
+    fn evict_and_warm_redeploy_through_the_node() {
+        let node = SalusNode::quick(1, 2).unwrap();
+        let alice = node.register_tenant("alice");
+        let workload = Affine::paper_scale();
+        let session = node.deploy(alice, &workload).unwrap();
+        let slot = session.tenancy().unwrap().slot;
+
+        node.evict(session).unwrap();
+        assert_eq!(node.free_slots(), 2);
+
+        let mut session = node.redeploy(alice, &workload).unwrap();
+        let tenancy = session.tenancy().unwrap();
+        assert_eq!(tenancy.path, DeployPath::WarmImage);
+        assert_eq!(tenancy.slot, slot);
+        let output = session.run(&workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+    }
+
+    #[test]
+    fn standalone_sessions_cannot_be_evicted() {
+        let node = SalusNode::quick(1, 1).unwrap();
+        let workload = Conv::paper_scale();
+        let session = SecureSession::deploy(&workload).unwrap();
+        assert!(session.tenancy().is_none());
+        assert_eq!(
+            node.evict(session).unwrap_err(),
+            SalusError::Scheduler("session is not fleet-managed")
+        );
+    }
+}

@@ -20,8 +20,9 @@
 use salus_accel::harness;
 use salus_accel::integrity;
 use salus_accel::workload::Workload;
-use salus_core::boot::{secure_boot_with, BootBreakdown, BootOptions, CascadeReport};
+use salus_core::boot::{secure_boot_with, BootBreakdown, BootOptions, BootOutcome, CascadeReport};
 use salus_core::instance::TestBed;
+use salus_core::platform::{DeployPath, SlotId, TenantId};
 use salus_core::runtime_attest::{heartbeat, Heartbeat};
 use salus_core::SalusError;
 
@@ -37,12 +38,27 @@ pub enum MemoryProtection {
     ConfidentialityAndIntegrity,
 }
 
+/// Fleet placement of a session deployed through a
+/// [`SalusNode`](crate::node::SalusNode): which tenant owns it, which
+/// (device, partition) slot it holds, and which boot path it took.
+/// Standalone sessions ([`SecureSession::deploy`]) have no tenancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tenancy {
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// The leased (device, partition) slot.
+    pub slot: SlotId,
+    /// Cold, warm-key, or warm-image.
+    pub path: DeployPath,
+}
+
 /// A securely booted deployment ready to run jobs.
 pub struct SecureSession {
     bed: TestBed,
     protection: MemoryProtection,
     last_breakdown: BootBreakdown,
     report: CascadeReport,
+    tenancy: Option<Tenancy>,
 }
 
 impl std::fmt::Debug for SecureSession {
@@ -91,7 +107,29 @@ impl SecureSession {
             protection,
             last_breakdown: BootBreakdown::default(),
             report,
+            tenancy: None,
         })
+    }
+
+    /// Wraps a fleet deployment handed out by the control plane.
+    pub(crate) fn from_fleet(
+        bed: TestBed,
+        protection: MemoryProtection,
+        outcome: BootOutcome,
+        tenancy: Tenancy,
+    ) -> SecureSession {
+        SecureSession {
+            bed,
+            protection,
+            last_breakdown: outcome.breakdown,
+            report: outcome.report,
+            tenancy: Some(tenancy),
+        }
+    }
+
+    /// Tears the session back down to its fleet parts (for eviction).
+    pub(crate) fn into_fleet_parts(self) -> (TestBed, Option<Tenancy>) {
+        (self.bed, self.tenancy)
     }
 
     /// The cascaded attestation result of the last boot.
@@ -99,9 +137,16 @@ impl SecureSession {
         self.report
     }
 
-    /// The per-phase timing of the last [`redeploy`](SecureSession::redeploy)
-    /// (empty for the initial deploy, whose harness uses a zero-cost
-    /// model).
+    /// The session's fleet placement, if it was deployed through a
+    /// [`SalusNode`](crate::node::SalusNode).
+    pub fn tenancy(&self) -> Option<Tenancy> {
+        self.tenancy
+    }
+
+    /// The per-phase timing of the last boot this session observed: the
+    /// node deploy for fleet sessions, the last
+    /// [`redeploy`](SecureSession::redeploy) otherwise (empty for a
+    /// standalone initial deploy, whose harness uses a zero-cost model).
     pub fn last_breakdown(&self) -> &BootBreakdown {
         &self.last_breakdown
     }

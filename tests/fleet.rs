@@ -1,32 +1,41 @@
-//! Integration: a manufacturer fleet of devices — per-device key
-//! isolation and shell provisioning across boards.
+//! Integration: the platform device fleet — per-device key isolation,
+//! shell provisioning across boards, and device binding of encrypted
+//! bitstreams between co-scheduled tenants.
 
-use salus::core::dev::{build_shell_image, develop_cl, loopback_accelerator, sm_enclave_image};
+use salus::core::dev::{develop_cl, loopback_accelerator, sm_enclave_image};
 use salus::core::manufacturer::Manufacturer;
+use salus::core::platform::{ControlPlane, DeviceFleet, PlatformConfig, SharedManufacturer};
 use salus::fpga::geometry::DeviceGeometry;
-use salus::fpga::shell::Shell;
 use salus::tee::quote::AttestationService;
+
+fn fleet_manufacturer(secret: &[u8]) -> SharedManufacturer {
+    let service = AttestationService::new(secret);
+    SharedManufacturer::new(Manufacturer::new(
+        secret,
+        service,
+        sm_enclave_image().measure(),
+    ))
+}
 
 #[test]
 fn encrypted_bitstreams_are_device_bound_across_a_fleet() {
-    use salus::core::boot::secure_boot;
-    use salus::core::instance::{TestBed, TestBedConfig};
+    // Two tenants scheduled onto a two-board fleet: the least-loaded
+    // policy spreads them, so each board carries one tenant's encrypted
+    // CL stream (fused key + DNA bound).
+    let plane = ControlPlane::provision(PlatformConfig::quick(2, 1)).unwrap();
+    let alice = plane.register_tenant("alice");
+    let bob = plane.register_tenant("bob");
+    let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+    let b = plane.deploy(bob, loopback_accelerator()).unwrap();
+    assert_ne!(a.slot.device, b.slot.device, "tenants must spread");
 
-    // Boot two independent deployments (different serials → different
-    // boards and fused keys) and capture each one's encrypted CL stream
-    // as the shell observed it.
-    let mut bed_a = TestBed::provision(TestBedConfig::quick().with_seed(1));
-    secure_boot(&mut bed_a).unwrap();
-    let stream_a = bed_a.shell.observed_bitstreams()[0].clone();
-
-    let mut bed_b = TestBed::provision(TestBedConfig::quick().with_seed(2));
-    secure_boot(&mut bed_b).unwrap();
-    let stream_b = bed_b.shell.observed_bitstreams()[0].clone();
+    let stream_a = a.bed.shell.observed_bitstreams()[0].clone();
+    let stream_b = b.bed.shell.observed_bitstreams()[0].clone();
 
     // Cross-loading fails on both boards: streams are bound to the
     // fused key *and* the DNA of the device they were prepared for.
-    assert!(bed_b.shell.deploy_bitstream(&stream_a).is_err());
-    assert!(bed_a.shell.deploy_bitstream(&stream_b).is_err());
+    assert!(b.bed.shell.deploy_bitstream(&stream_a).is_err());
+    assert!(a.bed.shell.deploy_bitstream(&stream_b).is_err());
 
     // A stream encrypted under a guessed key fails on its own target
     // board too.
@@ -40,35 +49,32 @@ fn encrypted_bitstreams_are_device_bound_across_a_fleet() {
         &pkg.compiled.wire,
         &[0u8; 32],
         &[1; 12],
-        bed_a.shell.advertised_dna(),
+        a.bed.shell.advertised_dna(),
     );
-    assert!(bed_a.shell.deploy_bitstream(&guessed).is_err());
+    assert!(a.bed.shell.deploy_bitstream(&guessed).is_err());
 }
 
 #[test]
 fn one_shell_image_provisions_every_board_of_the_same_geometry() {
-    let service = AttestationService::new(b"fleet2");
-    let mut manufacturer = Manufacturer::new(b"fleet2", service, sm_enclave_image().measure());
-    let geometry = DeviceGeometry::tiny();
-    let image = build_shell_image(&geometry).unwrap();
-
-    for serial in 0..3 {
-        let device = manufacturer.manufacture_device(geometry.clone(), serial);
-        let shell = Shell::provision(device, &image).unwrap();
-        assert!(shell.is_loaded(), "board {serial}");
+    // DeviceFleet::provision compiles the shell once per geometry and
+    // stamps it onto every board.
+    let manufacturer = fleet_manufacturer(b"fleet2");
+    let fleet = DeviceFleet::provision(&manufacturer, DeviceGeometry::tiny(), 3, 0).unwrap();
+    assert_eq!(fleet.device_count(), 3);
+    for board in 0..fleet.device_count() {
+        assert!(fleet.shell(board).unwrap().is_loaded(), "board {board}");
     }
 }
 
 #[test]
 fn devices_have_unique_dna_and_keys_across_a_large_fleet() {
-    let service = AttestationService::new(b"fleet3");
-    let mut manufacturer = Manufacturer::new(b"fleet3", service, sm_enclave_image().measure());
-    let geometry = DeviceGeometry::tiny();
+    let manufacturer = fleet_manufacturer(b"fleet3");
+    let fleet = DeviceFleet::provision(&manufacturer, DeviceGeometry::tiny(), 64, 0).unwrap();
     let mut dnas = std::collections::HashSet::new();
-    for serial in 0..64 {
-        let device = manufacturer.manufacture_device(geometry.clone(), serial);
-        assert!(device.has_device_key());
-        assert!(dnas.insert(device.dna().read()), "duplicate DNA");
+    for board in 0..fleet.device_count() {
+        let device = fleet.shell(board).unwrap().device();
+        assert!(device.lock().has_device_key());
+        assert!(dnas.insert(fleet.dna(board).unwrap()), "duplicate DNA");
     }
     assert_eq!(manufacturer.device_count(), 64);
 }
