@@ -377,6 +377,15 @@ impl BootPlan {
         self.jitter_seed = seed;
         self
     }
+
+    /// Sets whether manufacturer-facing retry exhaustion suspends the
+    /// boot instead of failing it (builder-style). The fleet control
+    /// plane turns this off when a caller prefers cross-board failover
+    /// over holding a suspended lease.
+    pub fn with_suspend_on_outage(mut self, suspend: bool) -> BootPlan {
+        self.suspend_on_outage = suspend;
+        self
+    }
 }
 
 /// Accumulated per-step accounting of one orchestrated boot.

@@ -1,5 +1,5 @@
 //! The control plane: tenant registration, scheduled deployments,
-//! eviction, and warm redeploys.
+//! eviction, warm redeploys, and fleet-level fault tolerance.
 //!
 //! One [`ControlPlane`] owns a [`SharedPlatform`] plus a
 //! [`DeviceFleet`] and serves any number of tenants. A *cold* deploy
@@ -10,26 +10,44 @@
 //! parked with its pre-encrypted bitstream and comes back *warm-image*
 //! — reload and CL-attest only, no manufacturer, no manipulation, no
 //! re-encryption.
+//!
+//! ## Fault tolerance
+//!
+//! [`deploy_with`](ControlPlane::deploy_with) drives the boot through
+//! [`secure_boot_resilient`] under a [`DeployPolicy`]: per-step retries
+//! with backoff inside one boot, and — when a boot still fails on a
+//! [`FaultClass::Transient`] error — cross-board failover: the lease is
+//! released, the board is charged a [`DeviceHealth`] failure, and the
+//! scheduler re-places on a *different* board (the failed ones join the
+//! `avoid` set). Boards that keep failing are quarantined and skipped
+//! fleet-wide until a seeded cool-down probationally re-admits them.
+//! A manufacturer outage degrades to a [`DeploySuspension`]: the slot
+//! stays leased and [`resume_deploy`](ControlPlane::resume_deploy)
+//! finishes the boot without losing any completed work.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use salus_bitstream::netlist::Module;
 use salus_fpga::geometry::DeviceGeometry;
+use salus_net::fault::FaultPlan;
 use salus_net::latency::LatencyModel;
 
 use crate::boot::{
-    secure_boot_with, BootBreakdown, BootOptions, BootOutcome, BootPhase, CascadeReport,
+    secure_boot_resilient, BootBreakdown, BootFailure, BootFatal, BootOptions, BootOutcome,
+    BootPhase, BootPlan, BootStep, BootSuspension, BootTrace, CascadeReport,
 };
 use crate::cl_attest::{AttestRequest, AttestResponse};
 use crate::instance::{EndpointNames, TestBed, TestBedBuilder, TestBedConfig};
 use crate::sm_logic::SmLogic;
 use crate::timing::{CostModel, Op};
-use crate::SalusError;
+use crate::{FaultClass, SalusError};
 
 use super::fleet::{
-    DeployPath, DeviceFleet, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
+    DeployPath, DeviceFleet, DeviceId, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
 };
+use super::health::{DeviceHealth, DeviceHealthRecord, HealthPolicy};
 use super::scheduler::{PlacePolicy, Scheduler};
 use super::traits::DeviceBroker;
 use super::SharedPlatform;
@@ -49,6 +67,8 @@ pub struct PlatformConfig {
     pub seed: u64,
     /// Placement policy.
     pub policy: PlacePolicy,
+    /// Device health thresholds (quarantine / probation).
+    pub health: HealthPolicy,
 }
 
 impl PlatformConfig {
@@ -62,6 +82,7 @@ impl PlatformConfig {
             latency: LatencyModel::zero(),
             seed: 42,
             policy: PlacePolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 
@@ -75,6 +96,7 @@ impl PlatformConfig {
             latency: LatencyModel::paper_calibrated(),
             seed: 42,
             policy: PlacePolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 
@@ -95,11 +117,199 @@ impl PlatformConfig {
         self.geometry = geometry;
         self
     }
+
+    /// Replaces the device-health policy (builder-style).
+    pub fn with_health(mut self, health: HealthPolicy) -> PlatformConfig {
+        self.health = health;
+        self
+    }
+}
+
+/// How a fleet deployment is orchestrated: the boot plan each placement
+/// runs, how many distinct boards may be tried, and an optional
+/// fleet-level fault plan installed on the shared fabric.
+#[derive(Debug, Clone)]
+pub struct DeployPolicy {
+    /// The plan (retry policy, deadlines, suspension) every boot
+    /// attempt runs under.
+    pub plan: BootPlan,
+    /// Maximum distinct boards tried per deploy (≥ 1, first placement
+    /// included). Only [`FaultClass::Transient`] boot failures trigger a
+    /// re-placement; integrity violations fail the deploy immediately.
+    pub placements: u32,
+    /// A fault plan to (re)install fabric-wide at deploy entry. `None`
+    /// leaves whatever plane is currently installed untouched.
+    pub fault: Option<FaultPlan>,
+}
+
+impl DeployPolicy {
+    /// The legacy single-shot policy [`ControlPlane::deploy`] runs: one
+    /// placement, single-attempt boot, no deadlines, no suspension —
+    /// byte-identical to the pre-policy control plane.
+    pub fn single() -> DeployPolicy {
+        DeployPolicy {
+            plan: BootPlan::legacy(BootOptions {
+                reuse_cached_device_key: true,
+            }),
+            placements: 1,
+            fault: None,
+        }
+    }
+
+    /// The default fault-tolerant policy: resilient per-step retries,
+    /// manufacturer-outage suspension, and up to three boards tried.
+    pub fn resilient() -> DeployPolicy {
+        DeployPolicy {
+            plan: BootPlan::resilient().with_options(BootOptions {
+                reuse_cached_device_key: true,
+            }),
+            placements: 3,
+            fault: None,
+        }
+    }
+
+    /// Replaces the boot plan (builder-style).
+    pub fn with_plan(mut self, plan: BootPlan) -> DeployPolicy {
+        self.plan = plan;
+        self
+    }
+
+    /// Replaces the placement budget (builder-style).
+    pub fn with_placements(mut self, placements: u32) -> DeployPolicy {
+        self.placements = placements.max(1);
+        self
+    }
+
+    /// Installs `plan` on the shared fabric at deploy entry
+    /// (builder-style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> DeployPolicy {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// One placement of a deploy that ended in a boot failure.
+#[derive(Debug, Clone)]
+pub struct DeployAttempt {
+    /// The slot the boot ran on.
+    pub slot: SlotId,
+    /// The boot step that failed.
+    pub step: BootStep,
+    /// The terminal error of this placement.
+    pub error: SalusError,
+    /// True when a transient fault exhausted the per-step retry budget
+    /// (the cross-board-retry trigger); false for fail-closed errors.
+    pub retries_exhausted: bool,
+}
+
+/// Terminal outcome of [`ControlPlane::deploy_with`] when no placement
+/// produced a running deployment.
+#[derive(Debug)]
+pub enum DeployFailure {
+    /// The scheduler refused before any boot ran (unknown tenant,
+    /// saturated fleet, every admissible board quarantined).
+    Rejected(SalusError),
+    /// Every tried placement failed; `error` is the last boot's
+    /// terminal error and `attempts` the full cross-board trail.
+    Failed {
+        /// The last placement's terminal error.
+        error: SalusError,
+        /// Every placement tried, in order.
+        attempts: Vec<DeployAttempt>,
+    },
+    /// The manufacturer stayed unreachable past the retry budget: the
+    /// boot is parked resumable and **the slot stays leased**. Hand the
+    /// suspension back to [`ControlPlane::resume_deploy`] once the
+    /// outage ends, or [`ControlPlane::abandon_deploy`] to free the
+    /// slot. Dropping it instead leaks the lease until an explicit
+    /// release.
+    Suspended(Box<DeploySuspension>),
+}
+
+impl DeployFailure {
+    /// Coarse outcome label for sweeps and logs.
+    pub fn classification(&self) -> &'static str {
+        match self {
+            DeployFailure::Rejected(_) => "rejected",
+            DeployFailure::Failed { .. } => "failed",
+            DeployFailure::Suspended(_) => "suspended",
+        }
+    }
+
+    /// The cross-board attempt trail, when placements ran.
+    pub fn attempts(&self) -> &[DeployAttempt] {
+        match self {
+            DeployFailure::Failed { attempts, .. } => attempts,
+            DeployFailure::Suspended(s) => &s.attempts,
+            DeployFailure::Rejected(_) => &[],
+        }
+    }
+
+    /// Collapses to the underlying error. Only safe for policies that
+    /// cannot suspend (a suspension collapsed this way has already had
+    /// its lease released by the caller, or leaks it knowingly).
+    pub fn into_error(self) -> SalusError {
+        match self {
+            DeployFailure::Rejected(e) => e,
+            DeployFailure::Failed { error, .. } => error,
+            DeployFailure::Suspended(s) => s.suspension.into_last_error(),
+        }
+    }
+}
+
+/// A fleet deploy parked on a manufacturer outage: the per-boot
+/// [`BootSuspension`] plus the held lease and bed. The slot stays
+/// occupied (visible in [`ControlPlane::occupancy`]) so the tenant
+/// cannot lose its placement while waiting out the outage.
+pub struct DeploySuspension {
+    tenant: TenantId,
+    lease: DeviceLease,
+    bed: Box<TestBed>,
+    suspension: BootSuspension,
+    warm: bool,
+    attempts: Vec<DeployAttempt>,
+}
+
+impl std::fmt::Debug for DeploySuspension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeploySuspension")
+            .field("tenant", &self.tenant)
+            .field("slot", &self.lease.slot)
+            .field("step", &self.suspension.step())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeploySuspension {
+    /// The suspended tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The slot the suspension keeps leased.
+    pub fn slot(&self) -> SlotId {
+        self.lease.slot
+    }
+
+    /// The boot step the machine is parked on.
+    pub fn step(&self) -> BootStep {
+        self.suspension.step()
+    }
+
+    /// The transient error that exhausted the budget.
+    pub fn last_error(&self) -> &SalusError {
+        self.suspension.last_error()
+    }
+
+    /// Cross-board attempts that preceded the suspended placement.
+    pub fn attempts(&self) -> &[DeployAttempt] {
+        &self.attempts
+    }
 }
 
 /// A parked (evicted) deployment, ready for warm redeploy.
 struct ParkedDeployment {
-    bed: TestBed,
+    bed: Box<TestBed>,
     slot: SlotId,
     encrypted: Vec<u8>,
 }
@@ -118,6 +328,11 @@ pub struct TenantDeployment {
     pub outcome: BootOutcome,
     /// Which path the deployment took.
     pub path: DeployPath,
+    /// Distinct placements this deploy consumed (1 = first board).
+    pub attempts: u32,
+    /// Per-step retry/backoff accounting of the successful boot (empty
+    /// for warm-image reloads, which bypass the boot machine).
+    pub trace: BootTrace,
 }
 
 impl std::fmt::Debug for TenantDeployment {
@@ -126,8 +341,43 @@ impl std::fmt::Debug for TenantDeployment {
             .field("tenant", &self.tenant)
             .field("slot", &self.slot)
             .field("path", &self.path)
+            .field("attempts", &self.attempts)
             .finish_non_exhaustive()
     }
+}
+
+/// Fleet-wide monitoring snapshot: occupancy, key-cache state, parked
+/// set, device health, and per-tenant records, all at one instant of
+/// virtual time.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Virtual time of the snapshot.
+    pub now: Duration,
+    /// Free slots across the fleet.
+    pub free_slots: usize,
+    /// Total slots across the fleet.
+    pub total_slots: usize,
+    /// `(slot, tenant)` for every held slot, in slot order.
+    pub occupancy: Vec<(SlotId, TenantId)>,
+    /// Boards whose `Key_device` is in the fleet cache (warm-key ready).
+    pub keyed_devices: Vec<DeviceId>,
+    /// `(tenant, bound slot)` of every parked deployment, by tenant id.
+    pub parked: Vec<(TenantId, SlotId)>,
+    /// Per-board health entries, in device order.
+    pub health: Vec<DeviceHealthRecord>,
+    /// Per-tenant records, by tenant id.
+    pub tenants: Vec<TenantRecord>,
+}
+
+/// What one placement's boot produced (internal).
+enum BootRun {
+    Done(Box<TenantDeployment>),
+    Suspended {
+        bed: Box<TestBed>,
+        suspension: BootSuspension,
+        warm: bool,
+    },
+    Fatal(BootFatal),
 }
 
 /// The platform control plane.
@@ -137,6 +387,7 @@ pub struct ControlPlane {
     scheduler: Scheduler,
     registry: Mutex<TenantRegistry>,
     parked: Mutex<HashMap<TenantId, ParkedDeployment>>,
+    health: Mutex<DeviceHealth>,
     config: PlatformConfig,
 }
 
@@ -171,12 +422,18 @@ impl ControlPlane {
         // The key service answers RPC on the shared fabric too, for
         // parties that reach it over the wire rather than in-process.
         crate::services::serve_manufacturer(&shared.fabric, shared.manufacturer.clone());
+        let health = DeviceHealth::new(
+            config.devices,
+            config.seed.wrapping_mul(0x9E37_79B9),
+            config.health,
+        );
         Ok(ControlPlane {
             shared,
             fleet: Mutex::new(fleet),
             scheduler: Scheduler::new(config.policy),
             registry: Mutex::new(TenantRegistry::new()),
             parked: Mutex::new(HashMap::new()),
+            health: Mutex::new(health),
             config,
         })
     }
@@ -216,6 +473,56 @@ impl ControlPlane {
         self.fleet.lock().occupancy()
     }
 
+    /// Installs `plan`'s fault plane on the shared fabric, covering
+    /// every channel of every tenant deployment.
+    pub fn install_fault_plan(&self, plan: &FaultPlan) {
+        self.shared.fabric.install_fault_plane(plan.build());
+    }
+
+    /// Removes any installed fault plane from the shared fabric.
+    pub fn clear_fault_plan(&self) {
+        self.shared.fabric.clear_fault_plane();
+    }
+
+    /// Per-board health entries at the current virtual time.
+    pub fn device_health(&self) -> Vec<DeviceHealthRecord> {
+        self.health.lock().snapshot(self.shared.clock.now())
+    }
+
+    /// Fleet-wide monitoring snapshot (occupancy, key cache, parked
+    /// set, device health, tenant records) at one instant.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let now = self.shared.clock.now();
+        let (free_slots, total_slots, occupancy, keyed_devices) = {
+            let fleet = self.fleet.lock();
+            (
+                DeviceBroker::free_slots(&*fleet),
+                fleet.device_count() * fleet.partitions_per_device(),
+                fleet.occupancy(),
+                (0..fleet.device_count())
+                    .filter(|&d| fleet.cached_key(d).is_some())
+                    .collect(),
+            )
+        };
+        let mut parked: Vec<(TenantId, SlotId)> = self
+            .parked
+            .lock()
+            .iter()
+            .map(|(t, p)| (*t, p.slot))
+            .collect();
+        parked.sort_by_key(|(t, _)| *t);
+        FleetSnapshot {
+            now,
+            free_slots,
+            total_slots,
+            occupancy,
+            keyed_devices,
+            parked,
+            health: self.health.lock().snapshot(now),
+            tenants: self.registry.lock().records(),
+        }
+    }
+
     /// Registers a tenant under `name` with a deterministic per-tenant
     /// seed derived from the platform seed.
     pub fn register_tenant(&self, name: &str) -> TenantId {
@@ -238,11 +545,11 @@ impl ControlPlane {
     }
 
     /// Deploys `accelerator` for `tenant` onto a scheduler-chosen free
-    /// slot and runs the secure boot. Cold on a board nobody has booted
-    /// yet; warm-key (manufacturer phases skipped) once the board's
-    /// `Key_device` is in the fleet cache. The boot itself runs outside
-    /// the fleet lock, so deployments of different tenants proceed
-    /// concurrently.
+    /// slot and runs the secure boot — the legacy single-shot entry
+    /// point, equivalent to [`deploy_with`](ControlPlane::deploy_with)
+    /// under [`DeployPolicy::single`]. Cold on a board nobody has
+    /// booted yet; warm-key once the board's `Key_device` is in the
+    /// fleet cache.
     ///
     /// # Errors
     ///
@@ -253,32 +560,238 @@ impl ControlPlane {
         tenant: TenantId,
         accelerator: Module,
     ) -> Result<TenantDeployment, SalusError> {
-        let seed = self
-            .registry
-            .lock()
-            .get(tenant)
-            .ok_or(SalusError::Scheduler("unknown tenant"))?
-            .seed;
-        let (lease, cached) = {
-            let mut fleet = self.fleet.lock();
-            let slot = self.scheduler.place(&fleet, None)?;
-            let broker: &mut dyn DeviceBroker = &mut *fleet;
-            let lease = broker.lease_at(slot, tenant)?;
-            let cached = fleet.cached_key(slot.device);
-            (lease, cached)
-        };
-        match self.boot_on_lease(tenant, seed, accelerator, &lease, cached) {
-            Ok(deployment) => {
-                self.registry.lock().record_deploy(tenant, deployment.path);
-                Ok(deployment)
+        self.deploy_with(tenant, accelerator, DeployPolicy::single())
+            .map_err(DeployFailure::into_error)
+    }
+
+    /// Deploys `accelerator` for `tenant` under `policy`: resilient
+    /// boots, cross-board failover on transient failures, quarantine
+    /// avoidance, and manufacturer-outage suspension. The boot itself
+    /// runs outside the fleet lock, so deployments of different tenants
+    /// proceed concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployFailure::Rejected`] when nothing could be placed,
+    /// [`DeployFailure::Failed`] when every tried board's boot failed,
+    /// [`DeployFailure::Suspended`] on a manufacturer outage (slot
+    /// retained; resume or abandon explicitly).
+    pub fn deploy_with(
+        &self,
+        tenant: TenantId,
+        accelerator: Module,
+        policy: DeployPolicy,
+    ) -> Result<TenantDeployment, DeployFailure> {
+        let seed = match self.registry.lock().get(tenant) {
+            Some(record) => record.seed,
+            None => {
+                return Err(DeployFailure::Rejected(SalusError::Scheduler(
+                    "unknown tenant",
+                )))
             }
-            Err(e) => {
+        };
+        if let Some(plan) = &policy.fault {
+            self.shared.fabric.install_fault_plane(plan.build());
+        }
+        let placements = policy.placements.max(1);
+        let mut tried: Vec<DeviceId> = Vec::new();
+        let mut attempts: Vec<DeployAttempt> = Vec::new();
+        loop {
+            let now = self.shared.clock.now();
+            let mut avoid = self.health.lock().quarantined(now);
+            avoid.extend(tried.iter().copied());
+            let placed = {
                 let mut fleet = self.fleet.lock();
-                let broker: &mut dyn DeviceBroker = &mut *fleet;
-                let _ = broker.release(lease.slot);
-                Err(e)
+                self.scheduler
+                    .place_avoiding(&fleet, None, &avoid)
+                    .and_then(|slot| {
+                        let cached = fleet.cached_key(slot.device);
+                        let broker: &mut dyn DeviceBroker = &mut *fleet;
+                        broker.lease_at(slot, tenant).map(|lease| (lease, cached))
+                    })
+            };
+            let (lease, cached) = match placed {
+                Ok(v) => v,
+                Err(e) => {
+                    // No admissible board left: surface the last boot
+                    // error when boots ran, the scheduler error when
+                    // nothing ever placed.
+                    return Err(match attempts.last() {
+                        Some(last) => DeployFailure::Failed {
+                            error: last.error.clone(),
+                            attempts,
+                        },
+                        None => DeployFailure::Rejected(e),
+                    });
+                }
+            };
+            match self.boot_on_lease(
+                tenant,
+                seed,
+                accelerator.clone(),
+                &lease,
+                cached,
+                policy.plan,
+            ) {
+                BootRun::Done(deployment) => {
+                    let mut deployment = *deployment;
+                    deployment.attempts = attempts.len() as u32 + 1;
+                    self.health
+                        .lock()
+                        .record_success(lease.slot.device, self.shared.clock.now());
+                    self.registry.lock().record_deploy(
+                        tenant,
+                        deployment.path,
+                        deployment.outcome.breakdown.total(),
+                    );
+                    return Ok(deployment);
+                }
+                BootRun::Suspended {
+                    bed,
+                    suspension,
+                    warm,
+                } => {
+                    // The outage is the manufacturer's, not the
+                    // board's: no health penalty, and the lease stays
+                    // held so resuming keeps the placement.
+                    return Err(DeployFailure::Suspended(Box::new(DeploySuspension {
+                        tenant,
+                        lease,
+                        bed,
+                        suspension,
+                        warm,
+                        attempts,
+                    })));
+                }
+                BootRun::Fatal(fatal) => {
+                    {
+                        let mut fleet = self.fleet.lock();
+                        let broker: &mut dyn DeviceBroker = &mut *fleet;
+                        let _ = broker.release(lease.slot);
+                    }
+                    self.health
+                        .lock()
+                        .record_failure(lease.slot.device, self.shared.clock.now());
+                    self.registry.lock().record_failed_deploy(tenant);
+                    let transient = fatal.error.fault_class() == FaultClass::Transient;
+                    attempts.push(DeployAttempt {
+                        slot: lease.slot,
+                        step: fatal.step,
+                        error: fatal.error.clone(),
+                        retries_exhausted: fatal.retries_exhausted,
+                    });
+                    if transient && (attempts.len() as u32) < placements {
+                        tried.push(lease.slot.device);
+                        continue;
+                    }
+                    return Err(DeployFailure::Failed {
+                        error: fatal.error,
+                        attempts,
+                    });
+                }
             }
         }
+    }
+
+    /// Continues a suspended deploy from its parked boot step, on the
+    /// same still-leased slot, with a fresh retry budget. All completed
+    /// phases and their virtual time carry over.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployFailure::Suspended`] again if the manufacturer is still
+    /// unreachable; [`DeployFailure::Failed`] (lease released) on a
+    /// terminal boot error.
+    pub fn resume_deploy(
+        &self,
+        suspended: DeploySuspension,
+    ) -> Result<TenantDeployment, DeployFailure> {
+        let DeploySuspension {
+            tenant,
+            lease,
+            mut bed,
+            suspension,
+            warm,
+            mut attempts,
+        } = suspended;
+        match suspension.resume(&mut bed) {
+            Ok(boot) => {
+                if !warm {
+                    if let Some(key) = bed.sm_app.device_key() {
+                        self.fleet.lock().cache_key(lease.slot.device, key);
+                    }
+                }
+                self.health
+                    .lock()
+                    .record_success(lease.slot.device, self.shared.clock.now());
+                let path = if warm {
+                    DeployPath::WarmKey
+                } else {
+                    DeployPath::Cold
+                };
+                self.registry
+                    .lock()
+                    .record_deploy(tenant, path, boot.outcome.breakdown.total());
+                Ok(TenantDeployment {
+                    tenant,
+                    slot: lease.slot,
+                    bed: *bed,
+                    outcome: boot.outcome,
+                    path,
+                    attempts: attempts.len() as u32 + 1,
+                    trace: boot.trace,
+                })
+            }
+            Err(BootFailure::Suspended(suspension)) => {
+                Err(DeployFailure::Suspended(Box::new(DeploySuspension {
+                    tenant,
+                    lease,
+                    bed,
+                    suspension,
+                    warm,
+                    attempts,
+                })))
+            }
+            Err(BootFailure::Fatal(fatal)) => {
+                {
+                    let mut fleet = self.fleet.lock();
+                    let broker: &mut dyn DeviceBroker = &mut *fleet;
+                    let _ = broker.release(lease.slot);
+                }
+                self.health
+                    .lock()
+                    .record_failure(lease.slot.device, self.shared.clock.now());
+                self.registry.lock().record_failed_deploy(tenant);
+                attempts.push(DeployAttempt {
+                    slot: lease.slot,
+                    step: fatal.step,
+                    error: fatal.error.clone(),
+                    retries_exhausted: fatal.retries_exhausted,
+                });
+                Err(DeployFailure::Failed {
+                    error: fatal.error,
+                    attempts,
+                })
+            }
+        }
+    }
+
+    /// Gives up on a suspended deploy: releases the held lease, records
+    /// the failed attempt, and returns the suspension's last error.
+    pub fn abandon_deploy(&self, suspended: DeploySuspension) -> SalusError {
+        let DeploySuspension {
+            tenant,
+            lease,
+            suspension,
+            ..
+        } = suspended;
+        {
+            let mut fleet = self.fleet.lock();
+            let broker: &mut dyn DeviceBroker = &mut *fleet;
+            let _ = broker.release(lease.slot);
+        }
+        self.registry.lock().record_failed_deploy(tenant);
+        suspension.into_last_error()
     }
 
     fn boot_on_lease(
@@ -288,7 +801,8 @@ impl ControlPlane {
         accelerator: Module,
         lease: &DeviceLease,
         cached: Option<crate::keys::KeyDevice>,
-    ) -> Result<TenantDeployment, SalusError> {
+        plan: BootPlan,
+    ) -> BootRun {
         let config = TestBedConfig {
             geometry: self.config.geometry.clone(),
             cost: self.config.cost.clone(),
@@ -308,30 +822,37 @@ impl ControlPlane {
         if let Some(key) = cached {
             bed.sm_app.install_device_key(key);
         }
-        let outcome = secure_boot_with(
-            &mut bed,
-            BootOptions {
-                reuse_cached_device_key: true,
-            },
-        )?;
-        if !warm {
-            // First successful boot on this board: harvest the redeemed
-            // key so every later deployment here goes warm.
-            if let Some(key) = bed.sm_app.device_key() {
-                self.fleet.lock().cache_key(lease.slot.device, key);
+        match secure_boot_resilient(&mut bed, plan) {
+            Ok(boot) => {
+                if !warm {
+                    // First successful boot on this board: harvest the
+                    // redeemed key so every later deployment here goes
+                    // warm.
+                    if let Some(key) = bed.sm_app.device_key() {
+                        self.fleet.lock().cache_key(lease.slot.device, key);
+                    }
+                }
+                BootRun::Done(Box::new(TenantDeployment {
+                    tenant,
+                    slot: lease.slot,
+                    bed,
+                    outcome: boot.outcome,
+                    path: if warm {
+                        DeployPath::WarmKey
+                    } else {
+                        DeployPath::Cold
+                    },
+                    attempts: 1,
+                    trace: boot.trace,
+                }))
             }
-        }
-        Ok(TenantDeployment {
-            tenant,
-            slot: lease.slot,
-            bed,
-            outcome,
-            path: if warm {
-                DeployPath::WarmKey
-            } else {
-                DeployPath::Cold
+            Err(BootFailure::Suspended(suspension)) => BootRun::Suspended {
+                bed: Box::new(bed),
+                suspension,
+                warm,
             },
-        })
+            Err(BootFailure::Fatal(fatal)) => BootRun::Fatal(fatal),
+        }
     }
 
     /// Evicts a deployment: parks the bed together with its
@@ -357,7 +878,7 @@ impl ControlPlane {
         self.parked.lock().insert(
             tenant,
             ParkedDeployment {
-                bed,
+                bed: Box::new(bed),
                 slot,
                 encrypted,
             },
@@ -371,24 +892,28 @@ impl ControlPlane {
     /// no manufacturer round trip, no manipulation, no re-encryption.
     /// The ciphertext is bound to that exact slot (device DNA in the
     /// GCM AAD, partition index in the digest), so the scheduler places
-    /// with affinity; if the slot was taken meanwhile, the deployment
-    /// stays parked and the caller can fall back to a cold deploy.
+    /// with affinity; if the slot was taken meanwhile — or its board is
+    /// quarantined — the deployment stays parked and the caller can
+    /// fall back to a cold deploy. A *transient* reload failure (lossy
+    /// PCIe path) also re-parks the ciphertext, so a later redeploy can
+    /// still go warm-image; only fail-closed errors consume it.
     ///
     /// # Errors
     ///
     /// [`SalusError::Scheduler`] when nothing is parked or the affine
-    /// slot is occupied (deployment re-parked); protocol errors if the
-    /// reloaded CL fails attestation.
+    /// slot is occupied/avoided (deployment re-parked); protocol errors
+    /// if the reloaded CL fails attestation.
     pub fn redeploy(&self, tenant: TenantId) -> Result<TenantDeployment, SalusError> {
         let parked = self
             .parked
             .lock()
             .remove(&tenant)
             .ok_or(SalusError::Scheduler("no parked deployment"))?;
+        let quarantined = self.health.lock().quarantined(self.shared.clock.now());
         let leased = {
             let mut fleet = self.fleet.lock();
             self.scheduler
-                .place(&fleet, Some(parked.slot))
+                .place_avoiding(&fleet, Some(parked.slot), &quarantined)
                 .and_then(|slot| {
                     let broker: &mut dyn DeviceBroker = &mut *fleet;
                     broker.lease_at(slot, tenant)
@@ -411,38 +936,67 @@ impl ControlPlane {
                         cl_attested: bed.sm_app.cl_attested(),
                     },
                 };
-                self.registry
+                self.health
                     .lock()
-                    .record_deploy(tenant, DeployPath::WarmImage);
+                    .record_success(lease.slot.device, self.shared.clock.now());
+                self.registry.lock().record_deploy(
+                    tenant,
+                    DeployPath::WarmImage,
+                    outcome.breakdown.total(),
+                );
                 Ok(TenantDeployment {
                     tenant,
                     slot: lease.slot,
                     bed,
                     outcome,
                     path: DeployPath::WarmImage,
+                    attempts: 1,
+                    trace: BootTrace::default(),
                 })
             }
-            Err(e) => {
-                let mut fleet = self.fleet.lock();
-                let broker: &mut dyn DeviceBroker = &mut *fleet;
-                let _ = broker.release(lease.slot);
+            Err((parked, e)) => {
+                {
+                    let mut fleet = self.fleet.lock();
+                    let broker: &mut dyn DeviceBroker = &mut *fleet;
+                    let _ = broker.release(lease.slot);
+                }
+                self.health
+                    .lock()
+                    .record_failure(lease.slot.device, self.shared.clock.now());
+                self.registry.lock().record_failed_deploy(tenant);
+                if e.is_transient() {
+                    // The ciphertext never reached the board; keep it
+                    // parked so the tenant retains the warm-image path.
+                    self.parked.lock().insert(tenant, parked);
+                }
                 Err(e)
             }
         }
     }
 
-    /// The warm-image fast path: ClLoad + ClAuthentication only.
-    fn warm_image_boot(parked: ParkedDeployment) -> Result<(TestBed, BootBreakdown), SalusError> {
-        let ParkedDeployment {
-            mut bed, encrypted, ..
-        } = parked;
+    /// The warm-image fast path: ClLoad + ClAuthentication only. On
+    /// failure the parked deployment is handed back intact so the
+    /// caller can decide whether to re-park it.
+    fn warm_image_boot(
+        mut parked: ParkedDeployment,
+    ) -> Result<(TestBed, BootBreakdown), (ParkedDeployment, SalusError)> {
+        match Self::warm_image_boot_inner(&mut parked.bed, &parked.encrypted) {
+            Ok(breakdown) => Ok((*parked.bed, breakdown)),
+            Err(e) => Err((parked, e)),
+        }
+    }
+
+    fn warm_image_boot_inner(
+        bed: &mut TestBed,
+        encrypted: &[u8],
+    ) -> Result<BootBreakdown, SalusError> {
         let clock = bed.clock.clone();
         let mut breakdown = BootBreakdown::default();
 
         // ClLoad: PCIe transfer + ICAP programming of the parked stream.
         let sw = clock.stopwatch();
         let h2f = bed.fabric.channel(&bed.names.host, &bed.names.fpga);
-        let observed = h2f.transmit(&encrypted)?;
+        let observed = h2f.transmit(encrypted)?;
         bed.cost.charge(&clock, Op::IcapProgram(observed.len()));
         bed.shell.deploy_bitstream(&observed)?;
         breakdown.push(BootPhase::ClLoad, sw.elapsed());
@@ -469,7 +1023,7 @@ impl ControlPlane {
         bed.host_reg = Some(bed.sm_app.host_reg_channel()?);
         breakdown.push(BootPhase::ClAuthentication, sw.elapsed());
 
-        Ok((bed, breakdown))
+        Ok(breakdown)
     }
 }
 
@@ -486,6 +1040,7 @@ mod tests {
 
         let a = plane.deploy(alice, loopback_accelerator()).unwrap();
         assert_eq!(a.path, DeployPath::Cold);
+        assert_eq!(a.attempts, 1);
         assert!(a.outcome.report.all_attested());
 
         // Bob lands on the same board: the fleet-cached key makes his
@@ -529,6 +1084,7 @@ mod tests {
         let rec = plane.tenant_record(alice).unwrap();
         assert_eq!((rec.cold_deploys, rec.warm_image_deploys), (1, 1));
         assert_eq!(rec.evictions, 1);
+        assert_eq!(rec.failed_deploys, 0);
     }
 
     #[test]
@@ -557,5 +1113,35 @@ mod tests {
             .deploy(TenantId(99), loopback_accelerator())
             .unwrap_err();
         assert_eq!(err, SalusError::Scheduler("unknown tenant"));
+    }
+
+    #[test]
+    fn snapshot_reflects_occupancy_keys_parked_and_tenants() {
+        let plane = ControlPlane::provision(PlatformConfig::quick(2, 1)).unwrap();
+        let alice = plane.register_tenant("alice");
+        let bob = plane.register_tenant("bob");
+
+        let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+        let _b = plane.deploy(bob, loopback_accelerator()).unwrap();
+        let snap = plane.snapshot();
+        assert_eq!(snap.total_slots, 2);
+        assert_eq!(snap.free_slots, 0);
+        assert_eq!(snap.occupancy.len(), 2);
+        assert_eq!(snap.keyed_devices.len(), 2, "both boards keyed");
+        assert!(snap.parked.is_empty());
+        assert_eq!(snap.tenants.len(), 2);
+        assert!(snap
+            .health
+            .iter()
+            .all(|h| h.state == super::super::health::HealthState::Healthy));
+
+        let slot = a.slot;
+        plane.evict(a).unwrap();
+        let snap = plane.snapshot();
+        assert_eq!(snap.parked, vec![(alice, slot)]);
+        assert_eq!(snap.free_slots, 1);
+        let alice_rec = snap.tenants.iter().find(|t| t.id == alice).unwrap();
+        assert_eq!(alice_rec.evictions, 1);
+        assert!(alice_rec.cold_time >= Duration::ZERO);
     }
 }

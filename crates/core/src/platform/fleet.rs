@@ -27,6 +27,9 @@ impl std::fmt::Display for TenantId {
     }
 }
 
+/// Index of one board in a fleet, in provisioning order.
+pub type DeviceId = usize;
+
 /// One schedulable unit: a reconfigurable partition on a fleet device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SlotId {
@@ -273,6 +276,27 @@ pub struct TenantRecord {
     pub warm_image_deploys: usize,
     /// Evictions suffered.
     pub evictions: usize,
+    /// Deploy and redeploy attempts that ended in failure (boot fatals
+    /// across every placement, failed warm-image reloads).
+    pub failed_deploys: usize,
+    /// Total virtual boot time across completed cold deploys.
+    pub cold_time: std::time::Duration,
+    /// Total virtual boot time across completed warm-key deploys.
+    pub warm_key_time: std::time::Duration,
+    /// Total virtual boot time across completed warm-image redeploys.
+    pub warm_image_time: std::time::Duration,
+}
+
+impl TenantRecord {
+    /// Completed deployments over any path.
+    pub fn total_deploys(&self) -> usize {
+        self.cold_deploys + self.warm_key_deploys + self.warm_image_deploys
+    }
+
+    /// Total virtual boot time across every completed deployment.
+    pub fn total_deploy_time(&self) -> std::time::Duration {
+        self.cold_time + self.warm_key_time + self.warm_image_time
+    }
 }
 
 /// Registry of known tenants.
@@ -303,6 +327,10 @@ impl TenantRegistry {
                 warm_key_deploys: 0,
                 warm_image_deploys: 0,
                 evictions: 0,
+                failed_deploys: 0,
+                cold_time: std::time::Duration::ZERO,
+                warm_key_time: std::time::Duration::ZERO,
+                warm_image_time: std::time::Duration::ZERO,
             },
         );
         id
@@ -323,14 +351,36 @@ impl TenantRegistry {
         self.tenants.is_empty()
     }
 
-    /// Records a completed deployment over `path`.
-    pub(crate) fn record_deploy(&mut self, id: TenantId, path: DeployPath) {
+    /// Records a completed deployment over `path` that took
+    /// `model_time` of virtual boot time.
+    pub(crate) fn record_deploy(
+        &mut self,
+        id: TenantId,
+        path: DeployPath,
+        model_time: std::time::Duration,
+    ) {
         if let Some(t) = self.tenants.get_mut(&id) {
             match path {
-                DeployPath::Cold => t.cold_deploys += 1,
-                DeployPath::WarmKey => t.warm_key_deploys += 1,
-                DeployPath::WarmImage => t.warm_image_deploys += 1,
+                DeployPath::Cold => {
+                    t.cold_deploys += 1;
+                    t.cold_time += model_time;
+                }
+                DeployPath::WarmKey => {
+                    t.warm_key_deploys += 1;
+                    t.warm_key_time += model_time;
+                }
+                DeployPath::WarmImage => {
+                    t.warm_image_deploys += 1;
+                    t.warm_image_time += model_time;
+                }
             }
+        }
+    }
+
+    /// Records a deploy or redeploy attempt that ended in failure.
+    pub(crate) fn record_failed_deploy(&mut self, id: TenantId) {
+        if let Some(t) = self.tenants.get_mut(&id) {
+            t.failed_deploys += 1;
         }
     }
 
@@ -339,6 +389,13 @@ impl TenantRegistry {
         if let Some(t) = self.tenants.get_mut(&id) {
             t.evictions += 1;
         }
+    }
+
+    /// All records, ordered by tenant id (stable snapshot order).
+    pub fn records(&self) -> Vec<TenantRecord> {
+        let mut out: Vec<TenantRecord> = self.tenants.values().cloned().collect();
+        out.sort_by_key(|r| r.id);
+        out
     }
 }
 
@@ -396,8 +453,9 @@ mod tests {
         let a = reg.register("alice", 1);
         let b = reg.register("bob", 2);
         assert_ne!(a, b);
-        reg.record_deploy(a, DeployPath::Cold);
-        reg.record_deploy(a, DeployPath::WarmImage);
+        reg.record_deploy(a, DeployPath::Cold, std::time::Duration::from_secs(10));
+        reg.record_deploy(a, DeployPath::WarmImage, std::time::Duration::from_secs(2));
+        reg.record_failed_deploy(a);
         reg.record_eviction(a);
         let rec = reg.get(a).unwrap();
         assert_eq!(
@@ -405,9 +463,15 @@ mod tests {
                 rec.cold_deploys,
                 rec.warm_image_deploys,
                 rec.warm_key_deploys,
-                rec.evictions
+                rec.evictions,
+                rec.failed_deploys
             ),
-            (1, 1, 0, 1)
+            (1, 1, 0, 1, 1)
         );
+        assert_eq!(rec.total_deploys(), 2);
+        assert_eq!(rec.total_deploy_time(), std::time::Duration::from_secs(12));
+        assert_eq!(rec.cold_time, std::time::Duration::from_secs(10));
+        let ids: Vec<TenantId> = reg.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![a, b]);
     }
 }

@@ -13,20 +13,30 @@
 //! * [`fleet`] — [`DeviceFleet`] (M boards, per-board fused keys, one
 //!   shell image) and [`TenantRegistry`].
 //! * [`scheduler`] — deterministic placement of deployments onto free
-//!   (device, partition) slots.
+//!   (device, partition) slots, with board-exclusion (`avoid`) support
+//!   for quarantined and already-failed boards.
+//! * [`health`] — [`DeviceHealth`]: consecutive-failure tracking in
+//!   virtual time with seeded quarantine/probation cool-downs.
 //! * [`control`] — [`ControlPlane`]: registration, scheduled deploys,
-//!   eviction, and warm redeploys that skip the manufacturer round trip
-//!   by reusing cached device keys and parked pre-encrypted bitstreams.
+//!   eviction, warm redeploys that skip the manufacturer round trip by
+//!   reusing cached device keys and parked pre-encrypted bitstreams,
+//!   and fault-tolerant [`deploy_with`](ControlPlane::deploy_with)
+//!   (cross-board retry, outage suspension, fleet snapshots).
 
 pub mod control;
 pub mod fleet;
+pub mod health;
 pub mod scheduler;
 pub mod traits;
 
-pub use control::{ControlPlane, PlatformConfig, TenantDeployment};
-pub use fleet::{
-    DeployPath, DeviceFleet, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
+pub use control::{
+    ControlPlane, DeployAttempt, DeployFailure, DeployPolicy, DeploySuspension, FleetSnapshot,
+    PlatformConfig, TenantDeployment,
 };
+pub use fleet::{
+    DeployPath, DeviceFleet, DeviceId, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
+};
+pub use health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
 pub use scheduler::{PlacePolicy, Scheduler};
 pub use traits::{
     distribute_device_key, AttestationVerifier, DeviceBroker, KeyService, SharedManufacturer,

@@ -6,7 +6,7 @@
 
 use crate::SalusError;
 
-use super::fleet::{DeviceFleet, SlotId};
+use super::fleet::{DeviceFleet, DeviceId, SlotId};
 
 /// Placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,11 +52,36 @@ impl Scheduler {
         fleet: &DeviceFleet,
         affinity: Option<SlotId>,
     ) -> Result<SlotId, SalusError> {
+        self.place_avoiding(fleet, affinity, &[])
+    }
+
+    /// [`place`](Scheduler::place) with a board-exclusion constraint:
+    /// no slot on a device listed in `avoid` is eligible. The control
+    /// plane passes quarantined boards plus the boards a deployment
+    /// already failed on, so a cross-board retry always lands somewhere
+    /// new.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`]:
+    /// `"fleet saturated"` when no slot is free anywhere,
+    /// `"no admissible board"` when free slots exist only on avoided
+    /// boards, and `"affinity device avoided"` when the affinity slot's
+    /// board is excluded.
+    pub fn place_avoiding(
+        &self,
+        fleet: &DeviceFleet,
+        affinity: Option<SlotId>,
+        avoid: &[DeviceId],
+    ) -> Result<SlotId, SalusError> {
         if let Some(slot) = affinity {
             if slot.device >= fleet.device_count()
                 || slot.partition >= fleet.partitions_per_device()
             {
                 return Err(SalusError::Scheduler("unknown affinity slot"));
+            }
+            if avoid.contains(&slot.device) {
+                return Err(SalusError::Scheduler("affinity device avoided"));
             }
             return if fleet.holder(slot).is_none() {
                 Ok(slot)
@@ -74,15 +99,24 @@ impl Scheduler {
                 devs
             }
         };
+        let mut saturated = true;
         for device in order {
+            let admissible = !avoid.contains(&device);
             for partition in 0..fleet.partitions_per_device() {
                 let slot = SlotId { device, partition };
                 if fleet.holder(slot).is_none() {
-                    return Ok(slot);
+                    if admissible {
+                        return Ok(slot);
+                    }
+                    saturated = false;
                 }
             }
         }
-        Err(SalusError::Scheduler("fleet saturated"))
+        Err(SalusError::Scheduler(if saturated {
+            "fleet saturated"
+        } else {
+            "no admissible board"
+        }))
     }
 }
 
@@ -130,6 +164,41 @@ mod tests {
             slots.push((slot.device, slot.partition));
         }
         assert_eq!(slots, vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn avoided_boards_are_skipped_even_when_least_loaded() {
+        let mut fleet = fleet(2, 2);
+        let s = Scheduler::new(PlacePolicy::LeastLoaded);
+        // Occupy one slot of device 1 so device 0 is the least-loaded
+        // pick — then exclude it.
+        fleet
+            .lease_at(
+                SlotId {
+                    device: 1,
+                    partition: 0,
+                },
+                TenantId(9),
+            )
+            .unwrap();
+        let slot = s.place_avoiding(&fleet, None, &[0]).unwrap();
+        assert_eq!(slot.device, 1);
+
+        // Affinity onto an avoided board is refused.
+        let affine = SlotId {
+            device: 0,
+            partition: 0,
+        };
+        assert_eq!(
+            s.place_avoiding(&fleet, Some(affine), &[0]).unwrap_err(),
+            SalusError::Scheduler("affinity device avoided")
+        );
+
+        // Free slots exist, but only on avoided boards.
+        assert_eq!(
+            s.place_avoiding(&fleet, None, &[0, 1]).unwrap_err(),
+            SalusError::Scheduler("no admissible board")
+        );
     }
 
     #[test]

@@ -157,6 +157,40 @@ impl FaultSpec {
     }
 }
 
+/// A reproducible recipe for a [`FaultPlane`]: a seed plus a
+/// [`FaultSpec`]. Where a `FaultPlane` is a live, stateful decision
+/// stream, a `FaultPlan` is the pure value that builds one — cloneable,
+/// comparable, and safe to embed in a policy struct. Two planes built
+/// from the same plan make identical decisions for identical message
+/// sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the plane's decision stream.
+    pub seed: u64,
+    /// The stochastic schedule and outage windows.
+    pub spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// A plan building planes seeded with `seed` under `spec`.
+    pub fn new(seed: u64, spec: FaultSpec) -> FaultPlan {
+        FaultPlan { seed, spec }
+    }
+
+    /// A plan whose planes never inject anything.
+    pub fn inert() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            spec: FaultSpec::default(),
+        }
+    }
+
+    /// Instantiates a fresh plane at the start of its decision stream.
+    pub fn build(&self) -> FaultPlane {
+        FaultPlane::new(self.seed, self.spec.clone())
+    }
+}
+
 /// What the plane decided to do with one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -387,6 +421,23 @@ mod tests {
         let t = Duration::from_secs(4).as_nanos() as u64;
         assert_eq!(plane.decide("host", "mfr", t), FaultAction::Deliver);
         assert_eq!(plane.stats().outage_drops, 2);
+    }
+
+    #[test]
+    fn plan_rebuilds_identical_planes() {
+        let plan = FaultPlan::new(
+            9,
+            FaultSpec::default()
+                .with_drop_per_mille(150)
+                .with_duplicate_per_mille(100),
+        );
+        let a = plan.build();
+        let b = plan.build();
+        let da: Vec<_> = (0..128).map(|_| a.decide("x", "y", 0)).collect();
+        let db: Vec<_> = (0..128).map(|_| b.decide("x", "y", 0)).collect();
+        assert_eq!(da, db);
+        assert_eq!(plan, plan.clone());
+        assert_eq!(FaultPlan::inert().build().stats().total(), 0);
     }
 
     #[test]

@@ -24,9 +24,9 @@ use std::sync::Arc;
 
 use salus_accel::harness;
 use salus_accel::workload::Workload;
-use salus_core::boot::{BootBreakdown, BootOutcome, CascadeReport};
+use salus_core::boot::{BootBreakdown, BootOutcome, BootTrace, CascadeReport};
 use salus_core::platform::{
-    ControlPlane, PlatformConfig, SlotId, TenantDeployment, TenantId, TenantRecord,
+    ControlPlane, FleetSnapshot, PlatformConfig, SlotId, TenantDeployment, TenantId, TenantRecord,
 };
 use salus_core::SalusError;
 use salus_fpga::geometry::{DeviceGeometry, PartitionGeometry, Resources};
@@ -133,6 +133,12 @@ impl SalusNode {
         self.plane.occupancy()
     }
 
+    /// Fleet-wide monitoring snapshot: occupancy, key-cache state,
+    /// parked deployments, per-board health, and tenant records.
+    pub fn fleet_snapshot(&self) -> FleetSnapshot {
+        self.plane.snapshot()
+    }
+
     /// Deploys `workload` for `tenant` onto a scheduler-chosen slot,
     /// runs the secure boot (cold or warm-key depending on the board's
     /// key-cache state), and returns a ready [`SecureSession`]. Check
@@ -176,6 +182,8 @@ impl SalusNode {
                 report,
             },
             path: tenancy.path,
+            attempts: 1,
+            trace: BootTrace::default(),
         })
     }
 
