@@ -23,6 +23,8 @@ use salus_fpga::device::Device;
 use salus_fpga::geometry::{DeviceGeometry, PartitionGeometry, Resources};
 use salus_net::latency::LatencyModel;
 
+use salus_fpga::geometry::DramWindow;
+
 use crate::runner::stream_ivs;
 use crate::workload::Workload;
 
@@ -52,6 +54,20 @@ pub mod regs {
     pub const ENCRYPT_OUTPUT: u32 = 10;
 }
 
+/// Status value reported when a programmed buffer does not fit the
+/// session's DRAM window: the transaction fails closed without touching
+/// a single byte outside the window.
+pub const STATUS_WINDOW_FAULT: u64 = 3;
+
+/// The window-relative DMA layout every harness transaction uses:
+/// the (encrypted) input buffer sits in the lower half of the session's
+/// window and the output buffer at its midpoint. On a standalone
+/// single-partition bed (8 MiB window) this reproduces the historical
+/// absolute layout — input at 0, output at 4 MiB.
+pub fn window_io_offsets(window: DramWindow) -> (usize, usize) {
+    (0, window.len / 2)
+}
+
 /// A shared, thread-safe compute function (the accelerator's datapath).
 pub type ComputeFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 
@@ -59,6 +75,9 @@ pub type ComputeFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 /// register port. Computation runs against the device's DRAM.
 pub struct AcceleratorCtl {
     device: Arc<Mutex<Device>>,
+    /// The session's DRAM window: every offset register is interpreted
+    /// relative to it and accesses outside it fail closed.
+    window: DramWindow,
     compute: ComputeFn,
     key: [u8; 32],
     /// AES schedule expanded from `key`, reused across transactions and
@@ -81,10 +100,24 @@ impl std::fmt::Debug for AcceleratorCtl {
 }
 
 impl AcceleratorCtl {
-    /// Creates a controller for `device` running `compute` on start.
+    /// Creates a controller for `device` running `compute` on start,
+    /// with a window spanning the whole DRAM (the standalone
+    /// single-tenant layout).
     pub fn new(device: Arc<Mutex<Device>>, compute: ComputeFn) -> AcceleratorCtl {
+        let window = DramWindow::whole_device(device.lock().dram_len());
+        Self::windowed(device, window, compute)
+    }
+
+    /// Creates a controller whose DMA engine is confined to `window`
+    /// (the multi-tenant layout: one window per co-resident partition).
+    pub fn windowed(
+        device: Arc<Mutex<Device>>,
+        window: DramWindow,
+        compute: ComputeFn,
+    ) -> AcceleratorCtl {
         AcceleratorCtl {
             device,
+            window,
             compute,
             key: [0; 32],
             cipher: None,
@@ -97,7 +130,26 @@ impl AcceleratorCtl {
         }
     }
 
+    /// The DRAM window this controller is confined to.
+    pub fn window(&self) -> DramWindow {
+        self.window
+    }
+
     fn run(&mut self) {
+        // Translate the programmed window-relative offsets before
+        // touching DRAM; a buffer that does not fit the window fails
+        // closed with a status code instead of reaching a neighbour.
+        let abs_input = match self
+            .window
+            .to_absolute(self.input_offset as usize, self.input_len as usize)
+        {
+            Ok(abs) => abs,
+            Err(_) => {
+                self.status = STATUS_WINDOW_FAULT;
+                self.output_len = 0;
+                return;
+            }
+        };
         let (iv_in, iv_out) = stream_ivs(&self.key);
         let cipher = self
             .cipher
@@ -106,8 +158,8 @@ impl AcceleratorCtl {
         let mut input = {
             let device = self.device.lock();
             device
-                .dram_read(self.input_offset as usize, self.input_len as usize)
-                .expect("input range valid")
+                .dram_read(abs_input, self.input_len as usize)
+                .expect("window-validated range")
         };
         // The AES engine at the memory interface decrypts inbound data.
         AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut input);
@@ -115,11 +167,22 @@ impl AcceleratorCtl {
         if self.encrypt_output {
             AesCtr256::from_cipher(cipher, &iv_out).apply_keystream_parallel(&mut output);
         }
+        let abs_output = match self
+            .window
+            .to_absolute(self.output_offset as usize, output.len())
+        {
+            Ok(abs) => abs,
+            Err(_) => {
+                self.status = STATUS_WINDOW_FAULT;
+                self.output_len = 0;
+                return;
+            }
+        };
         self.output_len = output.len() as u64;
         self.device
             .lock()
-            .dram_write(self.output_offset as usize, &output)
-            .expect("output range valid");
+            .dram_write(abs_output, &output)
+            .expect("window-validated range");
         self.status = 1;
     }
 }
@@ -192,7 +255,7 @@ pub fn boot_with_workload(workload: &dyn Workload) -> Result<TestBed, SalusError
     secure_boot(&mut bed)?;
 
     let compute = workload_compute_fn(workload);
-    let ctl = AcceleratorCtl::new(bed.shell.device(), compute);
+    let ctl = AcceleratorCtl::windowed(bed.shell.device(), bed.dram_window, compute);
     bed.sm_logic
         .as_mut()
         .expect("booted")
@@ -225,10 +288,13 @@ pub fn run_on_salus(bed: &mut TestBed, workload: &dyn Workload) -> Result<Vec<u8
     let mut ciphertext = workload.input().to_vec();
     AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut ciphertext);
 
-    // Direct (unsecure) memory channel: DMA through the shell.
-    let input_offset = 0usize;
-    let output_offset = 4 << 20;
-    bed.shell.dma_write(input_offset, &ciphertext)?;
+    // Direct (unsecure) memory channel: window-confined DMA through the
+    // shell. Offsets — here and in the registers below — are relative
+    // to the session's window, so co-resident tenants on one board
+    // never address each other's bytes.
+    let window = bed.dram_window;
+    let (input_offset, output_offset) = window_io_offsets(window);
+    bed.shell.dma_write_in(window, input_offset, &ciphertext)?;
 
     // Secure register channel: key exchange + control.
     for (i, chunk) in key.chunks_exact(8).enumerate() {
@@ -243,12 +309,20 @@ pub fn run_on_salus(bed: &mut TestBed, workload: &dyn Workload) -> Result<Vec<u8
     bed.secure_reg_write(regs::ENCRYPT_OUTPUT, u64::from(workload.encrypt_output()))?;
     bed.secure_reg_write(regs::START, 1)?;
 
-    if bed.secure_reg_read(regs::STATUS)? != 1 {
-        return Err(SalusError::Malformed("accelerator did not complete"));
+    match bed.secure_reg_read(regs::STATUS)? {
+        1 => {}
+        STATUS_WINDOW_FAULT => {
+            return Err(SalusError::Fpga(salus_fpga::FpgaError::DmaOutOfWindow {
+                offset: output_offset as u64,
+                len: bed.secure_reg_read(regs::OUTPUT_LEN)?,
+                window: window.len as u64,
+            }))
+        }
+        _ => return Err(SalusError::Malformed("accelerator did not complete")),
     }
     let output_len = bed.secure_reg_read(regs::OUTPUT_LEN)? as usize;
 
-    let mut output = bed.shell.dma_read(output_offset, output_len)?;
+    let mut output = bed.shell.dma_read_in(window, output_offset, output_len)?;
     if workload.encrypt_output() {
         AesCtr256::from_cipher(cipher, &iv_out).apply_keystream_parallel(&mut output);
     }

@@ -24,8 +24,9 @@ use salus_crypto::ctr::AesCtr256;
 use salus_crypto::hmac::hkdf;
 use salus_crypto::merkle::MerkleTree;
 use salus_fpga::device::Device;
+use salus_fpga::geometry::DramWindow;
 
-use crate::harness::ComputeFn;
+use crate::harness::{window_io_offsets, ComputeFn, STATUS_WINDOW_FAULT};
 use crate::runner::stream_ivs;
 use crate::workload::Workload;
 
@@ -103,6 +104,9 @@ impl SessionKeys {
 /// The integrity-enforcing accelerator controller.
 pub struct IntegrityCtl {
     device: Arc<Mutex<Device>>,
+    /// The DRAM window this controller is confined to; every
+    /// register-programmed offset is relative to it.
+    window: DramWindow,
     compute: ComputeFn,
     key: [u8; 32],
     /// Schedules expanded from `key`, invalidated on key-register writes.
@@ -126,10 +130,23 @@ impl std::fmt::Debug for IntegrityCtl {
 }
 
 impl IntegrityCtl {
-    /// Creates the controller for `device` running `compute`.
+    /// Creates the controller for `device` running `compute`, confined
+    /// to the whole device DRAM (single-tenant layout).
     pub fn new(device: Arc<Mutex<Device>>, compute: ComputeFn) -> IntegrityCtl {
+        let window = DramWindow::whole_device(device.lock().dram_len());
+        IntegrityCtl::windowed(device, window, compute)
+    }
+
+    /// Creates the controller confined to `window`; offsets programmed
+    /// over the register channel are interpreted relative to it.
+    pub fn windowed(
+        device: Arc<Mutex<Device>>,
+        window: DramWindow,
+        compute: ComputeFn,
+    ) -> IntegrityCtl {
         IntegrityCtl {
             device,
+            window,
             compute,
             key: [0; 32],
             session: None,
@@ -144,15 +161,31 @@ impl IntegrityCtl {
         }
     }
 
+    /// The DRAM window this controller is confined to.
+    pub fn window(&self) -> DramWindow {
+        self.window
+    }
+
     fn run(&mut self) {
         let session = self
             .session
             .get_or_insert_with(|| SessionKeys::derive(&self.key))
             .clone();
+        let input_abs = match self
+            .window
+            .to_absolute(self.input_offset as usize, self.input_len as usize)
+        {
+            Ok(abs) => abs,
+            Err(_) => {
+                self.status = STATUS_WINDOW_FAULT;
+                self.output_len = 0;
+                return;
+            }
+        };
         let ciphertext = {
             let device = self.device.lock();
             device
-                .dram_read(self.input_offset as usize, self.input_len as usize)
+                .dram_read(input_abs, self.input_len as usize)
                 .expect("input range valid")
         };
 
@@ -172,10 +205,21 @@ impl IntegrityCtl {
             session.ctr(&iv_out).apply_keystream_parallel(&mut output);
         }
         self.out_root = session.root(&output);
+        let output_abs = match self
+            .window
+            .to_absolute(self.output_offset as usize, output.len())
+        {
+            Ok(abs) => abs,
+            Err(_) => {
+                self.status = STATUS_WINDOW_FAULT;
+                self.output_len = 0;
+                return;
+            }
+        };
         self.output_len = output.len() as u64;
         self.device
             .lock()
-            .dram_write(self.output_offset as usize, &output)
+            .dram_write(output_abs, &output)
             .expect("output range valid");
         self.status = 1;
     }
@@ -226,7 +270,7 @@ impl RegisterDevice for IntegrityCtl {
 pub fn boot_with_integrity(workload: &dyn Workload) -> Result<TestBed, SalusError> {
     let mut bed = crate::harness::boot_with_workload(workload)?;
     let compute = crate::harness::workload_compute_fn(workload);
-    let ctl = IntegrityCtl::new(bed.shell.device(), compute);
+    let ctl = IntegrityCtl::windowed(bed.shell.device(), bed.dram_window, compute);
     bed.sm_logic
         .as_mut()
         .expect("booted")
@@ -259,9 +303,11 @@ pub fn run_with_integrity(
         .apply_keystream_parallel(&mut ciphertext);
     let in_root = session.root(&ciphertext);
 
-    let input_offset = 0usize;
-    let output_offset = 4 << 20;
-    bed.shell.dma_write(input_offset, &ciphertext)?;
+    // Window-relative I/O: the same layout co-resident tenants use, so
+    // the integrity protocol never addresses DRAM outside the lease.
+    let window = bed.dram_window;
+    let (input_offset, output_offset) = window_io_offsets(window);
+    bed.shell.dma_write_in(window, input_offset, &ciphertext)?;
 
     for (i, chunk) in key.chunks_exact(8).enumerate() {
         bed.secure_reg_write(
@@ -286,6 +332,13 @@ pub fn run_with_integrity(
         STATUS_INTEGRITY_FAILURE => {
             return Err(SalusError::RegisterChannelViolation("input integrity"));
         }
+        STATUS_WINDOW_FAULT => {
+            return Err(SalusError::Fpga(salus_fpga::FpgaError::DmaOutOfWindow {
+                offset: output_offset as u64,
+                len: bed.secure_reg_read(regs::OUTPUT_LEN)?,
+                window: window.len as u64,
+            }))
+        }
         _ => return Err(SalusError::Malformed("accelerator did not complete")),
     }
 
@@ -296,7 +349,7 @@ pub fn run_with_integrity(
         expected_root[i as usize * 8..i as usize * 8 + 8].copy_from_slice(&word.to_le_bytes());
     }
 
-    let mut output = bed.shell.dma_read(output_offset, output_len)?;
+    let mut output = bed.shell.dma_read_in(window, output_offset, output_len)?;
     if session.root(&output) != expected_root {
         return Err(SalusError::RegisterChannelViolation("output integrity"));
     }

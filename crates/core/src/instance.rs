@@ -11,7 +11,7 @@
 //! fabric.
 
 use salus_bitstream::netlist::Module;
-use salus_fpga::geometry::DeviceGeometry;
+use salus_fpga::geometry::{DeviceGeometry, DramWindow};
 use salus_fpga::shell::Shell;
 use salus_net::clock::SimClock;
 use salus_net::latency::{LatencyModel, LinkClass};
@@ -257,6 +257,10 @@ impl TestBedBuilder {
             let shell = Shell::provision(device, &shell_image).expect("shell image loads");
             (shell, 0)
         });
+        let dram_window = config
+            .geometry
+            .dram_window(partition)
+            .expect("target partition exists in configured geometry");
 
         // Development domain.
         let package = develop_cl(
@@ -301,6 +305,7 @@ impl TestBedBuilder {
             sm_logic: None,
             host_reg: None,
             partition,
+            dram_window,
             names,
             advertised_dna_override: None,
         }
@@ -341,6 +346,10 @@ pub struct TestBed {
     pub host_reg: Option<HostRegChannel>,
     /// Target reconfigurable partition.
     pub partition: usize,
+    /// The partition's private DRAM window. All session DMA and
+    /// accelerator register offsets are relative to it; on a
+    /// single-partition standalone bed it spans the whole DRAM.
+    pub dram_window: DramWindow,
     /// The fabric endpoint names this deployment's parties answer on.
     pub names: EndpointNames,
     /// The DNA string the (untrusted) CSP advertises for the rented

@@ -45,7 +45,8 @@ use crate::timing::{CostModel, Op};
 use crate::{FaultClass, SalusError};
 
 use super::fleet::{
-    DeployPath, DeviceFleet, DeviceId, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
+    DeployPath, DeviceFleet, DeviceId, DeviceLease, DramWindow, SlotId, TenantId, TenantRecord,
+    TenantRegistry,
 };
 use super::health::{DeviceHealth, DeviceHealthRecord, HealthPolicy};
 use super::scheduler::{PlacePolicy, Scheduler};
@@ -322,6 +323,9 @@ pub struct TenantDeployment {
     pub tenant: TenantId,
     /// The leased (device, partition) slot.
     pub slot: SlotId,
+    /// The slot's private DRAM window; every DMA the deployment issues
+    /// is confined to it.
+    pub window: DramWindow,
     /// The tenant's wired deployment (booted).
     pub bed: TestBed,
     /// Boot outcome (breakdown + cascade report).
@@ -471,6 +475,12 @@ impl ControlPlane {
     /// Occupancy snapshot: `(slot, tenant)` for every held slot.
     pub fn occupancy(&self) -> Vec<(SlotId, TenantId)> {
         self.fleet.lock().occupancy()
+    }
+
+    /// The DRAM window `slot`'s partition owns on its board, if the
+    /// slot exists in the fleet geometry.
+    pub fn dram_window(&self, slot: SlotId) -> Option<DramWindow> {
+        self.fleet.lock().window_of(slot)
     }
 
     /// Installs `plan`'s fault plane on the shared fabric, covering
@@ -735,6 +745,7 @@ impl ControlPlane {
                 Ok(TenantDeployment {
                     tenant,
                     slot: lease.slot,
+                    window: lease.window,
                     bed: *bed,
                     outcome: boot.outcome,
                     path,
@@ -835,6 +846,7 @@ impl ControlPlane {
                 BootRun::Done(Box::new(TenantDeployment {
                     tenant,
                     slot: lease.slot,
+                    window: lease.window,
                     bed,
                     outcome: boot.outcome,
                     path: if warm {
@@ -947,6 +959,7 @@ impl ControlPlane {
                 Ok(TenantDeployment {
                     tenant,
                     slot: lease.slot,
+                    window: lease.window,
                     bed,
                     outcome,
                     path: DeployPath::WarmImage,

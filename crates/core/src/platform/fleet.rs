@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use salus_fpga::geometry::DeviceGeometry;
 use salus_fpga::shell::Shell;
 
+pub use salus_fpga::geometry::DramWindow;
+
 use crate::keys::KeyDevice;
 use crate::SalusError;
 
@@ -56,6 +58,10 @@ pub struct DeviceLease {
     pub dna: u64,
     /// The board's fabric endpoint (`fleet.dev{i}.fpga`).
     pub endpoint: String,
+    /// The leased partition's private DRAM window. Derived from the
+    /// fleet geometry (`base = partition × window_len`), so two live
+    /// leases on one board can never share a byte of DRAM.
+    pub window: DramWindow,
 }
 
 /// One board of the fleet.
@@ -151,6 +157,14 @@ impl DeviceFleet {
         self.devices.iter().map(|d| d.dna).collect()
     }
 
+    /// The DRAM window `slot`'s partition owns on its board, if the
+    /// slot exists in this fleet's geometry.
+    pub fn window_of(&self, slot: SlotId) -> Option<DramWindow> {
+        (slot.device < self.devices.len())
+            .then(|| self.geometry.dram_window(slot.partition))
+            .flatten()
+    }
+
     /// The cached `Key_device` for board `device`, if any tenant has
     /// redeemed it.
     pub fn cached_key(&self, device: usize) -> Option<KeyDevice> {
@@ -216,11 +230,16 @@ impl DeviceBroker for DeviceFleet {
             return Err(SalusError::Scheduler("slot occupied"));
         }
         *entry = Some(tenant);
+        let window = self
+            .geometry
+            .dram_window(slot.partition)
+            .expect("partition index validated above");
         Ok(DeviceLease {
             slot,
             shell: device.shell.clone(),
             dna: device.dna,
             endpoint: device.endpoint.clone(),
+            window,
         })
     }
 
@@ -435,6 +454,8 @@ mod tests {
         let lease = fleet.lease_at(slot, TenantId(7)).unwrap();
         assert_eq!(lease.dna, fleet.dna(1).unwrap());
         assert_eq!(lease.endpoint, "fleet.dev1.fpga");
+        assert_eq!(Some(lease.window), fleet.window_of(slot));
+        assert_eq!(lease.window, fleet.geometry().dram_window(0).unwrap());
         assert_eq!(fleet.holder(slot), Some(TenantId(7)));
         assert_eq!(
             fleet.lease_at(slot, TenantId(8)).unwrap_err(),
@@ -444,6 +465,54 @@ mod tests {
         assert_eq!(
             fleet.release(slot),
             Err(SalusError::Scheduler("slot already free"))
+        );
+    }
+
+    #[test]
+    fn co_resident_leases_get_disjoint_windows() {
+        let bed = TestBed::quick_demo();
+        let mut fleet = DeviceFleet::provision(
+            &bed.manufacturer.clone(),
+            DeviceGeometry::tiny_multi_rp(3),
+            1,
+            200,
+        )
+        .expect("fleet provisions");
+        let leases: Vec<DeviceLease> = (0..3)
+            .map(|partition| {
+                fleet
+                    .lease_at(
+                        SlotId {
+                            device: 0,
+                            partition,
+                        },
+                        TenantId(partition as u64),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    leases[i].window.overlaps(&leases[j].window),
+                    i == j,
+                    "windows {i} and {j}"
+                );
+            }
+        }
+        assert_eq!(
+            fleet.window_of(SlotId {
+                device: 0,
+                partition: 9
+            }),
+            None
+        );
+        assert_eq!(
+            fleet.window_of(SlotId {
+                device: 5,
+                partition: 0
+            }),
+            None
         );
     }
 

@@ -34,7 +34,8 @@ pub use control::{
     PlatformConfig, TenantDeployment,
 };
 pub use fleet::{
-    DeployPath, DeviceFleet, DeviceId, DeviceLease, SlotId, TenantId, TenantRecord, TenantRegistry,
+    DeployPath, DeviceFleet, DeviceId, DeviceLease, DramWindow, SlotId, TenantId, TenantRecord,
+    TenantRegistry,
 };
 pub use health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
 pub use scheduler::{PlacePolicy, Scheduler};

@@ -34,6 +34,17 @@ pub enum FpgaError {
         /// Frames in the partition.
         expected: u32,
     },
+    /// A windowed DMA access fell outside the issuing session's DRAM
+    /// window (per-partition isolation: the access fails closed rather
+    /// than touching a co-resident tenant's bytes).
+    DmaOutOfWindow {
+        /// Window-relative offset of the refused access.
+        offset: u64,
+        /// Length of the refused access in bytes.
+        len: u64,
+        /// Length of the session's window in bytes.
+        window: u64,
+    },
 }
 
 impl fmt::Display for FpgaError {
@@ -52,6 +63,15 @@ impl fmt::Display for FpgaError {
             FpgaError::IncompleteReconfiguration { written, expected } => write!(
                 f,
                 "partial reconfiguration wrote {written} of {expected} frames"
+            ),
+            FpgaError::DmaOutOfWindow {
+                offset,
+                len,
+                window,
+            } => write!(
+                f,
+                "dma access of {len} bytes at window offset {offset} exceeds the \
+                 {window}-byte dram window"
             ),
         }
     }

@@ -93,6 +93,78 @@ impl PartitionGeometry {
     }
 }
 
+/// One reconfigurable partition's private slice of on-board DRAM.
+///
+/// Device DRAM is outside the TEE boundary and shared by every CL on
+/// the board; co-resident tenants therefore each get a disjoint
+/// *window* of it, derived purely from geometry: the usable range is
+/// split into `partitions.len()` equal windows and partition `i` owns
+/// `[i * len, (i + 1) * len)`. Sessions address DRAM window-relative
+/// and the shell's windowed DMA entry points refuse any access that
+/// crosses a window edge, so a mis-programmed (or malicious) session
+/// fails closed instead of corrupting a neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DramWindow {
+    /// Absolute DRAM offset of the window's first byte.
+    pub base: usize,
+    /// Window length in bytes.
+    pub len: usize,
+}
+
+impl DramWindow {
+    /// A window spanning an entire DRAM of `len` bytes (the standalone
+    /// single-tenant layout).
+    pub fn whole_device(len: usize) -> DramWindow {
+        DramWindow { base: 0, len }
+    }
+
+    /// One-past-the-end absolute offset.
+    pub fn end(&self) -> usize {
+        self.base + self.len
+    }
+
+    /// Whether the absolute offset `abs` falls inside this window.
+    pub fn contains(&self, abs: usize) -> bool {
+        abs >= self.base && abs < self.end()
+    }
+
+    /// Translates a window-relative access of `len` bytes at `rel` into
+    /// an absolute DRAM offset, refusing anything that does not fit
+    /// entirely inside the window.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DmaOutOfWindow`] when `rel + len` exceeds the
+    /// window (overflow included).
+    pub fn to_absolute(&self, rel: usize, len: usize) -> Result<usize, crate::FpgaError> {
+        match rel.checked_add(len) {
+            Some(end) if end <= self.len => Ok(self.base + rel),
+            _ => Err(crate::FpgaError::DmaOutOfWindow {
+                offset: rel as u64,
+                len: len as u64,
+                window: self.len as u64,
+            }),
+        }
+    }
+
+    /// Translates an absolute DRAM offset back into a window-relative
+    /// one, when it falls inside this window.
+    pub fn relative_of(&self, abs: usize) -> Option<usize> {
+        self.contains(abs).then(|| abs - self.base)
+    }
+
+    /// Whether two windows share any byte.
+    pub fn overlaps(&self, other: &DramWindow) -> bool {
+        self.base < other.end() && other.base < self.end()
+    }
+}
+
+impl std::fmt::Display for DramWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.base, self.end())
+    }
+}
+
 /// Whole-device geometry: a static region (shell) and reconfigurable
 /// partitions (CLs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,6 +266,35 @@ impl DeviceGeometry {
         }
     }
 
+    /// Bytes of DRAM each partition's window spans: the device DRAM
+    /// split evenly over the partitions (remainder bytes at the top of
+    /// DRAM are unusable slack). Zero for a partition-less geometry.
+    pub fn dram_window_len(&self) -> usize {
+        match self.partitions.len() {
+            0 => 0,
+            n => self.dram_bytes / n,
+        }
+    }
+
+    /// The DRAM window owned by `partition`, or `None` for an unknown
+    /// partition index.
+    pub fn dram_window(&self, partition: usize) -> Option<DramWindow> {
+        (partition < self.partitions.len()).then(|| {
+            let len = self.dram_window_len();
+            DramWindow {
+                base: partition * len,
+                len,
+            }
+        })
+    }
+
+    /// Every partition's DRAM window, in partition order.
+    pub fn dram_windows(&self) -> Vec<DramWindow> {
+        (0..self.partitions.len())
+            .map(|p| self.dram_window(p).expect("index in range"))
+            .collect()
+    }
+
     /// Converts a cycle count at the fabric clock into wall time.
     pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
         Duration::from_nanos((cycles as u128 * 1_000_000_000 / self.clock_hz as u128) as u64)
@@ -203,6 +304,7 @@ impl DeviceGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FpgaError;
 
     #[test]
     fn u200_matches_table5_budget() {
@@ -283,6 +385,47 @@ mod tests {
             assert_eq!(rp.logic_frames, base.partitions[0].logic_frames);
         }
         assert_eq!(g.dram_bytes, base.dram_bytes * 3);
+    }
+
+    #[test]
+    fn dram_windows_tile_the_device() {
+        let g = DeviceGeometry::tiny_multi_rp(3);
+        let windows = g.dram_windows();
+        assert_eq!(windows.len(), 3);
+        let len = g.dram_bytes / 3;
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!((w.base, w.len), (i * len, len));
+            assert!(w.end() <= g.dram_bytes);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(windows[i].overlaps(&windows[j]), i == j);
+            }
+        }
+        assert_eq!(g.dram_window(3), None);
+    }
+
+    #[test]
+    fn window_translation_round_trips_and_fails_closed() {
+        let w = DramWindow {
+            base: 4096,
+            len: 1024,
+        };
+        assert_eq!(w.to_absolute(0, 16).unwrap(), 4096);
+        assert_eq!(w.to_absolute(1008, 16).unwrap(), 4096 + 1008);
+        assert_eq!(w.relative_of(4096 + 1008), Some(1008));
+        assert_eq!(w.relative_of(4095), None);
+        assert_eq!(w.relative_of(w.end()), None);
+        assert_eq!(
+            w.to_absolute(1009, 16).unwrap_err(),
+            FpgaError::DmaOutOfWindow {
+                offset: 1009,
+                len: 16,
+                window: 1024,
+            }
+        );
+        // Offset + length overflow must not wrap around into range.
+        assert!(w.to_absolute(usize::MAX, 2).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::device::Device;
+use crate::geometry::DramWindow;
 use crate::icap::LoadOutcome;
 use crate::FpgaError;
 
@@ -159,6 +160,43 @@ impl Shell {
         self.device.lock().dram_read(offset, len)
     }
 
+    /// Window-confined DMA write: `rel` is relative to `window`, and
+    /// any access not fitting entirely inside the window is refused
+    /// before a single byte moves. This is the entry point sessions on
+    /// a multi-tenant board use, so a mis-programmed transfer fails
+    /// closed instead of corrupting a co-resident tenant's window.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DmaOutOfWindow`] when the access crosses the window
+    /// edge; out-of-range DRAM errors if the window itself is bogus.
+    pub fn dma_write_in(
+        &self,
+        window: DramWindow,
+        rel: usize,
+        data: &[u8],
+    ) -> Result<(), FpgaError> {
+        let abs = window.to_absolute(rel, data.len())?;
+        self.device.lock().dram_write(abs, data)
+    }
+
+    /// Window-confined DMA read (see
+    /// [`dma_write_in`](Shell::dma_write_in)).
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DmaOutOfWindow`] when the access crosses the window
+    /// edge; out-of-range DRAM errors if the window itself is bogus.
+    pub fn dma_read_in(
+        &self,
+        window: DramWindow,
+        rel: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, FpgaError> {
+        let abs = window.to_absolute(rel, len)?;
+        self.device.lock().dram_read(abs, len)
+    }
+
     /// The shell snoops device DRAM directly (always possible — DRAM is
     /// outside the TEE boundary).
     ///
@@ -275,6 +313,37 @@ mod tests {
             guard.partition(0).unwrap().frame(0).unwrap().as_bytes()[0],
             0x66
         );
+    }
+
+    #[test]
+    fn windowed_dma_is_confined_but_shell_snooping_is_not() {
+        let shell = shell_with_tiny_device();
+        let dram = shell.device().lock().dram_len();
+        let lo = DramWindow {
+            base: 0,
+            len: dram / 2,
+        };
+        let hi = DramWindow {
+            base: dram / 2,
+            len: dram / 2,
+        };
+        shell.dma_write_in(lo, 8, &[0xAA; 4]).unwrap();
+        shell.dma_write_in(hi, 8, &[0xBB; 4]).unwrap();
+        assert_eq!(shell.dma_read_in(lo, 8, 4).unwrap(), vec![0xAA; 4]);
+        assert_eq!(shell.dma_read_in(hi, 8, 4).unwrap(), vec![0xBB; 4]);
+        // A session cannot reach past its window edge...
+        assert_eq!(
+            shell.dma_write_in(lo, lo.len - 2, &[0; 4]).unwrap_err(),
+            FpgaError::DmaOutOfWindow {
+                offset: lo.len as u64 - 2,
+                len: 4,
+                window: lo.len as u64,
+            }
+        );
+        assert!(shell.dma_read_in(hi, hi.len, 1).is_err());
+        // ...but the shell itself still snoops all of DRAM (it is the
+        // adversary; windows bound sessions, not the threat model).
+        assert_eq!(shell.snoop_dram(dram / 2 + 8, 4).unwrap(), vec![0xBB; 4]);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use std::sync::Arc;
 
 use salus_accel::harness;
+use salus_accel::integrity;
 use salus_accel::workload::Workload;
 use salus_core::boot::{BootBreakdown, BootOutcome, BootTrace, CascadeReport};
 use salus_core::platform::{
@@ -36,7 +37,9 @@ use crate::session::{MemoryProtection, SecureSession, Tenancy};
 /// A board geometry whose every partition is large enough for any of
 /// the paper's accelerator workloads, with few logic frames to keep
 /// per-tenant boots fast (the fleet analogue of the single-instance
-/// harness geometry).
+/// harness geometry). DRAM scales with the partition count so every
+/// co-resident tenant's private window stays at the full 8 MiB the
+/// single-instance harness provides.
 pub fn node_geometry(partitions: usize) -> DeviceGeometry {
     let rp = PartitionGeometry {
         logic_frames: 64,
@@ -50,7 +53,7 @@ pub fn node_geometry(partitions: usize) -> DeviceGeometry {
         static_region: rp,
         partitions: vec![rp; partitions],
         clock_hz: 250_000_000,
-        dram_bytes: 8 << 20,
+        dram_bytes: (8 << 20) * partitions.max(1),
     }
 }
 
@@ -153,8 +156,23 @@ impl SalusNode {
         tenant: TenantId,
         workload: &dyn Workload,
     ) -> Result<SecureSession, SalusError> {
+        self.deploy_protected(tenant, workload, MemoryProtection::Confidentiality)
+    }
+
+    /// [`deploy`](SalusNode::deploy) with an explicit memory-protection
+    /// mode for the direct DMA channel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`deploy`](SalusNode::deploy).
+    pub fn deploy_protected(
+        &self,
+        tenant: TenantId,
+        workload: &dyn Workload,
+        protection: MemoryProtection,
+    ) -> Result<SecureSession, SalusError> {
         let deployment = self.plane.deploy(tenant, workload.accelerator_module())?;
-        Self::attach(deployment, workload)
+        Self::attach(deployment, workload, protection)
     }
 
     /// Evicts a fleet session: its slot frees up for other tenants and
@@ -176,6 +194,7 @@ impl SalusNode {
         self.plane.evict(TenantDeployment {
             tenant: tenancy.tenant,
             slot: tenancy.slot,
+            window: tenancy.window,
             bed,
             outcome: BootOutcome {
                 breakdown: BootBreakdown::default(),
@@ -201,36 +220,67 @@ impl SalusNode {
         tenant: TenantId,
         workload: &dyn Workload,
     ) -> Result<SecureSession, SalusError> {
+        self.redeploy_protected(tenant, workload, MemoryProtection::Confidentiality)
+    }
+
+    /// [`redeploy`](SalusNode::redeploy) with an explicit memory-
+    /// protection mode for the direct DMA channel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`redeploy`](SalusNode::redeploy).
+    pub fn redeploy_protected(
+        &self,
+        tenant: TenantId,
+        workload: &dyn Workload,
+        protection: MemoryProtection,
+    ) -> Result<SecureSession, SalusError> {
         match self.plane.redeploy(tenant) {
-            Ok(deployment) => Self::attach(deployment, workload),
-            Err(SalusError::Scheduler("affinity slot occupied")) => self.deploy(tenant, workload),
-            Err(SalusError::Scheduler("no parked deployment")) => self.deploy(tenant, workload),
+            Ok(deployment) => Self::attach(deployment, workload, protection),
+            Err(SalusError::Scheduler("affinity slot occupied")) => {
+                self.deploy_protected(tenant, workload, protection)
+            }
+            Err(SalusError::Scheduler("no parked deployment")) => {
+                self.deploy_protected(tenant, workload, protection)
+            }
             Err(e) => Err(e),
         }
     }
 
     /// Installs the workload's datapath behind the freshly attested SM
-    /// logic and wraps the deployment as a session.
+    /// logic — confined to the lease's DRAM window — and wraps the
+    /// deployment as a session.
     fn attach(
         mut deployment: TenantDeployment,
         workload: &dyn Workload,
+        protection: MemoryProtection,
     ) -> Result<SecureSession, SalusError> {
         let compute = harness::workload_compute_fn(workload);
-        let ctl = harness::AcceleratorCtl::new(deployment.bed.shell.device(), compute);
+        let device = deployment.bed.shell.device();
+        let window = deployment.window;
+        let ctl: Box<dyn salus_core::sm_logic::RegisterDevice> = match protection {
+            MemoryProtection::Confidentiality => {
+                Box::new(harness::AcceleratorCtl::windowed(device, window, compute))
+            }
+            MemoryProtection::ConfidentialityAndIntegrity => {
+                Box::new(integrity::IntegrityCtl::windowed(device, window, compute))
+            }
+        };
         deployment
             .bed
             .sm_logic
             .as_mut()
             .ok_or(SalusError::SmLogicUnavailable("fleet boot did not bind"))?
-            .set_accelerator(Box::new(ctl));
+            .set_accelerator(ctl);
         let tenancy = Tenancy {
             tenant: deployment.tenant,
             slot: deployment.slot,
             path: deployment.path,
+            window: deployment.window,
         };
         Ok(SecureSession::from_fleet(
             deployment.bed,
-            MemoryProtection::Confidentiality,
+            protection,
             deployment.outcome,
             tenancy,
         ))

@@ -22,7 +22,7 @@ use salus_accel::integrity;
 use salus_accel::workload::Workload;
 use salus_core::boot::{secure_boot_with, BootBreakdown, BootOptions, BootOutcome, CascadeReport};
 use salus_core::instance::TestBed;
-use salus_core::platform::{DeployPath, SlotId, TenantId};
+use salus_core::platform::{DeployPath, DramWindow, SlotId, TenantId};
 use salus_core::runtime_attest::{heartbeat, Heartbeat};
 use salus_core::SalusError;
 
@@ -50,6 +50,9 @@ pub struct Tenancy {
     pub slot: SlotId,
     /// Cold, warm-key, or warm-image.
     pub path: DeployPath,
+    /// The slot's private DRAM window; every DMA offset this session
+    /// programs is relative to it.
+    pub window: DramWindow,
 }
 
 /// A securely booted deployment ready to run jobs.
@@ -143,6 +146,12 @@ impl SecureSession {
         self.tenancy
     }
 
+    /// The DRAM window this session's DMA traffic is confined to
+    /// (standalone sessions own the whole device DRAM).
+    pub fn dram_window(&self) -> DramWindow {
+        self.bed.dram_window
+    }
+
     /// The per-phase timing of the last boot this session observed: the
     /// node deploy for fleet sessions, the last
     /// [`redeploy`](SecureSession::redeploy) otherwise (empty for a
@@ -216,14 +225,16 @@ impl SecureSession {
             .ok_or(SalusError::SmLogicUnavailable("redeploy did not bind"))?;
         match self.protection {
             MemoryProtection::Confidentiality => {
-                sm_logic.set_accelerator(Box::new(harness::AcceleratorCtl::new(
+                sm_logic.set_accelerator(Box::new(harness::AcceleratorCtl::windowed(
                     self.bed.shell.device(),
+                    self.bed.dram_window,
                     compute,
                 )));
             }
             MemoryProtection::ConfidentialityAndIntegrity => {
-                sm_logic.set_accelerator(Box::new(integrity::IntegrityCtl::new(
+                sm_logic.set_accelerator(Box::new(integrity::IntegrityCtl::windowed(
                     self.bed.shell.device(),
+                    self.bed.dram_window,
                     compute,
                 )));
             }

@@ -22,7 +22,7 @@ use salus::core::boot::{BootOptions, BootPlan, RetryPolicy};
 use salus::core::dev::loopback_accelerator;
 use salus::core::platform::{
     ControlPlane, DeployFailure, DeployPath, DeployPolicy, HealthPolicy, HealthState,
-    PlatformConfig,
+    PlatformConfig, TenantDeployment,
 };
 use salus::core::SalusError;
 use salus::net::fault::{FaultPlan, FaultSpec};
@@ -207,6 +207,101 @@ fn fleet_degrades_monotonically_with_drop_rate() {
         successes[0] >= successes[1] && successes[1] >= successes[2],
         "success count not monotone in drop rate: {successes:?}"
     );
+}
+
+/// No two live leases may ever overlap in DRAM: on a shared board each
+/// must hold a disjoint window, and every window must be the one its
+/// slot's geometry derives.
+fn assert_windows_disjoint(live: &[TenantDeployment], context: &str) {
+    for (i, a) in live.iter().enumerate() {
+        for b in &live[i + 1..] {
+            assert_ne!(a.slot, b.slot, "two live leases on one slot ({context})");
+            if a.slot.device == b.slot.device {
+                assert!(
+                    !a.window.overlaps(&b.window),
+                    "live leases {:?} and {:?} share DRAM: {} vs {} ({context})",
+                    a.slot,
+                    b.slot,
+                    a.window,
+                    b.window
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_sweep_never_shares_a_window_between_live_leases() {
+    // A seeded churn schedule — deploys, redeploys and evictions under
+    // lossy fabric — with the window-disjointness invariant checked
+    // after every event.
+    for fault_seed in [5u64, 17, 71] {
+        for drop_per_mille in [0u32, 40, 120] {
+            let plane = chaos_plane(2, 2);
+            let policy = DeployPolicy::resilient()
+                .with_plan(sweep_plan())
+                .with_placements(2)
+                .with_fault_plan(FaultPlan::new(
+                    fault_seed,
+                    FaultSpec::default().with_drop_per_mille(drop_per_mille),
+                ));
+            let context = format!("seed {fault_seed}, drop {drop_per_mille}‰");
+
+            let tenants: Vec<_> = (0..6)
+                .map(|i| plane.register_tenant(&format!("w{i}")))
+                .collect();
+            let mut live: Vec<TenantDeployment> = Vec::new();
+            let mut rng = fault_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(drop_per_mille));
+
+            for step in 0..24 {
+                rng = rng
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                if step % 3 < 2 {
+                    // Bring a tenant up: warm redeploy when parked, a
+                    // fresh scheduled deploy otherwise. Failures under
+                    // chaos are fine — leaks and overlaps are not.
+                    let tenant = tenants[(rng >> 33) as usize % tenants.len()];
+                    if live.iter().any(|d| d.tenant == tenant) {
+                        continue;
+                    }
+                    let deployed = if plane.has_parked(tenant) {
+                        plane.redeploy(tenant).ok()
+                    } else {
+                        plane
+                            .deploy_with(tenant, loopback_accelerator(), policy.clone())
+                            .ok()
+                    };
+                    if let Some(d) = deployed {
+                        assert_eq!(
+                            plane.dram_window(d.slot),
+                            Some(d.window),
+                            "lease window must derive from its slot ({context})"
+                        );
+                        live.push(d);
+                    }
+                } else if !live.is_empty() {
+                    let idx = (rng >> 17) as usize % live.len();
+                    let d = live.swap_remove(idx);
+                    plane.evict(d).expect("live deployment evicts");
+                }
+                assert_windows_disjoint(&live, &context);
+            }
+
+            // Drain and verify nothing leaked.
+            plane.clear_fault_plan();
+            for d in live.drain(..) {
+                plane.evict(d).expect("drain evicts");
+            }
+            let snap = plane.snapshot();
+            assert_eq!(
+                snap.free_slots, snap.total_slots,
+                "leaked lease after drain ({context})"
+            );
+        }
+    }
 }
 
 #[test]

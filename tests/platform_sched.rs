@@ -44,15 +44,30 @@ fn eight_tenants_deploy_concurrently_across_three_devices() {
     assert_eq!(devices.len(), 3, "least-loaded placement uses all boards");
     assert_eq!(node.free_slots(), 1);
 
-    // Every session is fully attested and actually runs its workload.
-    // Co-resident slots share device DRAM (see ROADMAP), so runs are
-    // serialised here.
-    let workload = Conv::paper_scale();
-    for mut session in sessions {
-        assert!(session.report().all_attested());
-        let output = session.run(&workload).unwrap();
-        assert_eq!(output, workload.compute(workload.input()));
-    }
+    // Every session is fully attested and runs its workload with all
+    // eight overlapping in time: each co-resident slot owns a private
+    // DRAM window, so tenants sharing a board no longer clobber each
+    // other's buffers. The barrier forces every thread to be mid-flight
+    // together before any of them starts DMA.
+    let barrier = std::sync::Barrier::new(sessions.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .map(|mut session| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    assert!(session.report().all_attested());
+                    let workload = Conv::paper_scale();
+                    barrier.wait();
+                    let output = session.run(&workload).unwrap();
+                    assert_eq!(output, workload.compute(workload.input()));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("concurrent run panicked");
+        }
+    });
 }
 
 #[test]

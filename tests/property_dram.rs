@@ -1,0 +1,123 @@
+//! Property-based checks on the DRAM-window arithmetic the isolation
+//! boundary rests on: windows must tile the device disjointly, and the
+//! relative↔absolute translation must be exact inside a window and
+//! fail closed everywhere else — for *any* geometry the platform can
+//! express, not just the ones the integration tests happen to use.
+
+use proptest::prelude::*;
+
+use salus::fpga::geometry::{DeviceGeometry, DramWindow, PartitionGeometry, Resources};
+
+/// A geometry with `partitions` equally capable slots over `dram_bytes`
+/// of board DRAM (resource numbers are irrelevant to windowing).
+fn geometry(partitions: usize, dram_bytes: usize) -> DeviceGeometry {
+    let rp = PartitionGeometry {
+        logic_frames: 8,
+        capacity: Resources {
+            lut: 1024,
+            register: 2048,
+            bram: 4,
+        },
+    };
+    DeviceGeometry {
+        static_region: rp,
+        partitions: vec![rp; partitions],
+        clock_hz: 100_000_000,
+        dram_bytes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No two partitions' windows ever share a byte.
+    #[test]
+    fn windows_are_pairwise_disjoint(partitions in 1usize..9, dram in 1usize..(1 << 22)) {
+        let windows = geometry(partitions, dram).dram_windows();
+        prop_assert_eq!(windows.len(), partitions);
+        for (i, a) in windows.iter().enumerate() {
+            for b in &windows[i + 1..] {
+                prop_assert!(!a.overlaps(b), "windows {} and {} overlap", a, b);
+            }
+        }
+    }
+
+    /// Every window lies inside the device DRAM, and together they
+    /// cover it save for at most `partitions - 1` bytes of rounding
+    /// slack at the top.
+    #[test]
+    fn windows_are_in_bounds_and_cover_the_dram(
+        partitions in 1usize..9,
+        dram in 1usize..(1 << 22),
+    ) {
+        let geometry = geometry(partitions, dram);
+        let windows = geometry.dram_windows();
+        let mut covered = 0usize;
+        for (i, w) in windows.iter().enumerate() {
+            prop_assert!(w.end() <= dram, "window {} exceeds {} bytes of DRAM", w, dram);
+            prop_assert_eq!(w.len, geometry.dram_window_len());
+            // Windows are laid out back to back in partition order.
+            prop_assert_eq!(w.base, i * geometry.dram_window_len());
+            covered += w.len;
+        }
+        prop_assert!(dram - covered < partitions, "more than rounding slack uncovered");
+    }
+
+    /// Inside a window, rel → abs → rel is the identity and the
+    /// absolute address stays inside the window.
+    #[test]
+    fn translation_round_trips_inside_the_window(
+        partition in 0usize..8,
+        partitions in 1usize..9,
+        dram in 1usize..(1 << 22),
+        rel in 0usize..(1 << 22),
+        len in 0usize..4096,
+    ) {
+        let geometry = geometry(partitions, dram);
+        let window = geometry.dram_window(partition % partitions).unwrap();
+        prop_assume!(rel + len <= window.len);
+        let abs = window.to_absolute(rel, len).unwrap();
+        prop_assert!(window.contains(abs) || len == 0 && rel == window.len);
+        prop_assert!(abs + len <= window.end());
+        if window.contains(abs) {
+            prop_assert_eq!(window.relative_of(abs), Some(rel));
+        }
+    }
+
+    /// Any access crossing the window edge is refused — no partial
+    /// translation, no wrap-around.
+    #[test]
+    fn translation_fails_closed_outside_the_window(
+        partition in 0usize..8,
+        partitions in 1usize..9,
+        dram in 1usize..(1 << 22),
+        rel in 0usize..(1 << 23),
+        len in 1usize..4096,
+    ) {
+        let geometry = geometry(partitions, dram);
+        let window = geometry.dram_window(partition % partitions).unwrap();
+        prop_assume!(rel + len > window.len);
+        prop_assert!(window.to_absolute(rel, len).is_err());
+    }
+
+    /// The relative↔absolute maps agree with naive arithmetic on a
+    /// directly constructed window (independent of any geometry).
+    #[test]
+    fn window_arithmetic_matches_the_naive_model(
+        base in 0usize..(1 << 22),
+        len in 1usize..(1 << 22),
+        abs in 0usize..(1 << 23),
+    ) {
+        let window = DramWindow { base, len };
+        prop_assert_eq!(window.end(), base + len);
+        let inside = abs >= base && abs < base + len;
+        prop_assert_eq!(window.contains(abs), inside);
+        prop_assert_eq!(
+            window.relative_of(abs),
+            if inside { Some(abs - base) } else { None }
+        );
+        if inside {
+            prop_assert_eq!(window.to_absolute(abs - base, 1).unwrap(), abs);
+        }
+    }
+}
