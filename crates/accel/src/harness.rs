@@ -270,61 +270,231 @@ pub fn workload_compute_fn(workload: &dyn Workload) -> ComputeFn {
     Arc::new(move |input| boxed.compute(input))
 }
 
-/// Runs `workload` end-to-end on a booted bed and returns the output.
+/// Per-session state shared by every staged transaction on the plain
+/// (confidentiality-only) channel: the attested data key, the derived
+/// stream IVs, and the expanded AES schedule.
+///
+/// The blocking [`run_on_salus`] loop and the serving-plane executor
+/// both drive the same four resumable stages —
+/// [`stage_dma_in`] → [`stage_program_key`] → [`stage_execute`] →
+/// [`stage_dma_out`] — so a queued, pipelined execution is byte-
+/// identical to a serial one by construction.
+pub struct RunPlan {
+    key: [u8; 32],
+    iv_in: [u8; 16],
+    iv_out: [u8; 16],
+    cipher: salus_crypto::aes::Aes256,
+    window: DramWindow,
+}
+
+impl std::fmt::Debug for RunPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunPlan")
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunPlan {
+    /// Captures the attested data key and session window from a booted
+    /// bed.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] before boot (no data key yet).
+    pub fn prepare(bed: &TestBed) -> Result<RunPlan, SalusError> {
+        let key = *bed
+            .user_app
+            .data_key()
+            .ok_or(SalusError::Malformed("no data key — boot first"))?
+            .as_bytes();
+        let (iv_in, iv_out) = stream_ivs(&key);
+        Ok(RunPlan {
+            key,
+            iv_in,
+            iv_out,
+            cipher: salus_crypto::aes::Aes256::new(&key),
+            window: bed.dram_window,
+        })
+    }
+
+    /// The session window every stage offset is relative to.
+    pub fn window(&self) -> DramWindow {
+        self.window
+    }
+
+    /// Owner-side encryption of one request payload. The keystream
+    /// restarts at the stream IV for every request — exactly what the
+    /// serial loop does per [`run_on_salus`] call — so a request
+    /// encrypts to the same bytes whether it travels alone or inside a
+    /// coalesced batch fill.
+    pub fn encrypt_input(&self, payload: &[u8]) -> Vec<u8> {
+        let mut ciphertext = payload.to_vec();
+        AesCtr256::from_cipher(self.cipher.clone(), &self.iv_in)
+            .apply_keystream_parallel(&mut ciphertext);
+        ciphertext
+    }
+
+    /// Owner-side decryption of one request's output buffer (only
+    /// meaningful when the workload encrypts its output).
+    pub fn decrypt_output(&self, output: &mut [u8]) {
+        AesCtr256::from_cipher(self.cipher.clone(), &self.iv_out).apply_keystream_parallel(output);
+    }
+}
+
+/// One request's register programming for [`stage_execute`]: every
+/// offset is window-relative, exactly as the registers interpret them.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecRequest {
+    /// Window-relative offset of the (encrypted) input buffer.
+    pub input_offset: usize,
+    /// Input length in bytes.
+    pub input_len: usize,
+    /// Window-relative offset the output buffer is written to.
+    pub output_offset: usize,
+    /// Whether the accelerator encrypts its output stream.
+    pub encrypt_output: bool,
+}
+
+/// What one [`stage_execute`] call observed from the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The run completed; `output_len` bytes sit at the programmed
+    /// output offset.
+    Done {
+        /// Output length in bytes.
+        output_len: usize,
+    },
+    /// A programmed buffer did not fit the session window; the
+    /// transaction failed closed without touching DRAM. The serving
+    /// executor uses this to split a batch whose packed outputs
+    /// overflowed the staging buffer and retry.
+    WindowFault {
+        /// The `OUTPUT_LEN` register at fault time (what the legacy
+        /// error path reports).
+        reported_len: u64,
+    },
+}
+
+/// Stage 1 — DMA-in: one window-confined fill of the direct memory
+/// channel. `ciphertext` may cover a whole coalesced batch; the shell
+/// sees one transaction either way.
 ///
 /// # Errors
 ///
-/// Propagates register-channel and DMA failures.
-pub fn run_on_salus(bed: &mut TestBed, workload: &dyn Workload) -> Result<Vec<u8>, SalusError> {
-    let key = *bed
-        .user_app
-        .data_key()
-        .ok_or(SalusError::Malformed("no data key — boot first"))?
-        .as_bytes();
-    let (iv_in, iv_out) = stream_ivs(&key);
-    let cipher = salus_crypto::aes::Aes256::new(&key);
-
-    // Owner side: encrypt the input with the attested data key.
-    let mut ciphertext = workload.input().to_vec();
-    AesCtr256::from_cipher(cipher.clone(), &iv_in).apply_keystream_parallel(&mut ciphertext);
-
-    // Direct (unsecure) memory channel: window-confined DMA through the
-    // shell. Offsets — here and in the registers below — are relative
-    // to the session's window, so co-resident tenants on one board
-    // never address each other's bytes.
+/// Window-edge violations and DMA failures.
+pub fn stage_dma_in(bed: &mut TestBed, rel: usize, ciphertext: &[u8]) -> Result<(), SalusError> {
     let window = bed.dram_window;
-    let (input_offset, output_offset) = window_io_offsets(window);
-    bed.shell.dma_write_in(window, input_offset, &ciphertext)?;
+    bed.shell.dma_write_in(window, rel, ciphertext)?;
+    Ok(())
+}
 
-    // Secure register channel: key exchange + control.
-    for (i, chunk) in key.chunks_exact(8).enumerate() {
+/// Stage 2a — key exchange over the secure register channel. Once per
+/// batch: adjacent requests multiplexed onto one attested session share
+/// the data key, so the serving plane amortises these four writes.
+///
+/// # Errors
+///
+/// Register-channel violations.
+pub fn stage_program_key(bed: &mut TestBed, plan: &RunPlan) -> Result<(), SalusError> {
+    for (i, chunk) in plan.key.chunks_exact(8).enumerate() {
         bed.secure_reg_write(
             regs::KEY0 + i as u32,
             u64::from_le_bytes(chunk.try_into().expect("8")),
         )?;
     }
-    bed.secure_reg_write(regs::INPUT_OFFSET, input_offset as u64)?;
-    bed.secure_reg_write(regs::INPUT_LEN, workload.input().len() as u64)?;
-    bed.secure_reg_write(regs::OUTPUT_OFFSET, output_offset as u64)?;
-    bed.secure_reg_write(regs::ENCRYPT_OUTPUT, u64::from(workload.encrypt_output()))?;
+    Ok(())
+}
+
+/// Stage 2b — compute: programs one request's buffers, starts the
+/// accelerator, and reads back completion.
+///
+/// # Errors
+///
+/// Register-channel violations; [`SalusError::Malformed`] on an
+/// unrecognised status. Window faults are *returned*, not raised, so a
+/// batching executor can repack and retry.
+pub fn stage_execute(bed: &mut TestBed, req: &ExecRequest) -> Result<ExecOutcome, SalusError> {
+    bed.secure_reg_write(regs::INPUT_OFFSET, req.input_offset as u64)?;
+    bed.secure_reg_write(regs::INPUT_LEN, req.input_len as u64)?;
+    bed.secure_reg_write(regs::OUTPUT_OFFSET, req.output_offset as u64)?;
+    bed.secure_reg_write(regs::ENCRYPT_OUTPUT, u64::from(req.encrypt_output))?;
     bed.secure_reg_write(regs::START, 1)?;
 
     match bed.secure_reg_read(regs::STATUS)? {
-        1 => {}
-        STATUS_WINDOW_FAULT => {
+        1 => {
+            let output_len = bed.secure_reg_read(regs::OUTPUT_LEN)? as usize;
+            Ok(ExecOutcome::Done { output_len })
+        }
+        STATUS_WINDOW_FAULT => Ok(ExecOutcome::WindowFault {
+            reported_len: bed.secure_reg_read(regs::OUTPUT_LEN)?,
+        }),
+        _ => Err(SalusError::Malformed("accelerator did not complete")),
+    }
+}
+
+/// Stage 3 — DMA-out: one window-confined read covering `len` bytes at
+/// `rel` (a single request's output, or a whole batch's packed output
+/// region). Decryption is per-request via [`RunPlan::decrypt_output`].
+///
+/// # Errors
+///
+/// Window-edge violations and DMA failures.
+pub fn stage_dma_out(bed: &mut TestBed, rel: usize, len: usize) -> Result<Vec<u8>, SalusError> {
+    let window = bed.dram_window;
+    Ok(bed.shell.dma_read_in(window, rel, len)?)
+}
+
+/// Runs `workload` end-to-end on a booted bed and returns the output.
+///
+/// This is the *blocking* serial loop: it pushes one transaction
+/// through DMA-in → compute → DMA-out and does not return until the
+/// output is read back, leaving the shell idle between phases. It is
+/// expressed entirely in terms of the resumable stage functions above;
+/// the pipelined serving plane (`salus::serving`) interleaves the same
+/// stages across queued requests and co-resident sessions.
+///
+/// # Errors
+///
+/// Propagates register-channel and DMA failures.
+pub fn run_on_salus(bed: &mut TestBed, workload: &dyn Workload) -> Result<Vec<u8>, SalusError> {
+    let plan = RunPlan::prepare(bed)?;
+
+    // Owner side: encrypt the input with the attested data key.
+    let ciphertext = plan.encrypt_input(workload.input());
+
+    // Direct (unsecure) memory channel: window-confined DMA through the
+    // shell. Offsets — here and in the registers below — are relative
+    // to the session's window, so co-resident tenants on one board
+    // never address each other's bytes.
+    let window = plan.window();
+    let (input_offset, output_offset) = window_io_offsets(window);
+    stage_dma_in(bed, input_offset, &ciphertext)?;
+
+    // Secure register channel: key exchange + control.
+    stage_program_key(bed, &plan)?;
+    let output_len = match stage_execute(
+        bed,
+        &ExecRequest {
+            input_offset,
+            input_len: workload.input().len(),
+            output_offset,
+            encrypt_output: workload.encrypt_output(),
+        },
+    )? {
+        ExecOutcome::Done { output_len } => output_len,
+        ExecOutcome::WindowFault { reported_len } => {
             return Err(SalusError::Fpga(salus_fpga::FpgaError::DmaOutOfWindow {
                 offset: output_offset as u64,
-                len: bed.secure_reg_read(regs::OUTPUT_LEN)?,
+                len: reported_len,
                 window: window.len as u64,
             }))
         }
-        _ => return Err(SalusError::Malformed("accelerator did not complete")),
-    }
-    let output_len = bed.secure_reg_read(regs::OUTPUT_LEN)? as usize;
+    };
 
-    let mut output = bed.shell.dma_read_in(window, output_offset, output_len)?;
+    let mut output = stage_dma_out(bed, output_offset, output_len)?;
     if workload.encrypt_output() {
-        AesCtr256::from_cipher(cipher, &iv_out).apply_keystream_parallel(&mut output);
+        plan.decrypt_output(&mut output);
     }
     Ok(output)
 }

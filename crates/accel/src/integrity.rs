@@ -278,7 +278,194 @@ pub fn boot_with_integrity(workload: &dyn Workload) -> Result<TestBed, SalusErro
     Ok(bed)
 }
 
+/// Per-session state for staged transactions on the integrity-
+/// protected channel: the cached key schedules plus the stream IVs.
+///
+/// The blocking [`run_with_integrity`] loop and the serving-plane
+/// executor drive the same resumable stages —
+/// [`stage_dma_in`](crate::harness::stage_dma_in) →
+/// [`stage_program_key_verified`] → [`stage_execute_verified`] →
+/// [`stage_dma_out`](crate::harness::stage_dma_out) →
+/// [`IntegrityPlan::verify_output`] — so queued execution is byte-
+/// identical to serial execution by construction.
+pub struct IntegrityPlan {
+    key: [u8; 32],
+    iv_in: [u8; 16],
+    iv_out: [u8; 16],
+    session: SessionKeys,
+    window: DramWindow,
+}
+
+impl std::fmt::Debug for IntegrityPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntegrityPlan")
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IntegrityPlan {
+    /// Captures the attested data key, derived schedules, and session
+    /// window from a booted bed.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Malformed`] before boot (no data key yet).
+    pub fn prepare(bed: &TestBed) -> Result<IntegrityPlan, SalusError> {
+        let key = *bed
+            .user_app
+            .data_key()
+            .ok_or(SalusError::Malformed("no data key — boot first"))?
+            .as_bytes();
+        let (iv_in, iv_out) = stream_ivs(&key);
+        Ok(IntegrityPlan {
+            key,
+            iv_in,
+            iv_out,
+            session: SessionKeys::derive(&key),
+            window: bed.dram_window,
+        })
+    }
+
+    /// The session window every stage offset is relative to.
+    pub fn window(&self) -> DramWindow {
+        self.window
+    }
+
+    /// Owner-side encryption of one request payload plus its Merkle
+    /// root. Keystream and root computation both restart per request
+    /// (the serial contract), so batching does not change a single
+    /// byte or root.
+    pub fn encrypt_input(&self, payload: &[u8]) -> (Vec<u8>, [u8; 32]) {
+        let mut ciphertext = payload.to_vec();
+        self.session
+            .ctr(&self.iv_in)
+            .apply_keystream_parallel(&mut ciphertext);
+        let root = self.session.root(&ciphertext);
+        (ciphertext, root)
+    }
+
+    /// Verifies one request's output buffer against the root read back
+    /// over the secure register channel, then decrypts it in place if
+    /// the workload encrypts output.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::RegisterChannelViolation`] ("output integrity")
+    /// when the shell tampered with the result between the accelerator
+    /// write and the host read.
+    pub fn verify_output(
+        &self,
+        output: &mut [u8],
+        expected_root: &[u8; 32],
+        encrypt_output: bool,
+    ) -> Result<(), SalusError> {
+        if self.session.root(output) != *expected_root {
+            return Err(SalusError::RegisterChannelViolation("output integrity"));
+        }
+        if encrypt_output {
+            self.session
+                .ctr(&self.iv_out)
+                .apply_keystream_parallel(output);
+        }
+        Ok(())
+    }
+}
+
+/// What one [`stage_execute_verified`] call observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifiedOutcome {
+    /// The run completed and `out_root` authenticates the output
+    /// buffer at the programmed offset.
+    Done {
+        /// Output length in bytes.
+        output_len: usize,
+        /// Merkle root over the output buffer, read over the secure
+        /// register channel.
+        out_root: [u8; 32],
+    },
+    /// The accelerator refused to run: the input buffer in DRAM did
+    /// not match the root passed over the secure channel.
+    InputTampered,
+    /// A programmed buffer did not fit the window (see
+    /// [`ExecOutcome::WindowFault`](crate::harness::ExecOutcome)).
+    WindowFault {
+        /// The `OUTPUT_LEN` register at fault time.
+        reported_len: u64,
+    },
+}
+
+/// Key-exchange stage for the integrity channel (the data key only;
+/// per-request roots travel with [`stage_execute_verified`]).
+///
+/// # Errors
+///
+/// Register-channel violations.
+pub fn stage_program_key_verified(
+    bed: &mut TestBed,
+    plan: &IntegrityPlan,
+) -> Result<(), SalusError> {
+    for (i, chunk) in plan.key.chunks_exact(8).enumerate() {
+        bed.secure_reg_write(
+            regs::KEY0 + i as u32,
+            u64::from_le_bytes(chunk.try_into().expect("8")),
+        )?;
+    }
+    Ok(())
+}
+
+/// Compute stage on the integrity channel: passes the request's input
+/// root over the secure register channel, programs the buffers, starts
+/// the run, and reads back the status plus the output root.
+///
+/// # Errors
+///
+/// Register-channel violations; [`SalusError::Malformed`] on an
+/// unrecognised status. Integrity failures and window faults are
+/// *returned* so a batching executor can handle them per request.
+pub fn stage_execute_verified(
+    bed: &mut TestBed,
+    req: &crate::harness::ExecRequest,
+    in_root: &[u8; 32],
+) -> Result<VerifiedOutcome, SalusError> {
+    for (i, chunk) in in_root.chunks_exact(8).enumerate() {
+        bed.secure_reg_write(
+            regs::IN_ROOT0 + i as u32,
+            u64::from_le_bytes(chunk.try_into().expect("8")),
+        )?;
+    }
+    bed.secure_reg_write(regs::INPUT_OFFSET, req.input_offset as u64)?;
+    bed.secure_reg_write(regs::INPUT_LEN, req.input_len as u64)?;
+    bed.secure_reg_write(regs::OUTPUT_OFFSET, req.output_offset as u64)?;
+    bed.secure_reg_write(regs::ENCRYPT_OUTPUT, u64::from(req.encrypt_output))?;
+    bed.secure_reg_write(regs::START, 1)?;
+
+    match bed.secure_reg_read(regs::STATUS)? {
+        1 => {
+            let output_len = bed.secure_reg_read(regs::OUTPUT_LEN)? as usize;
+            let mut out_root = [0u8; 32];
+            for i in 0..4u32 {
+                let word = bed.secure_reg_read(regs::OUT_ROOT0 + i)?;
+                out_root[i as usize * 8..i as usize * 8 + 8].copy_from_slice(&word.to_le_bytes());
+            }
+            Ok(VerifiedOutcome::Done {
+                output_len,
+                out_root,
+            })
+        }
+        STATUS_INTEGRITY_FAILURE => Ok(VerifiedOutcome::InputTampered),
+        STATUS_WINDOW_FAULT => Ok(VerifiedOutcome::WindowFault {
+            reported_len: bed.secure_reg_read(regs::OUTPUT_LEN)?,
+        }),
+        _ => Err(SalusError::Malformed("accelerator did not complete")),
+    }
+}
+
 /// Runs `workload` through the integrity-protected channel.
+///
+/// Like [`run_on_salus`](crate::harness::run_on_salus) this is the
+/// *blocking* serial loop, composed from the resumable stage functions
+/// the serving plane interleaves.
 ///
 /// # Errors
 ///
@@ -289,73 +476,41 @@ pub fn run_with_integrity(
     bed: &mut TestBed,
     workload: &dyn Workload,
 ) -> Result<Vec<u8>, SalusError> {
-    let key = *bed
-        .user_app
-        .data_key()
-        .ok_or(SalusError::Malformed("no data key — boot first"))?
-        .as_bytes();
-    let (iv_in, iv_out) = stream_ivs(&key);
-    let session = SessionKeys::derive(&key);
-
-    let mut ciphertext = workload.input().to_vec();
-    session
-        .ctr(&iv_in)
-        .apply_keystream_parallel(&mut ciphertext);
-    let in_root = session.root(&ciphertext);
+    let plan = IntegrityPlan::prepare(bed)?;
+    let (ciphertext, in_root) = plan.encrypt_input(workload.input());
 
     // Window-relative I/O: the same layout co-resident tenants use, so
     // the integrity protocol never addresses DRAM outside the lease.
-    let window = bed.dram_window;
+    let window = plan.window();
     let (input_offset, output_offset) = window_io_offsets(window);
-    bed.shell.dma_write_in(window, input_offset, &ciphertext)?;
+    crate::harness::stage_dma_in(bed, input_offset, &ciphertext)?;
 
-    for (i, chunk) in key.chunks_exact(8).enumerate() {
-        bed.secure_reg_write(
-            regs::KEY0 + i as u32,
-            u64::from_le_bytes(chunk.try_into().expect("8")),
-        )?;
-    }
-    for (i, chunk) in in_root.chunks_exact(8).enumerate() {
-        bed.secure_reg_write(
-            regs::IN_ROOT0 + i as u32,
-            u64::from_le_bytes(chunk.try_into().expect("8")),
-        )?;
-    }
-    bed.secure_reg_write(regs::INPUT_OFFSET, input_offset as u64)?;
-    bed.secure_reg_write(regs::INPUT_LEN, workload.input().len() as u64)?;
-    bed.secure_reg_write(regs::OUTPUT_OFFSET, output_offset as u64)?;
-    bed.secure_reg_write(regs::ENCRYPT_OUTPUT, u64::from(workload.encrypt_output()))?;
-    bed.secure_reg_write(regs::START, 1)?;
-
-    match bed.secure_reg_read(regs::STATUS)? {
-        1 => {}
-        STATUS_INTEGRITY_FAILURE => {
+    stage_program_key_verified(bed, &plan)?;
+    let req = crate::harness::ExecRequest {
+        input_offset,
+        input_len: workload.input().len(),
+        output_offset,
+        encrypt_output: workload.encrypt_output(),
+    };
+    let (output_len, expected_root) = match stage_execute_verified(bed, &req, &in_root)? {
+        VerifiedOutcome::Done {
+            output_len,
+            out_root,
+        } => (output_len, out_root),
+        VerifiedOutcome::InputTampered => {
             return Err(SalusError::RegisterChannelViolation("input integrity"));
         }
-        STATUS_WINDOW_FAULT => {
+        VerifiedOutcome::WindowFault { reported_len } => {
             return Err(SalusError::Fpga(salus_fpga::FpgaError::DmaOutOfWindow {
                 offset: output_offset as u64,
-                len: bed.secure_reg_read(regs::OUTPUT_LEN)?,
+                len: reported_len,
                 window: window.len as u64,
             }))
         }
-        _ => return Err(SalusError::Malformed("accelerator did not complete")),
-    }
+    };
 
-    let output_len = bed.secure_reg_read(regs::OUTPUT_LEN)? as usize;
-    let mut expected_root = [0u8; 32];
-    for i in 0..4u32 {
-        let word = bed.secure_reg_read(regs::OUT_ROOT0 + i)?;
-        expected_root[i as usize * 8..i as usize * 8 + 8].copy_from_slice(&word.to_le_bytes());
-    }
-
-    let mut output = bed.shell.dma_read_in(window, output_offset, output_len)?;
-    if session.root(&output) != expected_root {
-        return Err(SalusError::RegisterChannelViolation("output integrity"));
-    }
-    if workload.encrypt_output() {
-        session.ctr(&iv_out).apply_keystream_parallel(&mut output);
-    }
+    let mut output = crate::harness::stage_dma_out(bed, output_offset, output_len)?;
+    plan.verify_output(&mut output, &expected_root, workload.encrypt_output())?;
     Ok(output)
 }
 

@@ -36,6 +36,62 @@ pub trait Workload: Send + Sync {
     fn clone_box(&self) -> Box<dyn Workload>;
 }
 
+/// A workload with its input buffer replaced: the same accelerator,
+/// profile, and compute function, fed a different payload.
+///
+/// This is what a multiplexed serving request is — thousands of
+/// logical clients share one deployed accelerator and differ only in
+/// the bytes they stream through it. The serial differential tests use
+/// it to replay a queued request through the blocking
+/// `SecureSession::run` path.
+pub struct WithInput {
+    inner: Box<dyn Workload>,
+    input: Vec<u8>,
+}
+
+impl WithInput {
+    /// Wraps `inner`'s accelerator around the request payload `input`.
+    pub fn new(inner: &dyn Workload, input: Vec<u8>) -> WithInput {
+        WithInput {
+            inner: inner.clone_box(),
+            input,
+        }
+    }
+}
+
+impl Workload for WithInput {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn compute(&self, input: &[u8]) -> Vec<u8> {
+        self.inner.compute(input)
+    }
+
+    fn accelerator_module(&self) -> Module {
+        self.inner.accelerator_module()
+    }
+
+    fn profile(&self) -> AppProfile {
+        self.inner.profile()
+    }
+
+    fn encrypt_output(&self) -> bool {
+        self.inner.encrypt_output()
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(WithInput {
+            inner: self.inner.clone_box(),
+            input: self.input.clone(),
+        })
+    }
+}
+
 /// Constructs all five paper workloads at simulation scale.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     vec![

@@ -292,13 +292,12 @@ fn main() {
     // Hardware context: the parallel-path numbers scale with core
     // count, so a 1-core container records serial-only speedups.
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let report = serde_json::json!({
-        "experiment": "bench_crypto",
-        "available_parallelism": threads as u64,
-        "data": rows,
-    });
-    let rendered = format!("{report}");
-    std::fs::write("BENCH_crypto.json", &rendered).expect("write BENCH_crypto.json");
-    println!("JSON: {rendered}");
-    println!("\nWrote BENCH_crypto.json");
+    salus_bench::write_bench_json(
+        "crypto",
+        serde_json::json!({
+            "experiment": "bench_crypto",
+            "available_parallelism": threads as u64,
+            "data": rows,
+        }),
+    );
 }

@@ -69,14 +69,13 @@ fn main() {
         "warm-image deploy not faster than warm-key"
     );
 
-    let report = serde_json::json!({
-        "experiment": "bench_fleet",
-        "devices": 1_u64,
-        "partitions": 2_u64,
-        "data": rows,
-    });
-    let rendered = format!("{report}");
-    std::fs::write("BENCH_fleet.json", &rendered).expect("write BENCH_fleet.json");
-    println!("\nJSON: {rendered}");
-    println!("\nWrote BENCH_fleet.json");
+    salus_bench::write_bench_json(
+        "fleet",
+        serde_json::json!({
+            "experiment": "bench_fleet",
+            "devices": 1_u64,
+            "partitions": 2_u64,
+            "data": rows,
+        }),
+    );
 }

@@ -139,15 +139,15 @@ fn main() {
          boards that keep failing are quarantined and skipped."
     );
 
-    let report = serde_json::json!({
-        "experiment": "chaos_fleet_sweep",
-        "devices": DEVICES as u64,
-        "partitions": PARTITIONS as u64,
-        "tenants": TENANTS as u64,
-        "seeds": SEEDS.len() as u64,
-        "data": json_rows,
-    });
-    let rendered = format!("{report}");
-    std::fs::write("BENCH_chaos_fleet.json", &rendered).expect("write BENCH_chaos_fleet.json");
-    println!("\nWrote BENCH_chaos_fleet.json");
+    salus_bench::write_bench_json(
+        "chaos_fleet",
+        serde_json::json!({
+            "experiment": "chaos_fleet_sweep",
+            "devices": DEVICES as u64,
+            "partitions": PARTITIONS as u64,
+            "tenants": TENANTS as u64,
+            "seeds": SEEDS.len() as u64,
+            "data": json_rows,
+        }),
+    );
 }

@@ -72,6 +72,36 @@ pub fn print_json(id: &str, value: serde_json::Value) {
     );
 }
 
+/// Version stamped into every `BENCH_*.json` artifact by
+/// [`write_bench_json`]; bump when the shared envelope shape changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Writes the standard experiment artifact `BENCH_<name>.json`.
+///
+/// `report` is the experiment's own record — its `experiment` id, any
+/// context fields, and the `data` rows. The helper stamps the shared
+/// `schema_version` envelope field, writes the artifact next to the
+/// working directory, and prints the `JSON:` line plus the artifact
+/// path, which every bench binary previously hand-rolled.
+///
+/// # Panics
+///
+/// When the artifact cannot be written — bench binaries treat that as
+/// fatal.
+pub fn write_bench_json(name: &str, mut report: serde_json::Value) {
+    if let serde_json::Value::Object(entries) = &mut report {
+        entries.push((
+            "schema_version".to_owned(),
+            serde_json::Value::from(BENCH_SCHEMA_VERSION),
+        ));
+    }
+    let rendered = format!("{report}");
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nJSON: {rendered}");
+    println!("\nWrote {path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,9 @@
 //!   redeploy.
 //! * [`node`] — the multi-tenant node: a shared device fleet serving
 //!   many tenants' sessions through the platform control plane.
+//! * [`serving`] — the request plane: per-slot run queues, batched
+//!   DMA fills, and pipelined DMA-in / compute / DMA-out execution
+//!   multiplexing thousands of logical clients onto attested sessions.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod node;
+pub mod serving;
 pub mod session;
 
 pub use salus_accel as accel;

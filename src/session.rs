@@ -166,8 +166,38 @@ impl SecureSession {
         &mut self.bed
     }
 
+    /// The memory-protection mode of this session's direct DMA channel.
+    pub fn protection(&self) -> MemoryProtection {
+        self.protection
+    }
+
+    /// The virtual clock this session's deployment runs on (shared
+    /// fleet-wide for node sessions).
+    pub(crate) fn clock(&self) -> salus_net::clock::SimClock {
+        self.bed.clock.clone()
+    }
+
     /// Runs `workload` end-to-end: encrypted DMA in, compute behind the
     /// SM logic, (verified) results back.
+    ///
+    /// # Blocking vs. queued execution
+    ///
+    /// This is the **blocking** serial path: the call owns the session
+    /// exclusively and pushes exactly one transaction through
+    /// DMA-in → compute → DMA-out, returning only once the output has
+    /// been read back and (in integrity mode) verified. The shell sits
+    /// idle between phases and concurrent callers serialise on
+    /// `&mut self` — appropriate for tests and low-rate control work.
+    ///
+    /// High-rate serving should instead attach the session to a
+    /// [`ServingPlane`](crate::serving::ServingPlane) and
+    /// [`submit`](crate::serving::ServingPlane::submit) requests: the
+    /// queued path multiplexes many logical clients onto this one
+    /// attested session, coalesces compatible requests into batched
+    /// DMA fills, and pipelines the three phases across queued
+    /// requests and co-resident partitions. Both paths drive the same
+    /// resumable stage functions, so a queued request's bytes are
+    /// identical to what this method returns for the same payload.
     ///
     /// # Errors
     ///

@@ -40,6 +40,53 @@ fn encrypted_output_workloads_hide_results_from_the_shell() {
 }
 
 #[test]
+fn all_five_workloads_serve_through_the_request_queue() {
+    // The queued counterpart of `all_five_workloads_run_on_a_booted_instance`:
+    // each workload is deployed once and its requests go through the
+    // serving plane's batched, pipelined executor instead of the
+    // blocking `run_on_salus` loop.
+    use salus::serving::{ClientId, ServingConfig, ServingPlane};
+    use salus::session::SecureSession;
+
+    let mut plane = ServingPlane::new(ServingConfig::pipelined(4));
+    let mut lanes = Vec::new();
+    for workload in all_workloads() {
+        let session = SecureSession::deploy(workload.as_ref())
+            .unwrap_or_else(|e| panic!("{} boot failed: {e}", workload.name()));
+        let lane = plane.attach(session, workload.as_ref());
+        lanes.push((lane, workload));
+    }
+
+    // Two requests per workload: the paper input and a perturbed copy,
+    // so the batch path exercises distinct outputs per request.
+    let mut handles = Vec::new();
+    for (lane, workload) in &lanes {
+        let original = workload.input().to_vec();
+        let mut perturbed = original.clone();
+        perturbed[0] ^= 0x5a;
+        for (client, payload) in [(0u64, original), (1, perturbed)] {
+            let handle = plane
+                .submit(*lane, ClientId(client), payload.clone())
+                .unwrap_or_else(|e| panic!("{} submit failed: {e}", workload.name()));
+            handles.push((handle, payload));
+        }
+    }
+
+    let report = plane.drain().expect("drain");
+    assert_eq!(report.requests, 2 * lanes.len());
+    for (i, (handle, payload)) in handles.into_iter().enumerate() {
+        let workload = &lanes[i / 2].1;
+        let output = plane.take(handle).expect("response");
+        assert_eq!(
+            output,
+            workload.compute(&payload),
+            "{} queued output mismatch",
+            workload.name()
+        );
+    }
+}
+
+#[test]
 fn four_mode_outputs_agree_for_all_workloads() {
     for workload in all_workloads() {
         let results = run_all_modes(workload.as_ref());
