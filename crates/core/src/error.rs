@@ -33,6 +33,14 @@ pub enum SalusError {
     SmLogicUnavailable(&'static str),
     /// The fleet scheduler could not place or restore a deployment.
     Scheduler(&'static str),
+    /// A runtime re-attestation challenge exhausted its deadline or
+    /// retry budget without an answer (transport-level, not a verdict).
+    ReattestTimedOut(&'static str),
+    /// The session was fenced by the re-attestation plane: queued work
+    /// drains with this error instead of returning unverified output.
+    SessionFenced(&'static str),
+    /// The audit log's hash chain failed verification.
+    AuditChainBroken(&'static str),
     /// Underlying TEE failure.
     Tee(TeeError),
     /// Underlying FPGA failure.
@@ -62,9 +70,18 @@ pub enum FaultClass {
 
 impl SalusError {
     /// Classifies this error for the retry policy.
+    ///
+    /// A [`ReattestTimedOut`](SalusError::ReattestTimedOut) is
+    /// transient: the challenge never produced a verdict, so a later
+    /// epoch (or a redeploy elsewhere) may still succeed. A
+    /// [`SessionFenced`](SalusError::SessionFenced) or
+    /// [`AuditChainBroken`](SalusError::AuditChainBroken) is fatal:
+    /// fencing is a security decision and a broken chain is evidence of
+    /// tampering — neither improves by resending.
     pub fn fault_class(&self) -> FaultClass {
         match self {
             SalusError::Net(e) if e.is_transient() => FaultClass::Transient,
+            SalusError::ReattestTimedOut(_) => FaultClass::Transient,
             _ => FaultClass::Fatal,
         }
     }
@@ -99,6 +116,11 @@ impl fmt::Display for SalusError {
             SalusError::Malformed(what) => write!(f, "malformed message: {what}"),
             SalusError::SmLogicUnavailable(what) => write!(f, "sm logic unavailable: {what}"),
             SalusError::Scheduler(what) => write!(f, "scheduler: {what}"),
+            SalusError::ReattestTimedOut(what) => {
+                write!(f, "re-attestation challenge timed out: {what}")
+            }
+            SalusError::SessionFenced(what) => write!(f, "session fenced: {what}"),
+            SalusError::AuditChainBroken(what) => write!(f, "audit chain broken: {what}"),
             SalusError::Tee(e) => write!(f, "tee: {e}"),
             SalusError::Fpga(e) => write!(f, "fpga: {e}"),
             SalusError::Bitstream(e) => write!(f, "bitstream: {e}"),
@@ -164,6 +186,9 @@ mod tests {
             SalusError::Malformed("frame"),
             SalusError::SmLogicUnavailable("not booted"),
             SalusError::Scheduler("fleet saturated"),
+            SalusError::ReattestTimedOut("challenge deadline"),
+            SalusError::SessionFenced("lane fenced"),
+            SalusError::AuditChainBroken("digest mismatch at record 3"),
             SalusError::Tee(TeeError::VerificationFailed("report")),
             SalusError::Fpga(FpgaError::DecryptionFailed),
             SalusError::Bitstream(BitstreamError::ResourceOverflow { class: "LUT" }),
@@ -189,11 +214,13 @@ mod tests {
     }
 
     #[test]
-    fn only_transport_losses_are_transient() {
+    fn transient_set_is_transport_losses_and_reattest_timeouts() {
         for e in all_variants() {
             let expect = matches!(
                 e,
-                SalusError::Net(NetError::Dropped) | SalusError::Net(NetError::TimedOut)
+                SalusError::Net(NetError::Dropped)
+                    | SalusError::Net(NetError::TimedOut)
+                    | SalusError::ReattestTimedOut(_)
             );
             assert_eq!(e.is_transient(), expect, "misclassified: {e:?}");
             assert_eq!(

@@ -169,6 +169,7 @@ pub struct TestBedBuilder {
     shared: Option<SharedPlatform>,
     device: Option<(Shell, usize)>,
     tenant_seed: Option<u64>,
+    rpc_key_service: bool,
 }
 
 impl TestBedBuilder {
@@ -181,6 +182,7 @@ impl TestBedBuilder {
             shared: None,
             device: None,
             tenant_seed: None,
+            rpc_key_service: false,
         }
     }
 
@@ -212,6 +214,15 @@ impl TestBedBuilder {
         self
     }
 
+    /// Routes this bed's key-distribution traffic over the RPC fabric
+    /// (host → manufacturer endpoint) instead of calling the shared
+    /// manufacturer in-process, so the §4.3 round trip crosses the
+    /// adversarial fabric — latency, drops, and outages included.
+    pub fn rpc_key_service(mut self, enable: bool) -> TestBedBuilder {
+        self.rpc_key_service = enable;
+        self
+    }
+
     /// Provisions the deployment.
     ///
     /// # Panics
@@ -225,6 +236,7 @@ impl TestBedBuilder {
             shared,
             device,
             tenant_seed,
+            rpc_key_service,
         } = self;
         let tenant_seed = tenant_seed.unwrap_or(config.seed);
 
@@ -289,6 +301,11 @@ impl TestBedBuilder {
             &tenant_seed.to_le_bytes(),
         );
 
+        let rpc_key_client = rpc_key_service.then(|| {
+            crate::services::ManufacturerClient::new(fabric.clone(), names.host.clone())
+                .with_service(names.manufacturer.clone())
+        });
+
         TestBed {
             clock,
             fabric,
@@ -308,6 +325,7 @@ impl TestBedBuilder {
             dram_window,
             names,
             advertised_dna_override: None,
+            rpc_key_client,
         }
     }
 }
@@ -356,6 +374,10 @@ pub struct TestBed {
     /// board. `None` means the CSP reports the true value; attacks set
     /// it to model a lying CSP.
     pub advertised_dna_override: Option<u64>,
+    /// When set, [`key_service`](TestBed::key_service) returns this
+    /// RPC stub instead of the in-process manufacturer, so key
+    /// distribution crosses the fabric (and its fault plane).
+    pub rpc_key_client: Option<crate::services::ManufacturerClient>,
 }
 
 impl std::fmt::Debug for TestBed {
@@ -390,9 +412,14 @@ impl TestBed {
 
     /// The key-distribution service this deployment's boot talks to,
     /// as an interface: the boot machine never sees the concrete
-    /// manufacturer.
+    /// manufacturer. RPC-backed beds (see
+    /// [`TestBedBuilder::rpc_key_service`]) answer with the fabric
+    /// stub; standalone beds call the manufacturer in-process.
     pub fn key_service(&mut self) -> &mut dyn KeyService {
-        &mut self.manufacturer
+        match self.rpc_key_client.as_mut() {
+            Some(client) => client,
+            None => &mut self.manufacturer,
+        }
     }
 
     /// Performs a secure register write through the attested channel.
@@ -470,6 +497,16 @@ mod tests {
         let b = TestBed::quick_demo();
         assert_eq!(a.package.digest, b.package.digest);
         assert_eq!(a.shell.advertised_dna(), b.shell.advertised_dna());
+    }
+
+    #[test]
+    fn rpc_key_service_toggle_installs_fabric_stub() {
+        let bed = TestBedBuilder::new(TestBedConfig::quick()).build();
+        assert!(bed.rpc_key_client.is_none(), "in-process by default");
+        let bed = TestBedBuilder::new(TestBedConfig::quick())
+            .rpc_key_service(true)
+            .build();
+        assert!(bed.rpc_key_client.is_some());
     }
 
     #[test]

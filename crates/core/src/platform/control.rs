@@ -30,6 +30,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use salus_bitstream::netlist::Module;
+use salus_crypto::sha256::Digest;
 use salus_fpga::geometry::DeviceGeometry;
 use salus_net::fault::FaultPlan;
 use salus_net::latency::LatencyModel;
@@ -44,11 +45,12 @@ use crate::sm_logic::SmLogic;
 use crate::timing::{CostModel, Op};
 use crate::{FaultClass, SalusError};
 
+use super::audit::{AuditEvent, AuditLog};
 use super::fleet::{
     DeployPath, DeviceFleet, DeviceId, DeviceLease, DramWindow, SlotId, TenantId, TenantRecord,
     TenantRegistry,
 };
-use super::health::{DeviceHealth, DeviceHealthRecord, HealthPolicy};
+use super::health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
 use super::scheduler::{PlacePolicy, Scheduler};
 use super::traits::DeviceBroker;
 use super::SharedPlatform;
@@ -70,6 +72,11 @@ pub struct PlatformConfig {
     pub policy: PlacePolicy,
     /// Device health thresholds (quarantine / probation).
     pub health: HealthPolicy,
+    /// When true, tenant boots drive the manufacturer over the shared
+    /// RPC fabric (per-tenant host endpoints) instead of in-process, so
+    /// the key-distribution round trip crosses the fault plane in the
+    /// multi-tenant path too.
+    pub rpc_boot: bool,
 }
 
 impl PlatformConfig {
@@ -84,6 +91,7 @@ impl PlatformConfig {
             seed: 42,
             policy: PlacePolicy::default(),
             health: HealthPolicy::default(),
+            rpc_boot: false,
         }
     }
 
@@ -98,6 +106,7 @@ impl PlatformConfig {
             seed: 42,
             policy: PlacePolicy::default(),
             health: HealthPolicy::default(),
+            rpc_boot: false,
         }
     }
 
@@ -122,6 +131,13 @@ impl PlatformConfig {
     /// Replaces the device-health policy (builder-style).
     pub fn with_health(mut self, health: HealthPolicy) -> PlatformConfig {
         self.health = health;
+        self
+    }
+
+    /// Routes tenant boots' key distribution over the RPC fabric
+    /// (builder-style).
+    pub fn with_rpc_boot(mut self, rpc_boot: bool) -> PlatformConfig {
+        self.rpc_boot = rpc_boot;
         self
     }
 }
@@ -371,6 +387,9 @@ pub struct FleetSnapshot {
     pub health: Vec<DeviceHealthRecord>,
     /// Per-tenant records, by tenant id.
     pub tenants: Vec<TenantRecord>,
+    /// Head digest of the control plane's audit chain at snapshot
+    /// time: anchoring it commits to the entire event history.
+    pub audit_head: Digest,
 }
 
 /// What one placement's boot produced (internal).
@@ -392,6 +411,7 @@ pub struct ControlPlane {
     registry: Mutex<TenantRegistry>,
     parked: Mutex<HashMap<TenantId, ParkedDeployment>>,
     health: Mutex<DeviceHealth>,
+    audit: Mutex<AuditLog>,
     config: PlatformConfig,
 }
 
@@ -438,6 +458,7 @@ impl ControlPlane {
             registry: Mutex::new(TenantRegistry::new()),
             parked: Mutex::new(HashMap::new()),
             health: Mutex::new(health),
+            audit: Mutex::new(AuditLog::new()),
             config,
         })
     }
@@ -499,6 +520,86 @@ impl ControlPlane {
         self.health.lock().snapshot(self.shared.clock.now())
     }
 
+    /// Appends `event` to the audit chain at the current virtual time
+    /// and returns the new chain head. Every control-plane mutation
+    /// already audits itself; this is the entry point for events the
+    /// control plane cannot see (serving-plane window faults,
+    /// re-attestation challenges driven by a monitor).
+    pub fn audit_append(&self, event: AuditEvent) -> Digest {
+        self.audit.lock().append(self.shared.clock.now(), event)
+    }
+
+    /// The audit chain's current head digest.
+    pub fn audit_head(&self) -> Digest {
+        self.audit.lock().head()
+    }
+
+    /// A clone of the full audit chain, for verification and export.
+    pub fn audit_log(&self) -> AuditLog {
+        self.audit.lock().clone()
+    }
+
+    /// Charges `device` a health failure and audits the resulting
+    /// admission-state transition (if any).
+    fn health_failure(&self, device: DeviceId) -> HealthState {
+        let now = self.shared.clock.now();
+        let (before, after) = {
+            let mut health = self.health.lock();
+            let before = health.state(device, now);
+            (before, health.record_failure(device, now))
+        };
+        if after != before {
+            self.audit_append(AuditEvent::HealthTransition {
+                device,
+                state: after,
+            });
+        }
+        after
+    }
+
+    /// Records a success on `device` and audits the resulting
+    /// admission-state transition (if any).
+    fn health_success(&self, device: DeviceId) {
+        let now = self.shared.clock.now();
+        let (before, after) = {
+            let mut health = self.health.lock();
+            let before = health.state(device, now);
+            health.record_success(device, now);
+            (before, health.state(device, now))
+        };
+        if after != before {
+            self.audit_append(AuditEvent::HealthTransition {
+                device,
+                state: after,
+            });
+        }
+    }
+
+    /// Fences `tenant`'s running deployment on `slot` after a failed
+    /// runtime re-attestation: the lease is released (the caller holds
+    /// the now-untrusted bed) and the board is charged a health failure
+    /// exactly like a failed boot, so repeated fences walk it through
+    /// quarantine → cool-down → probation. Returns the board's
+    /// resulting admission state.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when `slot` is not leased.
+    pub fn fence_deployment(
+        &self,
+        tenant: TenantId,
+        slot: SlotId,
+    ) -> Result<HealthState, SalusError> {
+        {
+            let mut fleet = self.fleet.lock();
+            let broker: &mut dyn DeviceBroker = &mut *fleet;
+            broker.release(slot)?;
+        }
+        self.audit_append(AuditEvent::SessionFenced { tenant, slot });
+        self.registry.lock().record_failed_deploy(tenant);
+        Ok(self.health_failure(slot.device))
+    }
+
     /// Fleet-wide monitoring snapshot (occupancy, key cache, parked
     /// set, device health, tenant records) at one instant.
     pub fn snapshot(&self) -> FleetSnapshot {
@@ -530,6 +631,7 @@ impl ControlPlane {
             parked,
             health: self.health.lock().snapshot(now),
             tenants: self.registry.lock().records(),
+            audit_head: self.audit.lock().head(),
         }
     }
 
@@ -646,9 +748,12 @@ impl ControlPlane {
                 BootRun::Done(deployment) => {
                     let mut deployment = *deployment;
                     deployment.attempts = attempts.len() as u32 + 1;
-                    self.health
-                        .lock()
-                        .record_success(lease.slot.device, self.shared.clock.now());
+                    self.health_success(lease.slot.device);
+                    self.audit_append(AuditEvent::Deploy {
+                        tenant,
+                        slot: lease.slot,
+                        path: deployment.path,
+                    });
                     self.registry.lock().record_deploy(
                         tenant,
                         deployment.path,
@@ -664,6 +769,11 @@ impl ControlPlane {
                     // The outage is the manufacturer's, not the
                     // board's: no health penalty, and the lease stays
                     // held so resuming keeps the placement.
+                    self.audit_append(AuditEvent::DeploySuspended {
+                        tenant,
+                        slot: lease.slot,
+                        step: format!("{:?}", suspension.step()),
+                    });
                     return Err(DeployFailure::Suspended(Box::new(DeploySuspension {
                         tenant,
                         lease,
@@ -679,9 +789,12 @@ impl ControlPlane {
                         let broker: &mut dyn DeviceBroker = &mut *fleet;
                         let _ = broker.release(lease.slot);
                     }
-                    self.health
-                        .lock()
-                        .record_failure(lease.slot.device, self.shared.clock.now());
+                    self.audit_append(AuditEvent::DeployFailed {
+                        tenant,
+                        slot: lease.slot,
+                        error: fatal.error.to_string(),
+                    });
+                    self.health_failure(lease.slot.device);
                     self.registry.lock().record_failed_deploy(tenant);
                     let transient = fatal.error.fault_class() == FaultClass::Transient;
                     attempts.push(DeployAttempt {
@@ -731,14 +844,17 @@ impl ControlPlane {
                         self.fleet.lock().cache_key(lease.slot.device, key);
                     }
                 }
-                self.health
-                    .lock()
-                    .record_success(lease.slot.device, self.shared.clock.now());
+                self.health_success(lease.slot.device);
                 let path = if warm {
                     DeployPath::WarmKey
                 } else {
                     DeployPath::Cold
                 };
+                self.audit_append(AuditEvent::Deploy {
+                    tenant,
+                    slot: lease.slot,
+                    path,
+                });
                 self.registry
                     .lock()
                     .record_deploy(tenant, path, boot.outcome.breakdown.total());
@@ -754,6 +870,11 @@ impl ControlPlane {
                 })
             }
             Err(BootFailure::Suspended(suspension)) => {
+                self.audit_append(AuditEvent::DeploySuspended {
+                    tenant,
+                    slot: lease.slot,
+                    step: format!("{:?}", suspension.step()),
+                });
                 Err(DeployFailure::Suspended(Box::new(DeploySuspension {
                     tenant,
                     lease,
@@ -769,9 +890,12 @@ impl ControlPlane {
                     let broker: &mut dyn DeviceBroker = &mut *fleet;
                     let _ = broker.release(lease.slot);
                 }
-                self.health
-                    .lock()
-                    .record_failure(lease.slot.device, self.shared.clock.now());
+                self.audit_append(AuditEvent::DeployFailed {
+                    tenant,
+                    slot: lease.slot,
+                    error: fatal.error.to_string(),
+                });
+                self.health_failure(lease.slot.device);
                 self.registry.lock().record_failed_deploy(tenant);
                 attempts.push(DeployAttempt {
                     slot: lease.slot,
@@ -801,8 +925,14 @@ impl ControlPlane {
             let broker: &mut dyn DeviceBroker = &mut *fleet;
             let _ = broker.release(lease.slot);
         }
+        let error = suspension.into_last_error();
+        self.audit_append(AuditEvent::DeployFailed {
+            tenant,
+            slot: lease.slot,
+            error: format!("abandoned: {error}"),
+        });
         self.registry.lock().record_failed_deploy(tenant);
-        suspension.into_last_error()
+        error
     }
 
     fn boot_on_lease(
@@ -827,6 +957,7 @@ impl ControlPlane {
             .on_platform(self.shared.clone())
             .with_device(lease.shell.clone(), lease.slot.partition)
             .tenant_seed(seed)
+            .rpc_key_service(self.config.rpc_boot)
             .build();
 
         let warm = cached.is_some();
@@ -895,6 +1026,7 @@ impl ControlPlane {
                 encrypted,
             },
         );
+        self.audit_append(AuditEvent::Evicted { tenant, slot });
         self.registry.lock().record_eviction(tenant);
         Ok(tenant)
     }
@@ -948,9 +1080,12 @@ impl ControlPlane {
                         cl_attested: bed.sm_app.cl_attested(),
                     },
                 };
-                self.health
-                    .lock()
-                    .record_success(lease.slot.device, self.shared.clock.now());
+                self.health_success(lease.slot.device);
+                self.audit_append(AuditEvent::Deploy {
+                    tenant,
+                    slot: lease.slot,
+                    path: DeployPath::WarmImage,
+                });
                 self.registry.lock().record_deploy(
                     tenant,
                     DeployPath::WarmImage,
@@ -973,9 +1108,12 @@ impl ControlPlane {
                     let broker: &mut dyn DeviceBroker = &mut *fleet;
                     let _ = broker.release(lease.slot);
                 }
-                self.health
-                    .lock()
-                    .record_failure(lease.slot.device, self.shared.clock.now());
+                self.audit_append(AuditEvent::DeployFailed {
+                    tenant,
+                    slot: lease.slot,
+                    error: e.to_string(),
+                });
+                self.health_failure(lease.slot.device);
                 self.registry.lock().record_failed_deploy(tenant);
                 if e.is_transient() {
                     // The ciphertext never reached the board; keep it
@@ -1126,6 +1264,89 @@ mod tests {
             .deploy(TenantId(99), loopback_accelerator())
             .unwrap_err();
         assert_eq!(err, SalusError::Scheduler("unknown tenant"));
+    }
+
+    #[test]
+    fn control_plane_events_form_a_verifiable_audit_chain() {
+        let plane = ControlPlane::provision(PlatformConfig::quick(1, 2)).unwrap();
+        let alice = plane.register_tenant("alice");
+        let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+        let slot = a.slot;
+        plane.evict(a).unwrap();
+        plane.redeploy(alice).unwrap();
+
+        let log = plane.audit_log();
+        log.verify_chain().unwrap();
+        let events: Vec<AuditEvent> = log.records().iter().map(|r| r.event.clone()).collect();
+        assert_eq!(
+            events,
+            vec![
+                AuditEvent::Deploy {
+                    tenant: alice,
+                    slot,
+                    path: DeployPath::Cold
+                },
+                AuditEvent::Evicted {
+                    tenant: alice,
+                    slot
+                },
+                AuditEvent::Deploy {
+                    tenant: alice,
+                    slot,
+                    path: DeployPath::WarmImage
+                },
+            ]
+        );
+        assert_eq!(plane.snapshot().audit_head, log.head());
+        assert_eq!(plane.audit_head(), log.head());
+    }
+
+    #[test]
+    fn fencing_releases_the_slot_audits_and_charges_health() {
+        let plane = ControlPlane::provision(
+            PlatformConfig::quick(2, 1)
+                .with_health(HealthPolicy::default().with_quarantine_after(1)),
+        )
+        .unwrap();
+        let alice = plane.register_tenant("alice");
+        let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+        let slot = a.slot;
+
+        let state = plane.fence_deployment(alice, slot).unwrap();
+        assert_eq!(state, HealthState::Quarantined);
+        assert_eq!(plane.free_slots(), 2, "fenced lease must be released");
+
+        let log = plane.audit_log();
+        log.verify_chain().unwrap();
+        assert!(log.records().iter().any(|r| r.event
+            == AuditEvent::SessionFenced {
+                tenant: alice,
+                slot
+            }));
+        assert!(log.records().iter().any(|r| matches!(
+            r.event,
+            AuditEvent::HealthTransition {
+                state: HealthState::Quarantined,
+                ..
+            }
+        )));
+
+        // Fencing an already-released slot is an error, not a repeat.
+        assert!(plane.fence_deployment(alice, slot).is_err());
+    }
+
+    #[test]
+    fn rpc_boot_runs_key_distribution_over_the_fabric() {
+        let plane =
+            ControlPlane::provision(PlatformConfig::quick(1, 1).with_rpc_boot(true)).unwrap();
+        let alice = plane.register_tenant("alice");
+        let a = plane.deploy(alice, loopback_accelerator()).unwrap();
+        assert_eq!(a.path, DeployPath::Cold);
+        assert!(a.outcome.report.all_attested());
+        assert!(
+            a.bed.rpc_key_client.is_some(),
+            "fleet bed must carry the RPC key stub"
+        );
     }
 
     #[test]

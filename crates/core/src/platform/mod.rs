@@ -17,18 +17,23 @@
 //!   for quarantined and already-failed boards.
 //! * [`health`] — [`DeviceHealth`]: consecutive-failure tracking in
 //!   virtual time with seeded quarantine/probation cool-downs.
+//! * [`audit`] — [`AuditLog`]: the append-only hash chain every
+//!   control-plane event lands in, anchored by the chain head exported
+//!   in [`FleetSnapshot`].
 //! * [`control`] — [`ControlPlane`]: registration, scheduled deploys,
 //!   eviction, warm redeploys that skip the manufacturer round trip by
 //!   reusing cached device keys and parked pre-encrypted bitstreams,
 //!   and fault-tolerant [`deploy_with`](ControlPlane::deploy_with)
 //!   (cross-board retry, outage suspension, fleet snapshots).
 
+pub mod audit;
 pub mod control;
 pub mod fleet;
 pub mod health;
 pub mod scheduler;
 pub mod traits;
 
+pub use audit::{AuditEvent, AuditLog, AuditRecord, ChainFault};
 pub use control::{
     ControlPlane, DeployAttempt, DeployFailure, DeployPolicy, DeploySuspension, FleetSnapshot,
     PlatformConfig, TenantDeployment,

@@ -1,0 +1,217 @@
+//! The runtime re-attestation plane: epoch sweeps over live lanes.
+//!
+//! Boot-time attestation proves the CL that *loaded*; this plane keeps
+//! proving the CL that is *running*. A [`ReattestMonitor`] drives
+//! epoch-based sweeps on the fleet's virtual clock: each epoch it
+//! challenges every fleet lane of a [`ServingPlane`] through the
+//! deadline-bounded [`challenge`](salus_core::runtime_attest::challenge)
+//! primitive (fresh nonce per round, transient transport losses retried
+//! inside the policy's budget), and **fail-closes** on anything but an
+//! `Alive` verdict: the lane is fenced (queued requests drain with a
+//! typed [`SessionFenced`](crate::serving::ServeError::SessionFenced)
+//! error), the slot is released, and the board is charged a health
+//! failure that walks it through quarantine → cool-down → probation.
+//!
+//! Every challenge and outcome lands in the control plane's
+//! hash-chained audit log, keyed by a per-(epoch, lane) **idempotency
+//! token** drawn from a seeded sub-stream: retries inside one challenge
+//! share the token, so an auditor can attribute replayed frames under
+//! the fault plane to one logical challenge. Determinism: same seed,
+//! same fault plan ⇒ same tokens, same verdicts, same audit chain,
+//! byte for byte.
+//!
+//! Detection latency is bounded by construction: a CL tampered at time
+//! *t* is challenged no later than *t* + cadence, and that challenge
+//! verdicts within the challenge deadline — so detection happens within
+//! [`AttestPolicy::detection_bound`] of the tamper, which the seeded
+//! chaos sweeps in `tests/chaos_attest.rs` pin.
+
+use std::time::Duration;
+
+use salus_core::platform::{AuditEvent, SlotId, TenantId};
+use salus_core::runtime_attest::{AttestPolicy, ChallengeVerdict};
+use salus_core::SalusError;
+use salus_net::fault::SplitMix64;
+
+use crate::node::SalusNode;
+use crate::serving::{LaneId, ServeError, ServingPlane};
+
+/// What one epoch's challenge of one lane produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochOutcome {
+    /// The challenged lane.
+    pub lane: LaneId,
+    /// The lane's tenant.
+    pub tenant: TenantId,
+    /// The lane's fleet slot.
+    pub slot: SlotId,
+    /// The challenge's idempotency token (shared by its retries).
+    pub token: u64,
+    /// The terminal verdict.
+    pub verdict: ChallengeVerdict,
+    /// Attestation rounds the challenge issued (1 = no retries).
+    pub attempts: u32,
+    /// Virtual time the challenge consumed.
+    pub elapsed: Duration,
+    /// Virtual time the verdict landed at.
+    pub detected_at: Duration,
+    /// True when the lane was fenced (any verdict but `Alive`).
+    pub fenced: bool,
+    /// Queued requests drained with a `SessionFenced` error.
+    pub drained: usize,
+}
+
+/// One epoch sweep's results over every fleet lane.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The sweep epoch (1-based).
+    pub epoch: u64,
+    /// Virtual time the sweep started (after the cadence advance).
+    pub started_at: Duration,
+    /// Per-lane outcomes, in lane order.
+    pub outcomes: Vec<EpochOutcome>,
+}
+
+impl EpochReport {
+    /// Lanes this sweep fenced.
+    pub fn fenced(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.fenced).count()
+    }
+
+    /// True when every challenged lane answered `Alive`.
+    pub fn all_alive(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| o.verdict == ChallengeVerdict::Alive)
+    }
+}
+
+/// The epoch-sweep driver. One monitor serves one node; it challenges
+/// whatever fleet lanes are attached to the serving plane handed to
+/// each [`sweep`](ReattestMonitor::sweep). Standalone lanes (no fleet
+/// tenancy) are outside the fleet trust domain and are skipped.
+#[derive(Debug)]
+pub struct ReattestMonitor {
+    node: SalusNode,
+    policy: AttestPolicy,
+    seed: u64,
+    epoch: u64,
+}
+
+impl ReattestMonitor {
+    /// A monitor for `node` under `policy`, its idempotency-token
+    /// stream seeded from the node's platform seed.
+    pub fn new(node: SalusNode, policy: AttestPolicy) -> ReattestMonitor {
+        let seed = node.plane().config().seed ^ 0x0A77_E57A_7107_5EED_u64;
+        ReattestMonitor {
+            node,
+            policy,
+            seed,
+            epoch: 0,
+        }
+    }
+
+    /// Replaces the token-stream seed (builder-style) for sweeps that
+    /// must diverge from the platform default.
+    pub fn with_seed(mut self, seed: u64) -> ReattestMonitor {
+        self.seed = seed;
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> AttestPolicy {
+        self.policy
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Runs one epoch: advances the virtual clock by the policy's
+    /// cadence, then challenges every fleet lane on `plane`. A lane
+    /// whose verdict is not `Alive` fail-closes right there — fenced on
+    /// the serving plane (queue drained with typed errors), slot
+    /// released, board charged a health failure — before the sweep
+    /// moves to the next lane. Challenges, outcomes, and fences are all
+    /// appended to the control plane's audit chain.
+    ///
+    /// # Errors
+    ///
+    /// Control-plane state errors (a fenced slot that was not leased);
+    /// verdicts themselves are never errors.
+    pub fn sweep(&mut self, plane: &mut ServingPlane) -> Result<EpochReport, SalusError> {
+        self.epoch += 1;
+        let clock = self.node.plane().shared().clock.clone();
+        clock.advance(self.policy.cadence);
+        let started_at = clock.now();
+        // One idempotency token per (epoch, lane): drawn from a salted
+        // sub-stream so epochs never share tokens, and stable across
+        // retries inside one challenge.
+        let mut tokens = SplitMix64::derive(self.seed, self.epoch);
+        let mut outcomes = Vec::new();
+
+        for lane in plane.lanes() {
+            // Standalone lanes carry no fleet tenancy; the fleet sweep
+            // has no authority (and no audit identity) for them.
+            let Some(tenancy) = plane.lane_tenancy(lane) else {
+                continue;
+            };
+            let (tenant, slot) = (tenancy.tenant, tenancy.slot);
+            let token = tokens.next_u64();
+            let control = self.node.plane();
+            control.audit_append(AuditEvent::AttestChallenge {
+                epoch: self.epoch,
+                tenant,
+                slot,
+                token,
+            });
+            let outcome = match plane.challenge_lane(lane, &self.policy) {
+                Ok(outcome) => outcome,
+                Err(ServeError::Rejected(e)) => return Err(e),
+                Err(_) => return Err(SalusError::Scheduler("lane vanished mid-sweep")),
+            };
+            let detected_at = clock.now();
+            control.audit_append(AuditEvent::AttestOutcome {
+                epoch: self.epoch,
+                tenant,
+                slot,
+                verdict: outcome.verdict,
+            });
+
+            let (fenced, drained) = if outcome.fail_closed() {
+                let (session, drained) = plane
+                    .fence(lane)
+                    .map_err(|_| SalusError::Scheduler("lane vanished mid-sweep"))?;
+                control.audit_append(AuditEvent::LaneFenced {
+                    tenant,
+                    slot,
+                    drained: drained as u64,
+                });
+                self.node.fence(session)?;
+                (true, drained)
+            } else {
+                (false, 0)
+            };
+
+            outcomes.push(EpochOutcome {
+                lane,
+                tenant,
+                slot,
+                token,
+                verdict: outcome.verdict,
+                attempts: outcome.attempts,
+                elapsed: outcome.elapsed,
+                detected_at,
+                fenced,
+                drained,
+            });
+        }
+
+        Ok(EpochReport {
+            epoch: self.epoch,
+            started_at,
+            outcomes,
+        })
+    }
+}

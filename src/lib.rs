@@ -23,6 +23,9 @@
 //! * [`serving`] — the request plane: per-slot run queues, batched
 //!   DMA fills, and pipelined DMA-in / compute / DMA-out execution
 //!   multiplexing thousands of logical clients onto attested sessions.
+//! * [`attest`] — the runtime re-attestation plane: epoch sweeps that
+//!   challenge every live lane's CL, fence failures fail-closed, and
+//!   record everything in the control plane's hash-chained audit log.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod node;
 pub mod serving;
 pub mod session;

@@ -116,6 +116,12 @@ impl SalusNode {
         &self.plane
     }
 
+    /// A shared handle onto the control plane, for planes that outlive
+    /// this node handle (the serving plane's audit sink).
+    pub(crate) fn plane_handle(&self) -> Arc<ControlPlane> {
+        Arc::clone(&self.plane)
+    }
+
     /// Registers a tenant under `name`.
     pub fn register_tenant(&self, name: &str) -> TenantId {
         self.plane.register_tenant(name)
@@ -204,6 +210,24 @@ impl SalusNode {
             attempts: 1,
             trace: BootTrace::default(),
         })
+    }
+
+    /// Fences a fleet session that failed (or timed out) runtime
+    /// re-attestation: the slot is released, the event lands in the
+    /// audit chain, and the board is charged a health failure — walking
+    /// it through the quarantine → cool-down → probation cycle exactly
+    /// like a failed boot. Nothing is parked: a fenced CL's state is
+    /// untrusted, so the tenant re-enters through a full deploy.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::Scheduler`] when the session was not deployed
+    /// through this fleet API or its slot is no longer leased.
+    pub fn fence(&self, session: SecureSession) -> Result<TenantId, SalusError> {
+        let (_bed, tenancy) = session.into_fleet_parts();
+        let tenancy = tenancy.ok_or(SalusError::Scheduler("session is not fleet-managed"))?;
+        self.plane.fence_deployment(tenancy.tenant, tenancy.slot)?;
+        Ok(tenancy.tenant)
     }
 
     /// Brings an evicted tenant back. Prefers the warm-image fast path

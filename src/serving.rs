@@ -61,6 +61,7 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 use salus_accel::harness::{
@@ -71,10 +72,13 @@ use salus_accel::integrity::{
     stage_execute_verified, stage_program_key_verified, IntegrityPlan, VerifiedOutcome,
 };
 use salus_accel::workload::Workload;
+use salus_core::platform::{AuditEvent, ControlPlane, SlotId, TenantId};
+use salus_core::runtime_attest::{challenge, AttestPolicy, ChallengeOutcome};
 use salus_core::SalusError;
 use salus_net::clock::SimClock;
 
-use crate::session::{MemoryProtection, SecureSession};
+use crate::node::SalusNode;
+use crate::session::{MemoryProtection, SecureSession, Tenancy};
 
 /// A logical client multiplexed onto an attested session. The serving
 /// plane does not authenticate clients — they all ride the session's
@@ -133,6 +137,13 @@ pub enum ServeError {
     NotReady(RequestId),
     /// The lane still holds queued requests and cannot be detached.
     LaneBusy(LaneId),
+    /// The lane's session was fenced by the re-attestation plane: the
+    /// request was drained unexecuted instead of returning unverified
+    /// output.
+    SessionFenced {
+        /// The fenced lane.
+        lane: LaneId,
+    },
     /// The request was executed and rejected by the protocol layers
     /// (integrity failure, window fault, channel violation).
     Rejected(SalusError),
@@ -151,6 +162,9 @@ impl std::fmt::Display for ServeError {
             ServeError::NotReady(id) => write!(f, "response {} not ready", id.0),
             ServeError::LaneBusy(lane) => {
                 write!(f, "lane {} still has queued requests", lane.0)
+            }
+            ServeError::SessionFenced { lane } => {
+                write!(f, "lane {} fenced: session failed re-attestation", lane.0)
             }
             ServeError::Rejected(e) => write!(f, "request rejected: {e}"),
         }
@@ -450,6 +464,9 @@ pub struct ServingPlane {
     next_request: u64,
     standalone_buses: usize,
     responses: HashMap<u64, Result<Vec<u8>, SalusError>>,
+    /// When set, fleet lanes report window faults into the control
+    /// plane's audit chain.
+    audit: Option<Arc<ControlPlane>>,
 }
 
 impl std::fmt::Debug for ServingPlane {
@@ -475,7 +492,14 @@ impl ServingPlane {
             next_request: 0,
             standalone_buses: 0,
             responses: HashMap::new(),
+            audit: None,
         }
+    }
+
+    /// Routes this plane's auditable events (window faults on fleet
+    /// lanes) into `node`'s control-plane audit chain.
+    pub fn audit_to(&mut self, node: &SalusNode) {
+        self.audit = Some(node.plane_handle());
     }
 
     /// Attaches a deployed session as a serving lane. Fleet sessions
@@ -527,6 +551,71 @@ impl ServingPlane {
     /// Requests currently queued across all lanes.
     pub fn in_flight(&self) -> usize {
         self.lanes.iter().flatten().map(|l| l.queue.len()).sum()
+    }
+
+    /// Every attached lane, in attach order.
+    pub fn lanes(&self) -> Vec<LaneId> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_ref().map(|_| LaneId(i)))
+            .collect()
+    }
+
+    /// The fleet tenancy of `lane`'s session (`None` for detached
+    /// lanes and standalone sessions).
+    pub fn lane_tenancy(&self, lane: LaneId) -> Option<Tenancy> {
+        self.lanes.get(lane.0)?.as_ref()?.session.tenancy()
+    }
+
+    /// Runs one deadline-bounded runtime re-attestation challenge
+    /// against `lane`'s live CL, in place — the lane stays attached
+    /// and its queue untouched. The sweep monitor calls this every
+    /// epoch and [`fence`](ServingPlane::fence)s on any verdict but
+    /// `Alive`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownLane`] for detached lanes;
+    /// [`ServeError::Rejected`] on session-state errors. Verdicts
+    /// (including timeouts) are outcomes, not errors.
+    pub fn challenge_lane(
+        &mut self,
+        lane: LaneId,
+        policy: &AttestPolicy,
+    ) -> Result<ChallengeOutcome, ServeError> {
+        let l = self
+            .lanes
+            .get_mut(lane.0)
+            .and_then(|l| l.as_mut())
+            .ok_or(ServeError::UnknownLane(lane))?;
+        challenge(l.session.bed_mut(), policy).map_err(ServeError::Rejected)
+    }
+
+    /// Fences `lane`: detaches it *immediately* — queued or not — and
+    /// drains every queued request with a typed
+    /// [`SessionFenced`](ServeError::SessionFenced) response instead
+    /// of executing it on a CL that failed re-attestation. Returns the
+    /// (no longer trusted) session and how many requests were drained;
+    /// hand the session to [`SalusNode::fence`](crate::node::SalusNode)
+    /// to release the slot and quarantine the board.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownLane`] for never-attached or already
+    /// detached/fenced lanes.
+    pub fn fence(&mut self, lane: LaneId) -> Result<(SecureSession, usize), ServeError> {
+        let slot = self
+            .lanes
+            .get_mut(lane.0)
+            .ok_or(ServeError::UnknownLane(lane))?;
+        let mut fenced = slot.take().ok_or(ServeError::UnknownLane(lane))?;
+        let drained = fenced.queue.len();
+        for pending in fenced.queue.drain(..) {
+            self.responses
+                .insert(pending.id, Err(SalusError::SessionFenced("lane fenced")));
+        }
+        Ok((fenced.session, drained))
     }
 
     /// Queues `payload` on `lane` for `client`. The request is
@@ -605,6 +694,7 @@ impl ServingPlane {
             ExecutionMode::Serial => 1,
             ExecutionMode::Pipelined { max_batch } => max_batch,
         };
+        let audit = self.audit.clone();
         for index in 0..self.lanes.len() {
             let Some(lane) = self.lanes[index].as_mut() else {
                 continue;
@@ -612,7 +702,10 @@ impl ServingPlane {
             if lane.queue.is_empty() {
                 continue;
             }
-            let batches = execute_lane(lane, index, max_batch, &mut self.responses)?;
+            let sink = audit
+                .as_deref()
+                .and_then(|plane| lane.session.tenancy().map(|t| (plane, t.tenant, t.slot)));
+            let batches = execute_lane(lane, index, max_batch, sink, &mut self.responses)?;
             executed.extend(batches);
         }
 
@@ -633,10 +726,14 @@ impl ServingPlane {
     /// [`ServeError::NotReady`] before the request's drain (or after
     /// the handle was already redeemed); [`ServeError::Rejected`] when
     /// the request executed but failed (integrity violation, window
-    /// fault).
+    /// fault); [`ServeError::SessionFenced`] when the lane was fenced
+    /// before the request could execute.
     pub fn take(&mut self, handle: ResponseHandle) -> Result<Vec<u8>, ServeError> {
         match self.responses.remove(&handle.id.0) {
             Some(Ok(bytes)) => Ok(bytes),
+            Some(Err(SalusError::SessionFenced(_))) => {
+                Err(ServeError::SessionFenced { lane: handle.lane })
+            }
             Some(Err(e)) => Err(ServeError::Rejected(e)),
             None => Err(ServeError::NotReady(handle.id)),
         }
@@ -650,6 +747,7 @@ fn execute_lane(
     lane: &mut Lane,
     index: usize,
     max_batch: usize,
+    audit: Option<(&ControlPlane, TenantId, SlotId)>,
     responses: &mut HashMap<u64, Result<Vec<u8>, SalusError>>,
 ) -> Result<Vec<ExecutedBatch>, ServeError> {
     enum Plan {
@@ -778,6 +876,9 @@ fn execute_lane(
                             continue;
                         }
                         // Even an empty buffer cannot hold this output.
+                        if let Some((plane, tenant, slot)) = audit {
+                            plane.audit_append(AuditEvent::WindowFault { tenant, slot });
+                        }
                         outputs.insert(
                             member.id,
                             Err(SalusError::Fpga(salus_fpga::FpgaError::DmaOutOfWindow {
@@ -1213,6 +1314,65 @@ mod tests {
             plane.detach(lane).unwrap_err(),
             ServeError::UnknownLane(lane)
         );
+    }
+
+    #[test]
+    fn fencing_drains_queued_requests_with_a_typed_error() {
+        let node = SalusNode::quick(1, 1).unwrap();
+        let tenant = node.register_tenant("alice");
+        let workload = Conv::paper_scale();
+        let session = node.deploy(tenant, &workload).unwrap();
+        let mut plane = ServingPlane::new(ServingConfig::default());
+        let lane = plane.attach(session, &workload);
+        let h1 = plane
+            .submit(lane, ClientId(0), workload.input().to_vec())
+            .unwrap();
+        let h2 = plane
+            .submit(lane, ClientId(1), workload.input().to_vec())
+            .unwrap();
+
+        // A busy lane cannot detach — but it CAN fence: fencing is the
+        // fail-closed path and must never be blocked by queued work.
+        assert_eq!(plane.detach(lane).unwrap_err(), ServeError::LaneBusy(lane));
+        let (_session, drained) = plane.fence(lane).unwrap();
+        assert_eq!(drained, 2);
+        assert_eq!(plane.in_flight(), 0);
+        assert!(plane.lanes().is_empty());
+
+        // Both handles resolve to the typed drain error, not output.
+        assert_eq!(
+            plane.take(h1).unwrap_err(),
+            ServeError::SessionFenced { lane }
+        );
+        assert_eq!(
+            plane.take(h2).unwrap_err(),
+            ServeError::SessionFenced { lane }
+        );
+        // Redeemed handles are gone; the lane is gone too.
+        assert_eq!(plane.take(h1).unwrap_err(), ServeError::NotReady(h1.id));
+        assert_eq!(
+            plane.fence(lane).unwrap_err(),
+            ServeError::UnknownLane(lane)
+        );
+    }
+
+    #[test]
+    fn challenge_on_a_healthy_lane_reads_alive() {
+        use salus_core::runtime_attest::ChallengeVerdict;
+
+        let node = SalusNode::quick(1, 1).unwrap();
+        let tenant = node.register_tenant("alice");
+        let workload = Conv::paper_scale();
+        let session = node.deploy(tenant, &workload).unwrap();
+        let mut plane = ServingPlane::new(ServingConfig::default());
+        let lane = plane.attach(session, &workload);
+        let outcome = plane
+            .challenge_lane(lane, &AttestPolicy::default())
+            .unwrap();
+        assert_eq!(outcome.verdict, ChallengeVerdict::Alive);
+        assert_eq!(outcome.attempts, 1);
+        assert!(!outcome.fail_closed());
+        assert!(plane.lane_tenancy(lane).is_some());
     }
 
     #[test]
