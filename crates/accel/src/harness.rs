@@ -221,6 +221,7 @@ impl RegisterDevice for AcceleratorCtl {
 /// frames, keeping harness boots fast.
 pub fn harness_geometry() -> DeviceGeometry {
     let rp = PartitionGeometry {
+        family: salus_fpga::family::FamilyId::UltraScale,
         logic_frames: 64,
         capacity: Resources {
             lut: 355_040,

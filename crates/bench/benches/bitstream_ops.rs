@@ -12,11 +12,13 @@ use salus_bitstream::encrypt::encrypt_for_device;
 use salus_bitstream::manipulate::rewrite_cell;
 use salus_core::dev::{develop_cl, loopback_accelerator, package_digest};
 use salus_fpga::device::Device;
+use salus_fpga::family::FamilyId;
 use salus_fpga::geometry::{DeviceGeometry, PartitionGeometry, Resources};
 
 fn geometries() -> Vec<(&'static str, DeviceGeometry)> {
     let mid = {
         let rp = PartitionGeometry {
+            family: FamilyId::UltraScale,
             logic_frames: 128,
             capacity: Resources {
                 lut: 80_000,
@@ -52,7 +54,14 @@ fn bench_pipeline(c: &mut Criterion) {
         });
 
         group.bench_function(BenchmarkId::new("digest", size), |b| {
-            b.iter(|| package_digest(black_box(&package.compiled.wire), &package.locations, 0));
+            b.iter(|| {
+                package_digest(
+                    black_box(&package.compiled.wire),
+                    &package.locations,
+                    0,
+                    rp.family,
+                )
+            });
         });
 
         group.bench_function(BenchmarkId::new("manipulate", size), |b| {

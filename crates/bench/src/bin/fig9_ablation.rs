@@ -70,6 +70,7 @@ fn main() {
     for frac in [4u32, 2, 1] {
         let base = DeviceGeometry::u200().partitions[0];
         let rp = PartitionGeometry {
+            family: base.family,
             logic_frames: base.logic_frames / frac,
             capacity: Resources {
                 lut: base.capacity.lut / frac,

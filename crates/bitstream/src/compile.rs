@@ -9,7 +9,8 @@
 //! planning" (§6.3).
 
 use salus_crypto::sha256::Sha256;
-use salus_fpga::geometry::{PartitionGeometry, BRAM_INIT_BYTES, FRAMES_PER_BRAM, FRAME_BYTES};
+use salus_fpga::family::FamilyId;
+use salus_fpga::geometry::PartitionGeometry;
 use salus_fpga::wire::{self, bytes_to_words, Cmd, Reg, WireWriter};
 
 use crate::netlist::Netlist;
@@ -34,8 +35,19 @@ pub struct CompiledBitstream {
     pub partition: usize,
     /// The design name.
     pub design_name: String,
-    /// The partition geometry the bitstream was compiled for.
+    /// The partition geometry the bitstream was compiled for. The
+    /// geometry's family fixes the framing, so a bitstream is only
+    /// loadable on devices of the same family — the canonical stream
+    /// carries the family code in its IDCODE packet and the ICAP fails
+    /// closed on a mismatch.
     pub geometry: PartitionGeometry,
+}
+
+impl CompiledBitstream {
+    /// The device family this bitstream's framing targets.
+    pub fn family(&self) -> FamilyId {
+        self.geometry.family
+    }
 }
 
 /// Compiles `netlist` for partition `partition` with `geometry`.
@@ -65,8 +77,9 @@ pub fn compile(
     }
 
     // --- Assign BRAM slots and build the module table -------------------
-    let logic_bytes_total = geometry.logic_frames as usize * FRAME_BYTES;
-    let bram_bytes_total = geometry.bram_frames() as usize * FRAME_BYTES;
+    let frame_bytes = geometry.frame_bytes();
+    let logic_bytes_total = geometry.logic_frames as usize * frame_bytes;
+    let bram_bytes_total = geometry.bram_frames() as usize * frame_bytes;
     let mut placement = PlacementMap::new();
     let mut next_slot: u32 = 0;
 
@@ -92,7 +105,7 @@ pub fn compile(
             table.extend_from_slice(&(cell.init().len() as u32).to_le_bytes());
             placement.insert(CellLocation {
                 path: format!("{}/{}", module.path(), cell.name()),
-                byte_offset: logic_bytes_total + bram_slot_offset(slot),
+                byte_offset: logic_bytes_total + bram_slot_offset(slot, geometry.family),
                 capacity: cell.init().len(),
             });
         }
@@ -125,7 +138,7 @@ pub fn compile(
     }
 
     // --- Serialize the canonical wire stream ----------------------------
-    let wire = build_canonical_stream(partition as u32, &payload);
+    let wire = build_canonical_stream(partition as u32, geometry.family.code(), &payload);
 
     Ok(CompiledBitstream {
         wire,
@@ -136,21 +149,23 @@ pub fn compile(
     })
 }
 
-/// Flat byte offset of BRAM `slot` within the BRAM frame region.
-pub(crate) fn bram_slot_offset(slot: u32) -> usize {
-    (slot * FRAMES_PER_BRAM) as usize * FRAME_BYTES
+/// Flat byte offset of BRAM `slot` within the BRAM frame region —
+/// family-dependent, since frame length and frames-per-BRAM both vary
+/// per family. (`FamilyId::frames_per_bram` guarantees a slot's
+/// reserved region holds a full BRAM for every catalog family.)
+pub(crate) fn bram_slot_offset(slot: u32, family: FamilyId) -> usize {
+    (slot * family.frames_per_bram()) as usize * family.frame_bytes()
 }
 
-/// Ensure a slot's reserved region can hold a full BRAM.
-const _: () = assert!(FRAMES_PER_BRAM as usize * FRAME_BYTES >= BRAM_INIT_BYTES);
-
-/// Builds the canonical `RCRC, FAR, WCFG, FDRI, CRC` stream around a
-/// full-partition frame payload.
-pub(crate) fn build_canonical_stream(partition: u32, payload: &[u8]) -> Vec<u8> {
-    debug_assert_eq!(payload.len() % FRAME_BYTES, 0);
+/// Builds the canonical `IDCODE, RCRC, FAR, WCFG, FDRI, CRC` stream
+/// around a full-partition frame payload. `family_code` stamps the
+/// framing the payload was built with; the ICAP checks it against the
+/// device and fails closed on a mismatch.
+pub(crate) fn build_canonical_stream(partition: u32, family_code: u32, payload: &[u8]) -> Vec<u8> {
     let far = partition << 24;
     let mut w = WireWriter::new();
-    w.write_cmd(Cmd::Rcrc)
+    w.write_reg(Reg::Idcode, &[family_code])
+        .write_cmd(Cmd::Rcrc)
         .write_reg(Reg::Far, &[far])
         .write_cmd(Cmd::Wcfg)
         .write_long(Reg::Fdri, &bytes_to_words(payload));
@@ -259,6 +274,34 @@ mod tests {
     }
 
     #[test]
+    fn family_framing_changes_size_and_idcode() {
+        // The same design, the same logical partition dimensions,
+        // different families: frame length differs, so the body size
+        // differs, and each stream is stamped with its own family.
+        let mut versal_geom = tiny_geom();
+        versal_geom.family = FamilyId::Versal;
+        let us = compile(&demo_netlist("a"), tiny_geom(), 0).unwrap();
+        let ve = compile(&demo_netlist("a"), versal_geom, 0).unwrap();
+        assert_ne!(us.wire.len(), ve.wire.len());
+        assert_eq!(us.family(), FamilyId::UltraScale);
+        assert_eq!(ve.family(), FamilyId::Versal);
+        for (c, family) in [(&us, FamilyId::UltraScale), (&ve, FamilyId::Versal)] {
+            let idcode = wire::parse(&c.wire)
+                .unwrap()
+                .iter()
+                .find_map(|p| match p {
+                    wire::Packet::Write {
+                        reg: wire::Reg::Idcode,
+                        payload,
+                    } => payload.first().copied(),
+                    _ => None,
+                })
+                .expect("stream carries an IDCODE");
+            assert_eq!(idcode, family.code());
+        }
+    }
+
+    #[test]
     fn resource_overflow_detected_per_class() {
         let geom = tiny_geom();
         let mut n = Netlist::new("big");
@@ -303,7 +346,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let logic = &payload[..geom.logic_frames as usize * FRAME_BYTES];
+        let logic = &payload[..geom.logic_frames as usize * geom.frame_bytes()];
         let max_zero_run = logic.split(|&b| b != 0).map(<[u8]>::len).max().unwrap_or(0);
         assert!(max_zero_run < 64, "fill leaves no large erased areas");
     }

@@ -7,7 +7,7 @@
 //! frame bytes differ between two streams of the same shape, which is
 //! how the manipulation tests visualise "exactly one cell changed".
 
-use salus_fpga::geometry::FRAME_BYTES;
+use salus_fpga::family::FamilyId;
 use salus_fpga::wire::{self, Packet, Reg};
 
 use crate::BitstreamError;
@@ -32,9 +32,25 @@ pub struct DisasmLine {
 pub fn disassemble(stream: &[u8]) -> Result<Vec<DisasmLine>, BitstreamError> {
     let packets = wire::parse(stream).map_err(BitstreamError::Fpga)?;
     let mut lines = Vec::with_capacity(packets.len());
+    // Frame length is family-scoped; learned from the stream's IDCODE.
+    let mut frame_words: Option<usize> = None;
     for (index, packet) in packets.iter().enumerate() {
         let text = match packet {
             Packet::Nop => "NOP".to_owned(),
+            Packet::Write {
+                reg: Reg::Idcode,
+                payload,
+            } => match payload.first().copied().map(FamilyId::from_code) {
+                Some(Some(family)) => {
+                    frame_words = Some(family.frame_words());
+                    format!("WRITE IDCODE {:#010x} ({family})", family.code())
+                }
+                Some(None) => format!(
+                    "WRITE IDCODE {:#010x} (unknown family)",
+                    payload.first().copied().unwrap_or(0)
+                ),
+                None => "WRITE IDCODE (empty)".to_owned(),
+            },
             Packet::Read { reg, words } => format!("READ  {reg:?} ({words} words)"),
             Packet::Write {
                 reg: Reg::Cmd,
@@ -53,11 +69,14 @@ pub fn disassemble(stream: &[u8]) -> Result<Vec<DisasmLine>, BitstreamError> {
             Packet::Write {
                 reg: Reg::Fdri,
                 payload,
-            } => format!(
-                "WRITE FDRI {} words ({} frames)",
-                payload.len(),
-                payload.len() * 4 / FRAME_BYTES
-            ),
+            } => match frame_words {
+                Some(fw) => format!(
+                    "WRITE FDRI {} words ({} frames)",
+                    payload.len(),
+                    payload.len() / fw
+                ),
+                None => format!("WRITE FDRI {} words (unknown framing)", payload.len()),
+            },
             Packet::Write {
                 reg: Reg::Enc,
                 payload,

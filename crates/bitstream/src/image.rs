@@ -10,7 +10,7 @@
 //! that was never at risk.
 
 use salus_fpga::frame::ConfigMemory;
-use salus_fpga::geometry::{Resources, FRAMES_PER_BRAM, FRAME_BYTES};
+use salus_fpga::geometry::Resources;
 
 use crate::compile::{IMAGE_MAGIC, IMAGE_VERSION};
 use crate::BitstreamError;
@@ -46,6 +46,7 @@ pub struct LoadedModule {
 pub struct LogicImage {
     modules: Vec<LoadedModule>,
     logic_frames: u32,
+    frames_per_bram: u32,
 }
 
 impl LogicImage {
@@ -60,7 +61,7 @@ impl LogicImage {
             return Err(BitstreamError::UndecodableImage("partition not configured"));
         }
         let geometry = config.geometry();
-        let logic_bytes = geometry.logic_frames as usize * FRAME_BYTES;
+        let logic_bytes = geometry.logic_frames as usize * geometry.frame_bytes();
         let bytes = config
             .read_bytes(0, 0, logic_bytes)
             .map_err(BitstreamError::Fpga)?;
@@ -120,6 +121,7 @@ impl LogicImage {
         Ok(LogicImage {
             modules,
             logic_frames: geometry.logic_frames,
+            frames_per_bram: geometry.family.frames_per_bram(),
         })
     }
 
@@ -144,7 +146,7 @@ impl LogicImage {
         for module in &self.modules {
             for cell in &module.brams {
                 if format!("{}/{}", module.path, cell.name) == path {
-                    let frame = self.logic_frames + cell.slot * FRAMES_PER_BRAM;
+                    let frame = self.logic_frames + cell.slot * self.frames_per_bram;
                     return config
                         .read_bytes(frame, 0, cell.init_len)
                         .map_err(BitstreamError::Fpga);
@@ -235,11 +237,11 @@ mod tests {
     #[test]
     fn garbage_configuration_does_not_decode() {
         use salus_fpga::frame::Frame;
-        use salus_fpga::geometry::FRAME_BYTES;
         let geometry = DeviceGeometry::tiny();
         let mut config = salus_fpga::frame::ConfigMemory::blank(geometry.partitions[0]);
+        let fb = config.frame_bytes();
         let frames: Vec<Frame> = (0..config.frame_count())
-            .map(|_| Frame::from_bytes(&[0x99; FRAME_BYTES]).unwrap())
+            .map(|_| Frame::from_bytes(&vec![0x99; fb], fb).unwrap())
             .collect();
         config.reconfigure(frames).unwrap();
         assert!(matches!(

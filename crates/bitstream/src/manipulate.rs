@@ -37,7 +37,7 @@ pub fn rewrite_cell(
         });
     }
 
-    let (partition, mut payload) = extract_payload(wire_stream)?;
+    let (partition, family_code, mut payload) = extract_payload(wire_stream)?;
     if location.byte_offset + location.capacity > payload.len() {
         return Err(BitstreamError::Fpga(
             salus_fpga::FpgaError::MalformedBitstream("cell location outside payload"),
@@ -50,7 +50,7 @@ pub fn rewrite_cell(
     payload[location.byte_offset..location.byte_offset + new_contents.len()]
         .copy_from_slice(new_contents);
 
-    Ok(build_canonical_stream(partition, &payload))
+    Ok(build_canonical_stream(partition, family_code, &payload))
 }
 
 /// Rewrites several cells in one pass (one parse + one rebuild).
@@ -62,7 +62,7 @@ pub fn rewrite_cells(
     wire_stream: &[u8],
     updates: &[(&CellLocation, &[u8])],
 ) -> Result<Vec<u8>, BitstreamError> {
-    let (partition, mut payload) = extract_payload(wire_stream)?;
+    let (partition, family_code, mut payload) = extract_payload(wire_stream)?;
     for (location, new_contents) in updates {
         if new_contents.len() > location.capacity {
             return Err(BitstreamError::ManipulationTooLarge {
@@ -79,7 +79,7 @@ pub fn rewrite_cells(
         payload[location.byte_offset..location.byte_offset + new_contents.len()]
             .copy_from_slice(new_contents);
     }
-    Ok(build_canonical_stream(partition, &payload))
+    Ok(build_canonical_stream(partition, family_code, &payload))
 }
 
 /// Reads a placed cell's bytes out of a plaintext wire stream (the
@@ -90,7 +90,7 @@ pub fn rewrite_cells(
 /// [`BitstreamError::Fpga`] for malformed streams or out-of-range
 /// locations.
 pub fn read_cell(wire_stream: &[u8], location: &CellLocation) -> Result<Vec<u8>, BitstreamError> {
-    let (_, payload) = extract_payload(wire_stream)?;
+    let (_, _, payload) = extract_payload(wire_stream)?;
     payload
         .get(location.byte_offset..location.byte_offset + location.capacity)
         .map(<[u8]>::to_vec)
@@ -99,10 +99,14 @@ pub fn read_cell(wire_stream: &[u8], location: &CellLocation) -> Result<Vec<u8>,
         ))
 }
 
-/// Extracts `(partition, FDRI payload bytes)` from a canonical stream.
-fn extract_payload(wire_stream: &[u8]) -> Result<(u32, Vec<u8>), BitstreamError> {
+/// Extracts `(partition, family code, FDRI payload bytes)` from a
+/// canonical stream. The family code is re-emitted verbatim on
+/// rebuild: manipulation rewrites cell contents, never the framing the
+/// stream was compiled for.
+fn extract_payload(wire_stream: &[u8]) -> Result<(u32, u32, Vec<u8>), BitstreamError> {
     let packets = wire::parse(wire_stream).map_err(BitstreamError::Fpga)?;
     let mut far: Option<u32> = None;
+    let mut family_code: Option<u32> = None;
     let mut payload: Option<Vec<u8>> = None;
     for p in &packets {
         match p {
@@ -110,6 +114,10 @@ fn extract_payload(wire_stream: &[u8]) -> Result<(u32, Vec<u8>), BitstreamError>
                 reg: Reg::Far,
                 payload: w,
             } => far = w.first().copied(),
+            Packet::Write {
+                reg: Reg::Idcode,
+                payload: w,
+            } => family_code = w.first().copied(),
             Packet::Write {
                 reg: Reg::Fdri,
                 payload: w,
@@ -122,10 +130,13 @@ fn extract_payload(wire_stream: &[u8]) -> Result<(u32, Vec<u8>), BitstreamError>
     let far = far.ok_or(BitstreamError::Fpga(
         salus_fpga::FpgaError::MalformedBitstream("missing FAR"),
     ))?;
+    let family_code = family_code.ok_or(BitstreamError::Fpga(
+        salus_fpga::FpgaError::MalformedBitstream("missing IDCODE"),
+    ))?;
     let payload = payload.ok_or(BitstreamError::Fpga(
         salus_fpga::FpgaError::MalformedBitstream("missing FDRI"),
     ))?;
-    Ok((far >> 24, payload))
+    Ok((far >> 24, family_code, payload))
 }
 
 #[cfg(test)]

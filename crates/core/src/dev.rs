@@ -10,6 +10,7 @@
 use salus_bitstream::compile::{compile, CompiledBitstream};
 use salus_bitstream::netlist::{BramCell, Module, Netlist};
 use salus_bitstream::placement::CellLocation;
+use salus_fpga::family::FamilyId;
 use salus_fpga::geometry::PartitionGeometry;
 use salus_tee::measurement::EnclaveImage;
 
@@ -137,6 +138,8 @@ pub struct BitstreamMetadata {
     pub locations: SmCellLocations,
     /// The target reconfigurable partition.
     pub partition: usize,
+    /// The device family the bitstream was compiled for.
+    pub family: FamilyId,
 }
 
 impl BitstreamMetadata {
@@ -144,6 +147,7 @@ impl BitstreamMetadata {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = self.digest.to_vec();
         out.extend_from_slice(&(self.partition as u64).to_le_bytes());
+        out.extend_from_slice(&self.family.code().to_le_bytes());
         out.extend_from_slice(&self.locations.to_bytes());
         out
     }
@@ -152,15 +156,20 @@ impl BitstreamMetadata {
     ///
     /// # Errors
     ///
-    /// [`SalusError::Malformed`] on truncated input.
+    /// [`SalusError::Malformed`] on truncated input or an unknown
+    /// family code.
     pub fn from_bytes(bytes: &[u8]) -> Result<BitstreamMetadata, SalusError> {
-        if bytes.len() < 40 {
+        if bytes.len() < 44 {
             return Err(SalusError::Malformed("bitstream metadata"));
         }
+        let code = u32::from_le_bytes(bytes[40..44].try_into().expect("4"));
+        let family =
+            FamilyId::from_code(code).ok_or(SalusError::Malformed("unknown device family"))?;
         Ok(BitstreamMetadata {
             digest: bytes[..32].try_into().expect("32"),
             partition: u64::from_le_bytes(bytes[32..40].try_into().expect("8")) as usize,
-            locations: SmCellLocations::from_bytes(&bytes[40..])?,
+            family,
+            locations: SmCellLocations::from_bytes(&bytes[44..])?,
         })
     }
 }
@@ -184,21 +193,31 @@ impl ClPackage {
             digest: self.digest,
             locations: self.locations.clone(),
             partition: self.compiled.partition,
+            family: self.compiled.family(),
         }
     }
 }
 
 /// The digest `H` the developer publishes: covers the plaintext wire
-/// stream, the SM secret-cell locations, and the target partition — so
-/// substituting any of the three breaks verification inside the SM
-/// enclave.
-pub fn package_digest(wire: &[u8], locations: &SmCellLocations, partition: usize) -> [u8; 32] {
+/// stream, the SM secret-cell locations, the target partition, *and
+/// the device family the bitstream was compiled for* — so substituting
+/// any of the four breaks verification inside the SM enclave. Binding
+/// the family means a parked ciphertext can never be replayed onto a
+/// board of another generation, even if its (device, partition) slot
+/// coordinates happened to collide.
+pub fn package_digest(
+    wire: &[u8],
+    locations: &SmCellLocations,
+    partition: usize,
+    family: FamilyId,
+) -> [u8; 32] {
     let mut h = salus_crypto::sha256::Sha256::new();
-    h.update(b"salus-cl-package-digest-v1");
+    h.update(b"salus-cl-package-digest-v2");
     h.update(&(wire.len() as u64).to_le_bytes());
     h.update(wire);
     h.update(&locations.to_bytes());
     h.update(&(partition as u64).to_le_bytes());
+    h.update(&family.code().to_le_bytes());
     h.finalize()
 }
 
@@ -218,7 +237,7 @@ pub fn develop_cl(
     netlist.add_module(accelerator);
     let compiled = compile(&netlist, geometry, partition)?;
     let locations = SmCellLocations::resolve(&compiled)?;
-    let digest = package_digest(&compiled.wire, &locations, partition);
+    let digest = package_digest(&compiled.wire, &locations, partition, geometry.family);
     Ok(ClPackage {
         compiled,
         digest,

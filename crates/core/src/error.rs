@@ -31,8 +31,12 @@ pub enum SalusError {
     Malformed(&'static str),
     /// The SM logic is absent or undecodable on the loaded CL.
     SmLogicUnavailable(&'static str),
-    /// The fleet scheduler could not place or restore a deployment.
+    /// The fleet scheduler could not place or restore a deployment
+    /// (bookkeeping errors: unknown tenants, broker misuse, ...).
     Scheduler(&'static str),
+    /// Capability-aware placement refused a deployment for a typed,
+    /// assertable reason.
+    Place(PlaceError),
     /// A runtime re-attestation challenge exhausted its deadline or
     /// retry budget without an answer (transport-level, not a verdict).
     ReattestTimedOut(&'static str),
@@ -49,6 +53,45 @@ pub enum SalusError {
     Bitstream(BitstreamError),
     /// Underlying network failure.
     Net(NetError),
+}
+
+/// Why capability-aware placement refused a deployment.
+///
+/// Typed (rather than the legacy `Scheduler(&str)` prose) so chaos
+/// suites and callers assert on variants, not string contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// Every slot in the fleet is leased.
+    Saturated,
+    /// Free slots exist, but none on an admissible board (capacity
+    /// shortfalls and avoid/quarantine exclusions included).
+    NoAdmissibleBoard,
+    /// Free admissible slots exist, but only on devices of a family
+    /// incompatible with the tenant's compiled bitstream.
+    IncompatibleFamily,
+    /// The requested warm-image affinity slot is leased by someone else.
+    AffinityOccupied,
+    /// The requested affinity slot sits on an avoided (e.g. quarantined)
+    /// board.
+    AffinityAvoided,
+    /// The requested affinity slot does not exist in this fleet.
+    UnknownAffinitySlot,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Saturated => write!(f, "fleet saturated"),
+            PlaceError::NoAdmissibleBoard => write!(f, "no admissible board"),
+            PlaceError::IncompatibleFamily => {
+                write!(f, "no free slot on a family-compatible board")
+            }
+            PlaceError::AffinityOccupied => write!(f, "affinity slot occupied"),
+            PlaceError::AffinityAvoided => write!(f, "affinity device avoided"),
+            PlaceError::UnknownAffinitySlot => write!(f, "unknown affinity slot"),
+        }
+    }
 }
 
 /// Coarse recovery classification of a [`SalusError`].
@@ -116,6 +159,7 @@ impl fmt::Display for SalusError {
             SalusError::Malformed(what) => write!(f, "malformed message: {what}"),
             SalusError::SmLogicUnavailable(what) => write!(f, "sm logic unavailable: {what}"),
             SalusError::Scheduler(what) => write!(f, "scheduler: {what}"),
+            SalusError::Place(why) => write!(f, "placement refused: {why}"),
             SalusError::ReattestTimedOut(what) => {
                 write!(f, "re-attestation challenge timed out: {what}")
             }
@@ -185,7 +229,9 @@ mod tests {
             SalusError::CascadeReportInvalid("hash"),
             SalusError::Malformed("frame"),
             SalusError::SmLogicUnavailable("not booted"),
-            SalusError::Scheduler("fleet saturated"),
+            SalusError::Scheduler("unknown tenant"),
+            SalusError::Place(PlaceError::Saturated),
+            SalusError::Place(PlaceError::IncompatibleFamily),
             SalusError::ReattestTimedOut("challenge deadline"),
             SalusError::SessionFenced("lane fenced"),
             SalusError::AuditChainBroken("digest mismatch at record 3"),

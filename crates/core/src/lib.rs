@@ -77,4 +77,4 @@ pub mod user_app;
 
 mod error;
 
-pub use error::{FaultClass, SalusError};
+pub use error::{FaultClass, PlaceError, SalusError};

@@ -116,6 +116,15 @@ pub enum AuditEvent {
         /// Queued requests drained with a `SessionFenced` error.
         drained: u64,
     },
+    /// Capability-aware placement refused a deployment before any boot
+    /// ran — e.g. a bitstream compiled for one device family asked to
+    /// land on a fleet with no compatible free board (fail closed).
+    PlacementRefused {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// The rendered refusal.
+        reason: String,
+    },
 }
 
 const TAG_DEPLOY: u8 = 1;
@@ -128,6 +137,7 @@ const TAG_ATTEST_CHALLENGE: u8 = 7;
 const TAG_ATTEST_OUTCOME: u8 = 8;
 const TAG_SESSION_FENCED: u8 = 9;
 const TAG_LANE_FENCED: u8 = 10;
+const TAG_PLACEMENT_REFUSED: u8 = 11;
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -309,6 +319,11 @@ impl AuditEvent {
                 push_slot(&mut out, *slot);
                 push_u64(&mut out, *drained);
             }
+            AuditEvent::PlacementRefused { tenant, reason } => {
+                out.push(TAG_PLACEMENT_REFUSED);
+                push_u64(&mut out, tenant.0);
+                push_str(&mut out, reason);
+            }
         }
         out
     }
@@ -378,6 +393,10 @@ impl AuditEvent {
                 tenant: TenantId(cur.u64()?),
                 slot: cur.slot()?,
                 drained: cur.u64()?,
+            },
+            TAG_PLACEMENT_REFUSED => AuditEvent::PlacementRefused {
+                tenant: TenantId(cur.u64()?),
+                reason: cur.string()?,
             },
             _ => return Err(SalusError::AuditChainBroken("unknown event tag")),
         })
@@ -642,7 +661,7 @@ mod tests {
                 at += Duration::from_millis(rng.below(50));
                 let tenant = TenantId(rng.below(4));
                 let s = slot(rng.below(3) as usize, rng.below(2) as usize);
-                let event = match rng.below(10) {
+                let event = match rng.below(11) {
                     0 => AuditEvent::Deploy {
                         tenant,
                         slot: s,
@@ -689,10 +708,14 @@ mod tests {
                         },
                     },
                     8 => AuditEvent::SessionFenced { tenant, slot: s },
-                    _ => AuditEvent::LaneFenced {
+                    9 => AuditEvent::LaneFenced {
                         tenant,
                         slot: s,
                         drained: rng.below(5),
+                    },
+                    _ => AuditEvent::PlacementRefused {
+                        tenant,
+                        reason: format!("refusal {i}"),
                     },
                 };
                 (at, event)

@@ -31,6 +31,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use salus_bitstream::netlist::Module;
 use salus_crypto::sha256::Digest;
+use salus_fpga::family::FamilyId;
 use salus_fpga::geometry::DeviceGeometry;
 use salus_net::fault::FaultPlan;
 use salus_net::latency::LatencyModel;
@@ -43,7 +44,7 @@ use crate::cl_attest::{AttestRequest, AttestResponse};
 use crate::instance::{EndpointNames, TestBed, TestBedBuilder, TestBedConfig};
 use crate::sm_logic::SmLogic;
 use crate::timing::{CostModel, Op};
-use crate::{FaultClass, SalusError};
+use crate::{FaultClass, PlaceError, SalusError};
 
 use super::audit::{AuditEvent, AuditLog};
 use super::fleet::{
@@ -51,17 +52,21 @@ use super::fleet::{
     TenantRegistry,
 };
 use super::health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
-use super::scheduler::{PlacePolicy, Scheduler};
+use super::scheduler::{PlacePolicy, PlaceRequest, Scheduler};
 use super::traits::DeviceBroker;
 use super::SharedPlatform;
 
 /// Configuration of one platform node.
 #[derive(Debug, Clone)]
 pub struct PlatformConfig {
-    /// Number of fleet boards.
+    /// Number of fleet boards of the base `geometry`.
     pub devices: usize,
-    /// Per-board geometry (its partition list is the slot grid).
+    /// Base board geometry (its partition list is the slot grid).
     pub geometry: DeviceGeometry,
+    /// Additional board batches for a heterogeneous fleet, appended
+    /// after the `devices` base boards in device-index order. Empty for
+    /// the homogeneous fleets `quick`/`paper` build.
+    pub extra_boards: Vec<(DeviceGeometry, usize)>,
     /// Operation cost model charged by every tenant boot.
     pub cost: CostModel,
     /// Link latency model of the shared fabric.
@@ -86,6 +91,7 @@ impl PlatformConfig {
         PlatformConfig {
             devices,
             geometry: DeviceGeometry::tiny_multi_rp(partitions),
+            extra_boards: Vec::new(),
             cost: CostModel::zero(),
             latency: LatencyModel::zero(),
             seed: 42,
@@ -101,6 +107,7 @@ impl PlatformConfig {
         PlatformConfig {
             devices,
             geometry: DeviceGeometry::u200_multi_rp(partitions),
+            extra_boards: Vec::new(),
             cost: CostModel::paper_calibrated(),
             latency: LatencyModel::paper_calibrated(),
             seed: 42,
@@ -122,10 +129,29 @@ impl PlatformConfig {
         self
     }
 
-    /// Replaces the board geometry (builder-style).
+    /// Replaces the base board geometry (builder-style).
     pub fn with_geometry(mut self, geometry: DeviceGeometry) -> PlatformConfig {
         self.geometry = geometry;
         self
+    }
+
+    /// Appends `count` extra boards of `geometry` to the fleet
+    /// (builder-style) — the heterogeneous-fleet entry point.
+    pub fn with_extra_boards(mut self, geometry: DeviceGeometry, count: usize) -> PlatformConfig {
+        self.extra_boards.push((geometry, count));
+        self
+    }
+
+    /// The full provisioning spec: base boards first, extras after.
+    pub fn board_spec(&self) -> Vec<(DeviceGeometry, usize)> {
+        let mut spec = vec![(self.geometry.clone(), self.devices)];
+        spec.extend(self.extra_boards.iter().cloned());
+        spec
+    }
+
+    /// Total boards the spec provisions.
+    pub fn board_count(&self) -> usize {
+        self.devices + self.extra_boards.iter().map(|(_, n)| n).sum::<usize>()
     }
 
     /// Replaces the device-health policy (builder-style).
@@ -157,6 +183,10 @@ pub struct DeployPolicy {
     /// A fault plan to (re)install fabric-wide at deploy entry. `None`
     /// leaves whatever plane is currently installed untouched.
     pub fault: Option<FaultPlan>,
+    /// Capability constraint the placement must satisfy (family the
+    /// tenant's bitstream targets, resources its netlist needs).
+    /// [`PlaceRequest::any`] for deploys that compile per-lease.
+    pub request: PlaceRequest,
 }
 
 impl DeployPolicy {
@@ -170,6 +200,7 @@ impl DeployPolicy {
             }),
             placements: 1,
             fault: None,
+            request: PlaceRequest::any(),
         }
     }
 
@@ -182,6 +213,7 @@ impl DeployPolicy {
             }),
             placements: 3,
             fault: None,
+            request: PlaceRequest::any(),
         }
     }
 
@@ -201,6 +233,13 @@ impl DeployPolicy {
     /// (builder-style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> DeployPolicy {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Constrains placement to slots satisfying `request`
+    /// (builder-style).
+    pub fn with_request(mut self, request: PlaceRequest) -> DeployPolicy {
+        self.request = request;
         self
     }
 }
@@ -329,6 +368,9 @@ struct ParkedDeployment {
     bed: Box<TestBed>,
     slot: SlotId,
     encrypted: Vec<u8>,
+    /// Family the parked ciphertext was framed for; redeploy affinity
+    /// is only honoured on a family-compatible board.
+    family: FamilyId,
 }
 
 /// One tenant's running deployment, as handed out by the control
@@ -418,7 +460,7 @@ pub struct ControlPlane {
 impl std::fmt::Debug for ControlPlane {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ControlPlane")
-            .field("devices", &self.config.devices)
+            .field("devices", &self.config.board_count())
             .field("tenants", &self.registry.lock().len())
             .finish_non_exhaustive()
     }
@@ -437,17 +479,13 @@ impl ControlPlane {
             salus_tee::quote::CURRENT_SVN,
             config.latency.clone(),
         );
-        let fleet = DeviceFleet::provision(
-            &shared.manufacturer,
-            config.geometry.clone(),
-            config.devices,
-            1_000,
-        )?;
+        let fleet =
+            DeviceFleet::provision_mixed(&shared.manufacturer, &config.board_spec(), 1_000)?;
         // The key service answers RPC on the shared fabric too, for
         // parties that reach it over the wire rather than in-process.
         crate::services::serve_manufacturer(&shared.fabric, shared.manufacturer.clone());
         let health = DeviceHealth::new(
-            config.devices,
+            config.board_count(),
             config.seed.wrapping_mul(0x9E37_79B9),
             config.health,
         );
@@ -478,9 +516,24 @@ impl ControlPlane {
         self.fleet.lock().device_count()
     }
 
-    /// Partitions per board.
-    pub fn partitions_per_device(&self) -> usize {
-        self.fleet.lock().partitions_per_device()
+    /// Partitions on board `device` (0 for unknown boards).
+    pub fn partitions_on(&self, device: DeviceId) -> usize {
+        self.fleet.lock().partitions_on(device)
+    }
+
+    /// Total schedulable slots across the fleet.
+    pub fn total_slots(&self) -> usize {
+        self.fleet.lock().total_slots()
+    }
+
+    /// The device family of board `device`, if it exists.
+    pub fn device_family(&self, device: DeviceId) -> Option<FamilyId> {
+        self.fleet.lock().family_of(device)
+    }
+
+    /// The geometry of board `device`, if it exists.
+    pub fn device_geometry(&self, device: DeviceId) -> Option<DeviceGeometry> {
+        self.fleet.lock().geometry_of(device).cloned()
     }
 
     /// Currently free slots.
@@ -608,7 +661,7 @@ impl ControlPlane {
             let fleet = self.fleet.lock();
             (
                 DeviceBroker::free_slots(&*fleet),
-                fleet.device_count() * fleet.partitions_per_device(),
+                fleet.total_slots(),
                 fleet.occupancy(),
                 (0..fleet.device_count())
                     .filter(|&d| fleet.cached_key(d).is_some())
@@ -715,7 +768,7 @@ impl ControlPlane {
             let placed = {
                 let mut fleet = self.fleet.lock();
                 self.scheduler
-                    .place_avoiding(&fleet, None, &avoid)
+                    .place_constrained(&fleet, &policy.request, None, &avoid)
                     .and_then(|slot| {
                         let cached = fleet.cached_key(slot.device);
                         let broker: &mut dyn DeviceBroker = &mut *fleet;
@@ -725,6 +778,16 @@ impl ControlPlane {
             let (lease, cached) = match placed {
                 Ok(v) => v,
                 Err(e) => {
+                    // A family-incompatible refusal is a security
+                    // boundary (the shell would fail the load closed);
+                    // leave an audit record of it.
+                    if e == SalusError::Place(PlaceError::IncompatibleFamily) {
+                        self.audit_append(AuditEvent::PlacementRefused {
+                            tenant,
+                            reason: e.to_string(),
+                        });
+                        self.registry.lock().record_failed_deploy(tenant);
+                    }
                     // No admissible board left: surface the last boot
                     // error when boots ran, the scheduler error when
                     // nothing ever placed.
@@ -945,7 +1008,10 @@ impl ControlPlane {
         plan: BootPlan,
     ) -> BootRun {
         let config = TestBedConfig {
-            geometry: self.config.geometry.clone(),
+            // The lease's own geometry, not a fleet-wide one: in a
+            // mixed fleet the bitstream must be compiled for the
+            // family of the board it actually landed on.
+            geometry: lease.geometry.clone(),
             cost: self.config.cost.clone(),
             latency: self.config.latency.clone(),
             seed: self.config.seed,
@@ -1013,17 +1079,22 @@ impl ControlPlane {
             .sm_app
             .prepared_bitstream()
             .ok_or(SalusError::Scheduler("nothing to park"))?;
-        {
+        let family = {
             let mut fleet = self.fleet.lock();
+            let family = fleet
+                .family_of(slot.device)
+                .ok_or(SalusError::Scheduler("unknown device"))?;
             let broker: &mut dyn DeviceBroker = &mut *fleet;
             broker.release(slot)?;
-        }
+            family
+        };
         self.parked.lock().insert(
             tenant,
             ParkedDeployment {
                 bed: Box::new(bed),
                 slot,
                 encrypted,
+                family,
             },
         );
         self.audit_append(AuditEvent::Evicted { tenant, slot });
@@ -1056,8 +1127,15 @@ impl ControlPlane {
         let quarantined = self.health.lock().quarantined(self.shared.clock.now());
         let leased = {
             let mut fleet = self.fleet.lock();
+            // Affinity is family-checked: the parked ciphertext only
+            // ever reloads onto the framing it was compiled for.
             self.scheduler
-                .place_avoiding(&fleet, Some(parked.slot), &quarantined)
+                .place_constrained(
+                    &fleet,
+                    &PlaceRequest::for_family(parked.family),
+                    Some(parked.slot),
+                    &quarantined,
+                )
                 .and_then(|slot| {
                     let broker: &mut dyn DeviceBroker = &mut *fleet;
                     broker.lease_at(slot, tenant)
@@ -1066,6 +1144,12 @@ impl ControlPlane {
         let lease = match leased {
             Ok(lease) => lease,
             Err(e) => {
+                if e == SalusError::Place(PlaceError::IncompatibleFamily) {
+                    self.audit_append(AuditEvent::PlacementRefused {
+                        tenant,
+                        reason: e.to_string(),
+                    });
+                }
                 self.parked.lock().insert(tenant, parked);
                 return Err(e);
             }
@@ -1249,12 +1333,62 @@ mod tests {
         let b = plane.deploy(bob, loopback_accelerator()).unwrap();
 
         let err = plane.redeploy(alice).unwrap_err();
-        assert_eq!(err, SalusError::Scheduler("affinity slot occupied"));
+        assert_eq!(err, SalusError::Place(PlaceError::AffinityOccupied));
         assert!(plane.has_parked(alice), "deployment must stay parked");
 
         plane.evict(b).unwrap();
         let a2 = plane.redeploy(alice).unwrap();
         assert_eq!(a2.path, DeployPath::WarmImage);
+    }
+
+    #[test]
+    fn mixed_fleet_places_by_family_and_audits_cross_family_refusals() {
+        use salus_fpga::family::DeviceFamily;
+
+        let config = PlatformConfig::quick(1, 1)
+            .with_geometry(DeviceFamily::series7().tiny_board(1))
+            .with_extra_boards(DeviceFamily::ultrascale().tiny_board(2), 1);
+        let plane = ControlPlane::provision(config).unwrap();
+        assert_eq!(plane.device_count(), 2);
+        assert_eq!(plane.total_slots(), 3);
+        assert_eq!(plane.device_family(0), Some(FamilyId::Series7));
+        assert_eq!(plane.device_family(1), Some(FamilyId::UltraScale));
+
+        let alice = plane.register_tenant("alice");
+        // Pin alice to the ultrascale board; the boot compiles against
+        // the lease's own geometry, so the deployment attests cleanly.
+        let policy =
+            DeployPolicy::single().with_request(PlaceRequest::for_family(FamilyId::UltraScale));
+        let a = plane
+            .deploy_with(alice, loopback_accelerator(), policy)
+            .unwrap();
+        assert_eq!(a.slot.device, 1);
+        assert!(a.outcome.report.all_attested());
+
+        // A versal-framed request has nowhere to go: typed fail-closed
+        // refusal plus an audit record, before any boot runs.
+        let bob = plane.register_tenant("bob");
+        let policy =
+            DeployPolicy::single().with_request(PlaceRequest::for_family(FamilyId::Versal));
+        let err = plane
+            .deploy_with(bob, loopback_accelerator(), policy)
+            .unwrap_err();
+        match err {
+            DeployFailure::Rejected(e) => {
+                assert_eq!(e, SalusError::Place(PlaceError::IncompatibleFamily));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let log = plane.audit_log();
+        log.verify_chain().unwrap();
+        assert!(
+            log.records().iter().any(|r| matches!(
+                &r.event,
+                AuditEvent::PlacementRefused { tenant, .. } if *tenant == bob
+            )),
+            "cross-family refusal must be audited"
+        );
+        assert_eq!(plane.tenant_record(bob).unwrap().failed_deploys, 1);
     }
 
     #[test]

@@ -1,14 +1,21 @@
 //! The shared device fleet and the tenant registry.
 //!
-//! A fleet is M manufactured boards of one geometry, provisioned with
-//! one CSP shell image and reachable on one RPC fabric under
-//! `fleet.dev{i}.fpga` endpoints. Each board fuses its own
-//! `Key_device`; the fleet additionally caches the key once a tenant's
-//! SM enclave has redeemed it, so later deployments on the same board
-//! skip the manufacturer round trip (warm boot, Fig. 3 fast path).
+//! A fleet is M manufactured boards — possibly of several device
+//! families and geometries — provisioned with per-geometry CSP shell
+//! images and reachable on one RPC fabric under `fleet.dev{i}.fpga`
+//! endpoints. Each board fuses its own `Key_device`; the fleet
+//! additionally caches the key once a tenant's SM enclave has redeemed
+//! it, so later deployments on the same board skip the manufacturer
+//! round trip (warm boot, Fig. 3 fast path).
+//!
+//! Geometry is a per-device property: a heterogeneous fleet mixes
+//! series7-, ultrascale- and versal-class boards, and every lease
+//! carries the geometry of the board it landed on so downstream layers
+//! never assume fleet-wide framing.
 
 use std::collections::HashMap;
 
+use salus_fpga::family::FamilyId;
 use salus_fpga::geometry::DeviceGeometry;
 use salus_fpga::shell::Shell;
 
@@ -59,9 +66,13 @@ pub struct DeviceLease {
     /// The board's fabric endpoint (`fleet.dev{i}.fpga`).
     pub endpoint: String,
     /// The leased partition's private DRAM window. Derived from the
-    /// fleet geometry (`base = partition × window_len`), so two live
-    /// leases on one board can never share a byte of DRAM.
+    /// board's own geometry (`base = partition × window_len`), so two
+    /// live leases on one board can never share a byte of DRAM.
     pub window: DramWindow,
+    /// The leased board's geometry. Compilation, shell framing and the
+    /// virtual-time cost model all read this — never a fleet-wide
+    /// constant, which does not exist in a heterogeneous fleet.
+    pub geometry: DeviceGeometry,
 }
 
 /// One board of the fleet.
@@ -69,16 +80,17 @@ struct FleetDevice {
     shell: Shell,
     dna: u64,
     endpoint: String,
+    /// This board's geometry (family-scoped framing included).
+    geometry: DeviceGeometry,
     /// Per-partition occupancy.
     slots: Vec<Option<TenantId>>,
     /// `Key_device` as redeemed by the first SM enclave to boot here.
     cached_key: Option<KeyDevice>,
 }
 
-/// M provisioned boards of one geometry on one fabric.
+/// M provisioned boards — homogeneous or mixed-family — on one fabric.
 pub struct DeviceFleet {
     devices: Vec<FleetDevice>,
-    geometry: DeviceGeometry,
 }
 
 impl std::fmt::Debug for DeviceFleet {
@@ -91,10 +103,9 @@ impl std::fmt::Debug for DeviceFleet {
 }
 
 impl DeviceFleet {
-    /// Manufactures `count` boards of `geometry` (serials
-    /// `base_serial..base_serial+count`) and provisions each with one
-    /// shared shell image — the CSP builds the shell once per geometry,
-    /// not once per board.
+    /// Manufactures `count` boards of one `geometry` (serials
+    /// `base_serial..base_serial+count`) — the homogeneous wrapper
+    /// around [`provision_mixed`](DeviceFleet::provision_mixed).
     ///
     /// # Errors
     ///
@@ -105,21 +116,44 @@ impl DeviceFleet {
         count: usize,
         base_serial: u64,
     ) -> Result<DeviceFleet, SalusError> {
-        let shell_image = crate::dev::build_shell_image(&geometry)?;
-        let mut devices = Vec::with_capacity(count);
-        for i in 0..count {
-            let device = manufacturer.manufacture_device(geometry.clone(), base_serial + i as u64);
-            let dna = device.dna().read();
-            let shell = Shell::provision(device, &shell_image)?;
-            devices.push(FleetDevice {
-                shell,
-                dna,
-                endpoint: format!("fleet.dev{i}.fpga"),
-                slots: vec![None; geometry.partitions.len()],
-                cached_key: None,
-            });
+        DeviceFleet::provision_mixed(manufacturer, &[(geometry, count)], base_serial)
+    }
+
+    /// Manufactures a mixed fleet from `spec` — `count` boards per
+    /// `(geometry, count)` entry, in spec order, with serials assigned
+    /// sequentially from `base_serial`. The CSP builds one shell image
+    /// per spec entry (not per board): boards sharing a geometry share
+    /// a shell build, boards of different families never do.
+    ///
+    /// # Errors
+    ///
+    /// Shell compilation or provisioning failures.
+    pub fn provision_mixed(
+        manufacturer: &SharedManufacturer,
+        spec: &[(DeviceGeometry, usize)],
+        base_serial: u64,
+    ) -> Result<DeviceFleet, SalusError> {
+        let mut devices = Vec::new();
+        let mut serial = base_serial;
+        for (geometry, count) in spec {
+            let shell_image = crate::dev::build_shell_image(geometry)?;
+            for _ in 0..*count {
+                let i = devices.len();
+                let device = manufacturer.manufacture_device(geometry.clone(), serial);
+                serial += 1;
+                let dna = device.dna().read();
+                let shell = Shell::provision(device, &shell_image)?;
+                devices.push(FleetDevice {
+                    shell,
+                    dna,
+                    endpoint: format!("fleet.dev{i}.fpga"),
+                    geometry: geometry.clone(),
+                    slots: vec![None; geometry.partitions.len()],
+                    cached_key: None,
+                });
+            }
         }
-        Ok(DeviceFleet { devices, geometry })
+        Ok(DeviceFleet { devices })
     }
 
     /// Number of boards in the fleet.
@@ -127,14 +161,31 @@ impl DeviceFleet {
         self.devices.len()
     }
 
-    /// Partitions per board.
-    pub fn partitions_per_device(&self) -> usize {
-        self.geometry.partitions.len()
+    /// Partitions on board `device` (0 for unknown boards).
+    pub fn partitions_on(&self, device: usize) -> usize {
+        self.devices
+            .get(device)
+            .map(|d| d.geometry.partitions.len())
+            .unwrap_or(0)
     }
 
-    /// The fleet's board geometry.
-    pub fn geometry(&self) -> &DeviceGeometry {
-        &self.geometry
+    /// Total schedulable slots across every board.
+    pub fn total_slots(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.geometry.partitions.len())
+            .sum()
+    }
+
+    /// The geometry of board `device`, if it exists. There is no
+    /// fleet-wide geometry: a heterogeneous fleet has one per board.
+    pub fn geometry_of(&self, device: usize) -> Option<&DeviceGeometry> {
+        self.devices.get(device).map(|d| &d.geometry)
+    }
+
+    /// The device family of board `device`, if it exists.
+    pub fn family_of(&self, device: usize) -> Option<FamilyId> {
+        self.devices.get(device).map(|d| d.geometry.family())
     }
 
     /// The shell of board `device`, if it exists.
@@ -158,11 +209,11 @@ impl DeviceFleet {
     }
 
     /// The DRAM window `slot`'s partition owns on its board, if the
-    /// slot exists in this fleet's geometry.
+    /// slot exists on that board's geometry.
     pub fn window_of(&self, slot: SlotId) -> Option<DramWindow> {
-        (slot.device < self.devices.len())
-            .then(|| self.geometry.dram_window(slot.partition))
-            .flatten()
+        self.devices
+            .get(slot.device)
+            .and_then(|d| d.geometry.dram_window(slot.partition))
     }
 
     /// The cached `Key_device` for board `device`, if any tenant has
@@ -230,7 +281,7 @@ impl DeviceBroker for DeviceFleet {
             return Err(SalusError::Scheduler("slot occupied"));
         }
         *entry = Some(tenant);
-        let window = self
+        let window = device
             .geometry
             .dram_window(slot.partition)
             .expect("partition index validated above");
@@ -240,6 +291,7 @@ impl DeviceBroker for DeviceFleet {
             dna: device.dna,
             endpoint: device.endpoint.clone(),
             window,
+            geometry: device.geometry.clone(),
         })
     }
 
@@ -422,6 +474,7 @@ impl TenantRegistry {
 mod tests {
     use super::*;
     use crate::instance::TestBed;
+    use salus_fpga::family::DeviceFamily;
 
     fn fleet(n: usize) -> (SharedManufacturer, DeviceFleet) {
         let bed = TestBed::quick_demo();
@@ -455,7 +508,11 @@ mod tests {
         assert_eq!(lease.dna, fleet.dna(1).unwrap());
         assert_eq!(lease.endpoint, "fleet.dev1.fpga");
         assert_eq!(Some(lease.window), fleet.window_of(slot));
-        assert_eq!(lease.window, fleet.geometry().dram_window(0).unwrap());
+        assert_eq!(
+            lease.window,
+            fleet.geometry_of(1).unwrap().dram_window(0).unwrap()
+        );
+        assert_eq!(lease.geometry.family(), FamilyId::UltraScale);
         assert_eq!(fleet.holder(slot), Some(TenantId(7)));
         assert_eq!(
             fleet.lease_at(slot, TenantId(8)).unwrap_err(),
@@ -514,6 +571,51 @@ mod tests {
             }),
             None
         );
+    }
+
+    #[test]
+    fn mixed_fleet_carries_per_board_geometry() {
+        let bed = TestBed::quick_demo();
+        let spec = [
+            (DeviceFamily::series7().tiny_board(2), 1),
+            (DeviceFamily::ultrascale().tiny_board(1), 2),
+            (DeviceFamily::versal().tiny_board(4), 1),
+        ];
+        let mut fleet = DeviceFleet::provision_mixed(&bed.manufacturer.clone(), &spec, 300)
+            .expect("mixed fleet provisions");
+        assert_eq!(fleet.device_count(), 4);
+        assert_eq!(fleet.total_slots(), 2 + 1 + 1 + 4);
+        assert_eq!(fleet.family_of(0), Some(FamilyId::Series7));
+        assert_eq!(fleet.family_of(1), Some(FamilyId::UltraScale));
+        assert_eq!(fleet.family_of(2), Some(FamilyId::UltraScale));
+        assert_eq!(fleet.family_of(3), Some(FamilyId::Versal));
+        assert_eq!(fleet.family_of(4), None);
+        assert_eq!(fleet.partitions_on(0), 2);
+        assert_eq!(fleet.partitions_on(3), 4);
+        let dnas = fleet.dnas();
+        let unique: std::collections::HashSet<_> = dnas.iter().collect();
+        assert_eq!(unique.len(), 4, "mixed boards get distinct serials");
+        let lease = fleet
+            .lease_at(
+                SlotId {
+                    device: 3,
+                    partition: 2,
+                },
+                TenantId(1),
+            )
+            .unwrap();
+        assert_eq!(lease.geometry.family(), FamilyId::Versal);
+        // A partition index valid on the versal board is out of range
+        // on the series7 board.
+        assert!(fleet
+            .lease_at(
+                SlotId {
+                    device: 0,
+                    partition: 3,
+                },
+                TenantId(2),
+            )
+            .is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use fleet::{
     TenantRegistry,
 };
 pub use health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
-pub use scheduler::{PlacePolicy, Scheduler};
+pub use scheduler::{PlacePolicy, PlaceRequest, Scheduler};
 pub use traits::{
     distribute_device_key, AttestationVerifier, DeviceBroker, KeyService, SharedManufacturer,
 };

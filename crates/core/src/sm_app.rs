@@ -219,7 +219,12 @@ impl SmApp {
             .ok_or(SalusError::Malformed("no target device"))?;
 
         // 1. Verify the fetched bitstream is the user-expected one.
-        let digest = package_digest(cl_bitstream, &metadata.locations, metadata.partition);
+        let digest = package_digest(
+            cl_bitstream,
+            &metadata.locations,
+            metadata.partition,
+            metadata.family,
+        );
         if digest != metadata.digest {
             return Err(SalusError::DigestMismatch);
         }

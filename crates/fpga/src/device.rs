@@ -186,8 +186,8 @@ impl Device {
         if partition >= self.partitions.len() {
             return Err(FpgaError::NoSuchPartition(partition));
         }
-        let words =
-            self.partitions[partition].frame_count() as usize * crate::geometry::FRAME_WORDS;
+        let words = self.partitions[partition].frame_count() as usize
+            * self.geometry.family().frame_words();
         let mut w = WireWriter::new();
         w.write_cmd(Cmd::Rcfg)
             .write_reg(Reg::Far, &[(partition as u32) << 24])
@@ -207,6 +207,14 @@ impl ConfigSink for DeviceSink<'_> {
 
     fn dna_raw(&self) -> u64 {
         self.0.dna.read()
+    }
+
+    fn frame_bytes(&self) -> usize {
+        self.0.geometry.family().frame_bytes()
+    }
+
+    fn family_code(&self) -> u32 {
+        self.0.geometry.family().code()
     }
 
     fn commit_partition(&mut self, index: usize, frames: Vec<Frame>) -> Result<(), FpgaError> {
@@ -236,8 +244,10 @@ impl ConfigSink for DeviceSink<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::FRAME_BYTES;
+    use crate::family::FamilyId;
     use crate::wire::{self, bytes_to_words};
+
+    const FRAME_BYTES: usize = FamilyId::UltraScale.frame_bytes();
 
     fn tiny_device() -> Device {
         Device::manufacture(DeviceGeometry::tiny(), 1)

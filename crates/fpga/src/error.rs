@@ -34,6 +34,16 @@ pub enum FpgaError {
         /// Frames in the partition.
         expected: u32,
     },
+    /// A bitstream's IDCODE named a different device family than the
+    /// device it was pushed to. Framing differs across families, so
+    /// the load fails closed before touching configuration memory.
+    FamilyMismatch {
+        /// Family code of the device (see
+        /// [`FamilyId::code`](crate::family::FamilyId::code)).
+        device: u32,
+        /// Family code the bitstream was compiled for.
+        bitstream: u32,
+    },
     /// A windowed DMA access fell outside the issuing session's DRAM
     /// window (per-partition isolation: the access fails closed rather
     /// than touching a co-resident tenant's bytes).
@@ -63,6 +73,11 @@ impl fmt::Display for FpgaError {
             FpgaError::IncompleteReconfiguration { written, expected } => write!(
                 f,
                 "partial reconfiguration wrote {written} of {expected} frames"
+            ),
+            FpgaError::FamilyMismatch { device, bitstream } => write!(
+                f,
+                "bitstream compiled for family {bitstream:#010x} refused by \
+                 family {device:#010x} device"
             ),
             FpgaError::DmaOutOfWindow {
                 offset,

@@ -5,45 +5,64 @@
 //! partition, and [`ConfigMemory::reconfigure`] rejects anything less.
 //! There is no way to update a strict subset of a partition's frames —
 //! exactly why a preserved RoT implies a preserved CL.
+//!
+//! Frame *length* is a property of the partition's device family
+//! ([`PartitionGeometry::frame_bytes`]), not a global constant; every
+//! frame of one memory has that family's length and
+//! [`ConfigMemory::reconfigure`] rejects frames of any other.
 
-use crate::geometry::{PartitionGeometry, FRAME_BYTES};
+use crate::geometry::PartitionGeometry;
 use crate::FpgaError;
 
-/// One configuration frame's payload.
+/// One configuration frame's payload. Length is fixed per device
+/// family (see [`crate::family::FamilyId::frame_bytes`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    bytes: [u8; FRAME_BYTES],
-}
-
-impl Default for Frame {
-    fn default() -> Self {
-        Frame {
-            bytes: [0; FRAME_BYTES],
-        }
-    }
+    bytes: Vec<u8>,
 }
 
 impl Frame {
-    /// Creates a frame from exactly [`FRAME_BYTES`] bytes.
+    /// An all-zero (erased) frame of `frame_bytes` bytes.
+    pub fn zeroed(frame_bytes: usize) -> Frame {
+        Frame {
+            bytes: vec![0; frame_bytes],
+        }
+    }
+
+    /// Creates a frame from exactly `frame_bytes` bytes.
     ///
     /// # Errors
     ///
-    /// Returns an error if `bytes` has the wrong length.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Frame, FpgaError> {
-        let bytes: [u8; FRAME_BYTES] = bytes
-            .try_into()
-            .map_err(|_| FpgaError::MalformedBitstream("frame payload length"))?;
-        Ok(Frame { bytes })
+    /// Returns an error if `bytes` has the wrong length for the
+    /// family's framing.
+    pub fn from_bytes(bytes: &[u8], frame_bytes: usize) -> Result<Frame, FpgaError> {
+        if bytes.len() != frame_bytes {
+            return Err(FpgaError::MalformedBitstream("frame payload length"));
+        }
+        Ok(Frame {
+            bytes: bytes.to_vec(),
+        })
+    }
+
+    /// The frame's length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the frame is zero-length (never true for a frame built
+    /// by a real family's framing).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
     }
 
     /// The frame's raw bytes.
-    pub fn as_bytes(&self) -> &[u8; FRAME_BYTES] {
+    pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
 
     /// Mutable access (used by bitstream manipulation before loading —
     /// never by the shell after loading).
-    pub fn as_bytes_mut(&mut self) -> &mut [u8; FRAME_BYTES] {
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
         &mut self.bytes
     }
 }
@@ -61,7 +80,7 @@ impl ConfigMemory {
     pub fn blank(geometry: PartitionGeometry) -> ConfigMemory {
         ConfigMemory {
             geometry,
-            frames: vec![Frame::default(); geometry.total_frames() as usize],
+            frames: vec![Frame::zeroed(geometry.frame_bytes()); geometry.total_frames() as usize],
             configured: false,
         }
     }
@@ -69,6 +88,11 @@ impl ConfigMemory {
     /// The partition geometry.
     pub fn geometry(&self) -> PartitionGeometry {
         self.geometry
+    }
+
+    /// Bytes per frame of this memory (family framing).
+    pub fn frame_bytes(&self) -> usize {
+        self.geometry.frame_bytes()
     }
 
     /// Whether a full configuration has been loaded.
@@ -94,17 +118,23 @@ impl ConfigMemory {
 
     /// Replaces the **entire** partition contents. `frames` must cover
     /// every frame — partial writes are structurally impossible, which is
-    /// Observation 2.
+    /// Observation 2 — and each frame must have this family's length.
     ///
     /// # Errors
     ///
-    /// [`FpgaError::IncompleteReconfiguration`] when the count mismatches.
+    /// [`FpgaError::IncompleteReconfiguration`] when the count
+    /// mismatches; [`FpgaError::MalformedBitstream`] when a frame has
+    /// another family's length.
     pub fn reconfigure(&mut self, frames: Vec<Frame>) -> Result<(), FpgaError> {
         if frames.len() != self.frames.len() {
             return Err(FpgaError::IncompleteReconfiguration {
                 written: frames.len() as u32,
                 expected: self.frame_count(),
             });
+        }
+        let want = self.frame_bytes();
+        if frames.iter().any(|f| f.len() != want) {
+            return Err(FpgaError::MalformedBitstream("frame payload length"));
         }
         self.frames = frames;
         self.configured = true;
@@ -113,8 +143,9 @@ impl ConfigMemory {
 
     /// Clears the partition back to the erased state.
     pub fn erase(&mut self) {
+        let blank = Frame::zeroed(self.frame_bytes());
         for f in &mut self.frames {
-            *f = Frame::default();
+            *f = blank.clone();
         }
         self.configured = false;
     }
@@ -132,21 +163,22 @@ impl ConfigMemory {
         offset: usize,
         len: usize,
     ) -> Result<Vec<u8>, FpgaError> {
-        let start = frame_index as usize * FRAME_BYTES + offset;
+        let frame_bytes = self.frame_bytes();
+        let start = frame_index as usize * frame_bytes + offset;
         let end = start + len;
-        let flat_len = self.frames.len() * FRAME_BYTES;
+        let flat_len = self.frames.len() * frame_bytes;
         if end > flat_len {
             return Err(FpgaError::FrameOutOfRange {
-                index: (end / FRAME_BYTES) as u32,
+                index: (end / frame_bytes) as u32,
                 limit: self.frame_count(),
             });
         }
         let mut out = Vec::with_capacity(len);
         let mut pos = start;
         while pos < end {
-            let frame = &self.frames[pos / FRAME_BYTES];
-            let in_frame = pos % FRAME_BYTES;
-            let take = (FRAME_BYTES - in_frame).min(end - pos);
+            let frame = &self.frames[pos / frame_bytes];
+            let in_frame = pos % frame_bytes;
+            let take = (frame_bytes - in_frame).min(end - pos);
             out.extend_from_slice(&frame.as_bytes()[in_frame..in_frame + take]);
             pos += take;
         }
@@ -156,7 +188,7 @@ impl ConfigMemory {
     /// Flattens all frames into one byte vector (used for digesting the
     /// loaded image in tests).
     pub fn flatten(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.frames.len() * FRAME_BYTES);
+        let mut out = Vec::with_capacity(self.frames.len() * self.frame_bytes());
         for f in &self.frames {
             out.extend_from_slice(f.as_bytes());
         }
@@ -167,7 +199,10 @@ impl ConfigMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::family::FamilyId;
     use crate::geometry::DeviceGeometry;
+
+    const FB: usize = FamilyId::UltraScale.frame_bytes();
 
     fn tiny_mem() -> ConfigMemory {
         ConfigMemory::blank(DeviceGeometry::tiny().partitions[0])
@@ -175,7 +210,7 @@ mod tests {
 
     fn full_frames(mem: &ConfigMemory, fill: u8) -> Vec<Frame> {
         (0..mem.frame_count())
-            .map(|_| Frame::from_bytes(&[fill; FRAME_BYTES]).unwrap())
+            .map(|_| Frame::from_bytes(&vec![fill; mem.frame_bytes()], mem.frame_bytes()).unwrap())
             .collect()
     }
 
@@ -184,6 +219,7 @@ mod tests {
         let mem = tiny_mem();
         assert!(!mem.is_configured());
         assert_eq!(mem.frame(0).unwrap().as_bytes()[0], 0);
+        assert_eq!(mem.frame_bytes(), FB);
     }
 
     #[test]
@@ -204,6 +240,20 @@ mod tests {
     }
 
     #[test]
+    fn reconfigure_rejects_foreign_family_frame_length() {
+        let mut mem = tiny_mem();
+        let alien = FamilyId::Versal.frame_bytes();
+        let frames: Vec<Frame> = (0..mem.frame_count())
+            .map(|_| Frame::zeroed(alien))
+            .collect();
+        assert!(matches!(
+            mem.reconfigure(frames),
+            Err(FpgaError::MalformedBitstream(_))
+        ));
+        assert!(!mem.is_configured());
+    }
+
+    #[test]
     fn reconfigure_overwrites_all_previous_state() {
         let mut mem = tiny_mem();
         mem.reconfigure(full_frames(&mem, 0x11)).unwrap();
@@ -217,10 +267,10 @@ mod tests {
     fn read_bytes_crosses_frame_boundaries() {
         let mut mem = tiny_mem();
         let mut frames = full_frames(&mem, 0);
-        frames[0].as_bytes_mut()[FRAME_BYTES - 1] = 0xAA;
+        frames[0].as_bytes_mut()[FB - 1] = 0xAA;
         frames[1].as_bytes_mut()[0] = 0xBB;
         mem.reconfigure(frames).unwrap();
-        let got = mem.read_bytes(0, FRAME_BYTES - 1, 2).unwrap();
+        let got = mem.read_bytes(0, FB - 1, 2).unwrap();
         assert_eq!(got, vec![0xAA, 0xBB]);
     }
 
@@ -228,7 +278,7 @@ mod tests {
     fn read_bytes_rejects_overflow() {
         let mem = tiny_mem();
         let last = mem.frame_count() - 1;
-        assert!(mem.read_bytes(last, FRAME_BYTES - 1, 2).is_err());
+        assert!(mem.read_bytes(last, FB - 1, 2).is_err());
         assert!(mem.read_bytes(mem.frame_count(), 0, 1).is_err());
     }
 
@@ -243,8 +293,8 @@ mod tests {
 
     #[test]
     fn frame_from_bytes_validates_length() {
-        assert!(Frame::from_bytes(&[0u8; FRAME_BYTES]).is_ok());
-        assert!(Frame::from_bytes(&[0u8; FRAME_BYTES - 1]).is_err());
-        assert!(Frame::from_bytes(&[0u8; FRAME_BYTES + 1]).is_err());
+        assert!(Frame::from_bytes(&[0u8; FB], FB).is_ok());
+        assert!(Frame::from_bytes(&[0u8; FB - 1], FB).is_err());
+        assert!(Frame::from_bytes(&[0u8; FB + 1], FB).is_err());
     }
 }

@@ -21,12 +21,17 @@ pub struct Resources {
 }
 
 impl Resources {
-    /// Component-wise sum.
+    /// Component-wise sum, saturating at `u32::MAX` per class.
+    ///
+    /// Saturating (not wrapping) matters because sums of adversarial
+    /// capacities feed [`fits_in`](Resources::fits_in) admission
+    /// checks: a wrapped sum could appear *smaller* than either
+    /// addend and slip an oversized design past placement.
     pub fn plus(self, other: Resources) -> Resources {
         Resources {
-            lut: self.lut + other.lut,
-            register: self.register + other.register,
-            bram: self.bram + other.bram,
+            lut: self.lut.saturating_add(other.lut),
+            register: self.register.saturating_add(other.register),
+            bram: self.bram.saturating_add(other.bram),
         }
     }
 
@@ -53,22 +58,24 @@ impl Resources {
     }
 }
 
-/// Number of 32-bit words per configuration frame (UltraScale-style).
-pub const FRAME_WORDS: usize = 93;
-
-/// Bytes per configuration frame.
-pub const FRAME_BYTES: usize = FRAME_WORDS * 4;
-
-/// Frames of BRAM-content configuration per 36 Kb BRAM
-/// (36 Kb ≈ 4608 bytes ⇒ ⌈4608 / 372⌉ = 13 frames).
-pub const FRAMES_PER_BRAM: u32 = 13;
-
-/// Usable initialisation bytes per BRAM (36 Kb).
+/// Usable initialisation bytes per BRAM (36 Kb). Family-invariant:
+/// every family's 36 Kb BRAM holds the same payload; only the number
+/// of frames it spans ([`FamilyId::frames_per_bram`]) differs.
 pub const BRAM_INIT_BYTES: usize = 4608;
 
+use crate::family::FamilyId;
+
 /// Geometry of one reconfigurable (or static) partition.
+///
+/// Frame length and BRAM framing are properties of the partition's
+/// device [`family`](FamilyId), not global constants: a series7-like
+/// partition packs 101 words per frame where an UltraScale-like one
+/// packs 93, so the same logical design compiles to different byte
+/// layouts — and bitstream sizes — per family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionGeometry {
+    /// Device family whose framing this partition uses.
+    pub family: FamilyId,
     /// Frames of CLB/interconnect configuration.
     pub logic_frames: u32,
     /// Resource capacity of the partition.
@@ -76,9 +83,14 @@ pub struct PartitionGeometry {
 }
 
 impl PartitionGeometry {
+    /// Bytes per configuration frame (family framing).
+    pub fn frame_bytes(&self) -> usize {
+        self.family.frame_bytes()
+    }
+
     /// Frames dedicated to BRAM contents.
     pub fn bram_frames(&self) -> u32 {
-        self.capacity.bram * FRAMES_PER_BRAM
+        self.capacity.bram * self.family.frames_per_bram()
     }
 
     /// Total frames: every one of these is rewritten on partial
@@ -89,7 +101,7 @@ impl PartitionGeometry {
 
     /// Size of a full partial bitstream body for this partition.
     pub fn config_bytes(&self) -> usize {
-        self.total_frames() as usize * FRAME_BYTES
+        self.total_frames() as usize * self.frame_bytes()
     }
 }
 
@@ -182,10 +194,24 @@ pub struct DeviceGeometry {
 }
 
 impl DeviceGeometry {
+    /// The device family every partition (and the static region) of
+    /// this geometry belongs to. A single physical device is always
+    /// one generation; mixed fleets mix *devices*, not partitions.
+    pub fn family(&self) -> FamilyId {
+        debug_assert!(
+            self.partitions
+                .iter()
+                .all(|p| p.family == self.static_region.family),
+            "partitions must share the device's family"
+        );
+        self.static_region.family
+    }
+
     /// An Alveo U200-like device with a single RP of one super logic
-    /// region, matching Table 5's CL budget.
+    /// region, matching Table 5's CL budget. UltraScale family.
     pub fn u200() -> DeviceGeometry {
         let rp = PartitionGeometry {
+            family: FamilyId::UltraScale,
             logic_frames: 4096,
             capacity: Resources {
                 lut: 355_040,
@@ -194,6 +220,7 @@ impl DeviceGeometry {
             },
         };
         let shell = PartitionGeometry {
+            family: FamilyId::UltraScale,
             logic_frames: 8192,
             capacity: Resources {
                 lut: 710_080,
@@ -211,9 +238,13 @@ impl DeviceGeometry {
 
     /// A small geometry for fast unit tests. Large enough to hold the
     /// full-size SM logic plus a modest accelerator, but with only a few
-    /// hundred frames so compile/load loops stay cheap.
+    /// hundred frames so compile/load loops stay cheap. UltraScale
+    /// family (the legacy fixed framing); see
+    /// [`DeviceFamily::tiny_board`](crate::family::DeviceFamily::tiny_board)
+    /// for other families.
     pub fn tiny() -> DeviceGeometry {
         let rp = PartitionGeometry {
+            family: FamilyId::UltraScale,
             logic_frames: 64,
             capacity: Resources {
                 lut: 40_960,
@@ -231,11 +262,19 @@ impl DeviceGeometry {
 
     /// A multi-RP variant of [`u200`](DeviceGeometry::u200) used by the
     /// §4.7 extension experiments: the SLR is split into `n` equal RPs.
+    ///
+    /// Division is integer division: when the SLR's frames or resource
+    /// classes do not divide evenly by `n`, the remainder (up to
+    /// `n - 1` frames / LUTs / registers / BRAMs) is *dropped* — it
+    /// becomes unusable slack rather than being attached to the last
+    /// partition, so every RP stays identical and a compiled bitstream
+    /// fits any of them interchangeably.
     pub fn u200_multi_rp(n: usize) -> DeviceGeometry {
         assert!(n >= 1, "need at least one partition");
         let base = DeviceGeometry::u200();
         let full = base.partitions[0];
         let part = PartitionGeometry {
+            family: full.family,
             logic_frames: full.logic_frames / n as u32,
             capacity: Resources {
                 lut: full.capacity.lut / n as u32,
@@ -267,13 +306,26 @@ impl DeviceGeometry {
     }
 
     /// Bytes of DRAM each partition's window spans: the device DRAM
-    /// split evenly over the partitions (remainder bytes at the top of
-    /// DRAM are unusable slack). Zero for a partition-less geometry.
+    /// split evenly over the partitions. Zero for a partition-less
+    /// geometry.
+    ///
+    /// Integer division drops the remainder: when `dram_bytes` is not
+    /// a multiple of the partition count, the top
+    /// [`dram_slack_bytes`](DeviceGeometry::dram_slack_bytes) bytes of
+    /// DRAM (strictly less than one window's worth, at most `n - 1`
+    /// bytes) belong to *no* window. Windowed DMA fails closed on
+    /// them, so the slack is unreachable rather than shared.
     pub fn dram_window_len(&self) -> usize {
         match self.partitions.len() {
             0 => 0,
             n => self.dram_bytes / n,
         }
+    }
+
+    /// Bytes of DRAM at the top of the device covered by no partition
+    /// window (see [`dram_window_len`](DeviceGeometry::dram_window_len)).
+    pub fn dram_slack_bytes(&self) -> usize {
+        self.dram_bytes - self.dram_window_len() * self.partitions.len()
     }
 
     /// The DRAM window owned by `partition`, or `None` for an unknown
@@ -323,7 +375,7 @@ mod tests {
         assert_eq!(rp.config_bytes(), rp.config_bytes());
         assert_eq!(
             rp.total_frames(),
-            rp.logic_frames + rp.capacity.bram * FRAMES_PER_BRAM
+            rp.logic_frames + rp.capacity.bram * rp.family.frames_per_bram()
         );
         // ~4.9 MB — same order as a single-SLR partial bitstream.
         assert!(rp.config_bytes() > 4_000_000 && rp.config_bytes() < 6_000_000);
@@ -366,6 +418,47 @@ mod tests {
             bram: 2
         }
         .fits_in(cap));
+    }
+
+    #[test]
+    fn plus_saturates_instead_of_wrapping() {
+        // Regression: a wrapping sum of adversarial capacities could
+        // look smaller than either addend and pass fits_in admission.
+        let huge = Resources {
+            lut: u32::MAX - 1,
+            register: u32::MAX,
+            bram: 3_000_000_000,
+        };
+        let more = Resources {
+            lut: 100,
+            register: 1,
+            bram: 2_000_000_000,
+        };
+        let sum = huge.plus(more);
+        assert_eq!(sum.lut, u32::MAX);
+        assert_eq!(sum.register, u32::MAX);
+        assert_eq!(sum.bram, u32::MAX);
+        // The saturated sum must never fit in a capacity the addends
+        // would not have fit in.
+        let cap = Resources {
+            lut: 1_000,
+            register: 1_000,
+            bram: 1_000,
+        };
+        assert!(!sum.fits_in(cap));
+    }
+
+    #[test]
+    fn dram_slack_is_bounded_and_unwindowed() {
+        // 4 MiB over 3 partitions does not divide evenly.
+        let mut g = DeviceGeometry::tiny_multi_rp(3);
+        g.dram_bytes = (4 << 20) + 1; // 4 MiB + 1 over 3 ⇒ remainder 2
+        let n = g.partitions.len();
+        assert_eq!(g.dram_slack_bytes(), g.dram_bytes - g.dram_window_len() * n);
+        assert!(g.dram_slack_bytes() < n.max(1));
+        // Slack bytes at the top belong to no window.
+        let top = g.dram_bytes - 1;
+        assert!(g.dram_windows().iter().all(|w| !w.contains(top)));
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //!    work shares, demonstrated by the `readback_attack` experiments.
 
 use crate::frame::Frame;
-use crate::geometry::FRAME_BYTES;
 use crate::keys::DeviceKey;
 use crate::wire::{self, Cmd, Packet, Reg};
 use crate::FpgaError;
@@ -28,6 +27,12 @@ pub trait ConfigSink {
     fn device_key(&self) -> Result<DeviceKey, FpgaError>;
     /// The device's DNA (used as AAD for envelope decryption).
     fn dna_raw(&self) -> u64;
+    /// Bytes per configuration frame of this device's family — FDRI
+    /// payloads are chunked into frames of this length.
+    fn frame_bytes(&self) -> usize;
+    /// The device's family identification code, checked against the
+    /// IDCODE a compiled stream carries.
+    fn family_code(&self) -> u32;
     /// Commits a full set of frames to partition `index`.
     fn commit_partition(&mut self, index: usize, frames: Vec<Frame>) -> Result<(), FpgaError>;
     /// Flattens partition `index` for readback.
@@ -159,16 +164,21 @@ impl Icap {
                     if wire::crc32(&crc_bytes) != expected {
                         return Err(FpgaError::CrcMismatch);
                     }
-                    // CRC verified: commit the pending frames.
+                    // CRC verified: commit the pending frames, chunked
+                    // at the *device's* family frame length. A stream
+                    // compiled for another family would mis-chunk here
+                    // even if its IDCODE were stripped — the explicit
+                    // IDCODE check below fails first and cleanly.
                     let partition = (far >> 24) as usize;
-                    if !pending.len().is_multiple_of(FRAME_BYTES) {
+                    let frame_bytes = sink.frame_bytes();
+                    if !pending.len().is_multiple_of(frame_bytes) {
                         return Err(FpgaError::MalformedBitstream(
                             "frame data not frame aligned",
                         ));
                     }
                     let frames: Vec<Frame> = pending
-                        .chunks_exact(FRAME_BYTES)
-                        .map(Frame::from_bytes)
+                        .chunks_exact(frame_bytes)
+                        .map(|c| Frame::from_bytes(c, frame_bytes))
                         .collect::<Result<_, _>>()?;
                     let count = frames.len() as u32;
                     sink.commit_partition(partition, frames)?;
@@ -190,8 +200,24 @@ impl Icap {
                     self.process_inner(sink, &inner, true, outcome)?;
                 }
                 Packet::Write {
-                    reg: Reg::Idcode, ..
-                } => {}
+                    reg: Reg::Idcode,
+                    payload,
+                } => {
+                    // Family check (fail closed): a bitstream compiled
+                    // for another family's framing must never reach
+                    // configuration memory, whatever the scheduler
+                    // believed — defense in depth at the load layer.
+                    let claimed = *payload
+                        .first()
+                        .ok_or(FpgaError::MalformedBitstream("empty IDCODE"))?;
+                    let device = sink.family_code();
+                    if claimed != device {
+                        return Err(FpgaError::FamilyMismatch {
+                            device,
+                            bitstream: claimed,
+                        });
+                    }
+                }
                 Packet::Write { reg: Reg::Fdro, .. } => {
                     return Err(FpgaError::MalformedBitstream("write to FDRO"));
                 }
@@ -219,9 +245,12 @@ impl Icap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::family::FamilyId;
     use crate::wire::{bytes_to_words, WireWriter};
 
-    /// In-memory sink with one 2-frame partition.
+    const FRAME_BYTES: usize = FamilyId::UltraScale.frame_bytes();
+
+    /// In-memory sink with one 2-frame partition (UltraScale framing).
     struct TestSink {
         key: Option<DeviceKey>,
         dna: u64,
@@ -246,6 +275,12 @@ mod tests {
         }
         fn dna_raw(&self) -> u64 {
             self.dna
+        }
+        fn frame_bytes(&self) -> usize {
+            FRAME_BYTES
+        }
+        fn family_code(&self) -> u32 {
+            FamilyId::UltraScale.code()
         }
         fn commit_partition(&mut self, index: usize, frames: Vec<Frame>) -> Result<(), FpgaError> {
             if frames.len() != self.frames_in_partition {
@@ -373,6 +408,30 @@ mod tests {
         let outcome = Icap::standard().process(&mut sink, &stream).unwrap();
         assert_eq!(outcome.readback.len(), 16);
         assert!(outcome.readback.iter().all(|&b| b == 0xCC));
+    }
+
+    #[test]
+    fn foreign_family_idcode_fails_closed() {
+        let mut sink = TestSink::new(); // UltraScale device
+        let mut w = WireWriter::new();
+        w.write_reg(Reg::Idcode, &[FamilyId::Versal.code()]);
+        let err = Icap::salus().process(&mut sink, &w.finish()).unwrap_err();
+        assert_eq!(
+            err,
+            FpgaError::FamilyMismatch {
+                device: FamilyId::UltraScale.code(),
+                bitstream: FamilyId::Versal.code(),
+            }
+        );
+        assert!(sink.committed.is_empty());
+    }
+
+    #[test]
+    fn matching_family_idcode_accepted() {
+        let mut sink = TestSink::new();
+        let mut w = WireWriter::new();
+        w.write_reg(Reg::Idcode, &[FamilyId::UltraScale.code()]);
+        assert!(Icap::salus().process(&mut sink, &w.finish()).is_ok());
     }
 
     #[test]

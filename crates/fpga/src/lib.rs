@@ -3,6 +3,9 @@
 //! A behavioural model of a cloud FPGA device (Xilinx Alveo U200-like)
 //! sufficient to reproduce the Salus paper's FPGA-side mechanisms:
 //!
+//! * [`family`] — device families (series7-/ultrascale-/versal-like)
+//!   with per-family configuration framing; bitstreams are keyed to a
+//!   family and the ICAP fails closed on a mismatch.
 //! * [`geometry`] — device/partition geometry and the resource budget of
 //!   the reconfigurable partition (Table 5's "Total CL Resource").
 //! * [`frame`] — configuration memory organised as fixed-size frames;
@@ -39,6 +42,7 @@
 
 pub mod device;
 pub mod dna;
+pub mod family;
 pub mod frame;
 pub mod geometry;
 pub mod icap;

@@ -238,8 +238,11 @@ impl Shell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::{DeviceGeometry, FRAME_BYTES};
+    use crate::family::FamilyId;
+    use crate::geometry::DeviceGeometry;
     use crate::wire::{self, bytes_to_words, Cmd, Reg, WireWriter};
+
+    const FRAME_BYTES: usize = FamilyId::UltraScale.frame_bytes();
 
     fn shell_with_tiny_device() -> Shell {
         Shell::new(Device::manufacture(DeviceGeometry::tiny(), 3))

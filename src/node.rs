@@ -29,7 +29,8 @@ use salus_core::boot::{BootBreakdown, BootOutcome, BootTrace, CascadeReport};
 use salus_core::platform::{
     ControlPlane, FleetSnapshot, PlatformConfig, SlotId, TenantDeployment, TenantId, TenantRecord,
 };
-use salus_core::SalusError;
+use salus_core::{PlaceError, SalusError};
+use salus_fpga::family::FamilyId;
 use salus_fpga::geometry::{DeviceGeometry, PartitionGeometry, Resources};
 
 use crate::session::{MemoryProtection, SecureSession, Tenancy};
@@ -42,6 +43,7 @@ use crate::session::{MemoryProtection, SecureSession, Tenancy};
 /// single-instance harness provides.
 pub fn node_geometry(partitions: usize) -> DeviceGeometry {
     let rp = PartitionGeometry {
+        family: FamilyId::UltraScale,
         logic_frames: 64,
         capacity: Resources {
             lut: 355_040,
@@ -67,7 +69,7 @@ impl std::fmt::Debug for SalusNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SalusNode")
             .field("devices", &self.plane.device_count())
-            .field("partitions_per_device", &self.plane.partitions_per_device())
+            .field("total_slots", &self.plane.total_slots())
             .finish_non_exhaustive()
     }
 }
@@ -261,7 +263,7 @@ impl SalusNode {
     ) -> Result<SecureSession, SalusError> {
         match self.plane.redeploy(tenant) {
             Ok(deployment) => Self::attach(deployment, workload, protection),
-            Err(SalusError::Scheduler("affinity slot occupied")) => {
+            Err(SalusError::Place(PlaceError::AffinityOccupied)) => {
                 self.deploy_protected(tenant, workload, protection)
             }
             Err(SalusError::Scheduler("no parked deployment")) => {

@@ -24,7 +24,7 @@ use salus::core::platform::{
     ControlPlane, DeployFailure, DeployPath, DeployPolicy, HealthPolicy, HealthState,
     PlatformConfig, TenantDeployment,
 };
-use salus::core::SalusError;
+use salus::core::{PlaceError, SalusError};
 use salus::net::fault::{FaultPlan, FaultSpec};
 
 /// Short deadlines so lost messages cost little virtual time; zero
@@ -383,7 +383,7 @@ fn persistent_failures_quarantine_a_board_until_probation_readmits_it() {
         .expect_err("no admissible board for carol");
     match failure {
         DeployFailure::Rejected(e) => {
-            assert_eq!(e, SalusError::Scheduler("no admissible board"))
+            assert_eq!(e, SalusError::Place(PlaceError::NoAdmissibleBoard))
         }
         other => panic!("expected rejection, got {other:?}"),
     }
@@ -556,7 +556,7 @@ fn quarantined_affinity_board_keeps_the_deployment_parked() {
     // Redeploy refuses to touch the quarantined board but keeps the
     // parked ciphertext for later.
     let err = plane.redeploy(alice).expect_err("quarantined affinity");
-    assert_eq!(err, SalusError::Scheduler("affinity device avoided"));
+    assert_eq!(err, SalusError::Place(PlaceError::AffinityAvoided));
     assert!(plane.has_parked(alice), "deployment must stay parked");
     plane.clear_fault_plan();
 }

@@ -9,7 +9,7 @@ use salus::accel::apps::conv::Conv;
 use salus::accel::workload::Workload;
 use salus::core::boot::BootPhase;
 use salus::core::platform::DeployPath;
-use salus::core::SalusError;
+use salus::core::{PlaceError, SalusError};
 use salus::node::SalusNode;
 
 #[test]
@@ -181,7 +181,7 @@ fn fleet_saturation_is_reported() {
     let late = node.register_tenant("late");
     assert_eq!(
         node.deploy(late, &workload).unwrap_err(),
-        SalusError::Scheduler("fleet saturated")
+        SalusError::Place(PlaceError::Saturated)
     );
 
     // Capacity returns as soon as any tenant is evicted.

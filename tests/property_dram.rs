@@ -6,12 +6,14 @@
 
 use proptest::prelude::*;
 
+use salus::fpga::family::FamilyId;
 use salus::fpga::geometry::{DeviceGeometry, DramWindow, PartitionGeometry, Resources};
 
 /// A geometry with `partitions` equally capable slots over `dram_bytes`
 /// of board DRAM (resource numbers are irrelevant to windowing).
 fn geometry(partitions: usize, dram_bytes: usize) -> DeviceGeometry {
     let rp = PartitionGeometry {
+        family: FamilyId::UltraScale,
         logic_frames: 8,
         capacity: Resources {
             lut: 1024,
