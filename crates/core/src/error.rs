@@ -45,6 +45,15 @@ pub enum SalusError {
     SessionFenced(&'static str),
     /// The audit log's hash chain failed verification.
     AuditChainBroken(&'static str),
+    /// The write-ahead intent journal failed verification or decoding.
+    JournalCorrupt(&'static str),
+    /// Control-plane recovery could not reconcile the journal against
+    /// the live board state.
+    RecoveryFailed(&'static str),
+    /// A seeded crash plane killed the control plane mid-operation:
+    /// whatever the operation had not journal-committed is gone with
+    /// the process, and only recovery can answer for it.
+    CrashInjected(&'static str),
     /// Underlying TEE failure.
     Tee(TeeError),
     /// Underlying FPGA failure.
@@ -120,7 +129,12 @@ impl SalusError {
     /// [`SessionFenced`](SalusError::SessionFenced) or
     /// [`AuditChainBroken`](SalusError::AuditChainBroken) is fatal:
     /// fencing is a security decision and a broken chain is evidence of
-    /// tampering — neither improves by resending.
+    /// tampering — neither improves by resending. The crash-recovery
+    /// trio is fatal too: a [`CrashInjected`](SalusError::CrashInjected)
+    /// process death cannot be retried against the dead process (the
+    /// operation is re-driven on the *recovered* plane instead), and a
+    /// corrupt journal or failed reconciliation is tamper evidence,
+    /// not weather.
     pub fn fault_class(&self) -> FaultClass {
         match self {
             SalusError::Net(e) if e.is_transient() => FaultClass::Transient,
@@ -165,6 +179,9 @@ impl fmt::Display for SalusError {
             }
             SalusError::SessionFenced(what) => write!(f, "session fenced: {what}"),
             SalusError::AuditChainBroken(what) => write!(f, "audit chain broken: {what}"),
+            SalusError::JournalCorrupt(what) => write!(f, "journal corrupt: {what}"),
+            SalusError::RecoveryFailed(what) => write!(f, "recovery failed: {what}"),
+            SalusError::CrashInjected(what) => write!(f, "crash injected: {what}"),
             SalusError::Tee(e) => write!(f, "tee: {e}"),
             SalusError::Fpga(e) => write!(f, "fpga: {e}"),
             SalusError::Bitstream(e) => write!(f, "bitstream: {e}"),
@@ -235,6 +252,9 @@ mod tests {
             SalusError::ReattestTimedOut("challenge deadline"),
             SalusError::SessionFenced("lane fenced"),
             SalusError::AuditChainBroken("digest mismatch at record 3"),
+            SalusError::JournalCorrupt("bad record framing"),
+            SalusError::RecoveryFailed("journal claims a slot the board denies"),
+            SalusError::CrashInjected("process crash at journal step"),
             SalusError::Tee(TeeError::VerificationFailed("report")),
             SalusError::Fpga(FpgaError::DecryptionFailed),
             SalusError::Bitstream(BitstreamError::ResourceOverflow { class: "LUT" }),

@@ -125,6 +125,23 @@ pub enum AuditEvent {
         /// The rendered refusal.
         reason: String,
     },
+    /// A tenant gave up a suspended deploy: the lease was released
+    /// without a boot ever completing (distinct from `DeployFailed` —
+    /// the tenant chose to stop, no board misbehaved).
+    DeployAbandoned {
+        /// The abandoning tenant.
+        tenant: TenantId,
+        /// The slot it released.
+        slot: SlotId,
+    },
+    /// Control-plane recovery finished rebuilding this plane from its
+    /// write-ahead journal after a crash.
+    RecoveryCompleted {
+        /// Committed operations replayed into the fresh plane.
+        replayed: u64,
+        /// Open intents rolled back (the crash ate their effects).
+        rolled_back: u64,
+    },
 }
 
 const TAG_DEPLOY: u8 = 1;
@@ -138,6 +155,8 @@ const TAG_ATTEST_OUTCOME: u8 = 8;
 const TAG_SESSION_FENCED: u8 = 9;
 const TAG_LANE_FENCED: u8 = 10;
 const TAG_PLACEMENT_REFUSED: u8 = 11;
+const TAG_DEPLOY_ABANDONED: u8 = 12;
+const TAG_RECOVERY_COMPLETED: u8 = 13;
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -324,6 +343,19 @@ impl AuditEvent {
                 push_u64(&mut out, tenant.0);
                 push_str(&mut out, reason);
             }
+            AuditEvent::DeployAbandoned { tenant, slot } => {
+                out.push(TAG_DEPLOY_ABANDONED);
+                push_u64(&mut out, tenant.0);
+                push_slot(&mut out, *slot);
+            }
+            AuditEvent::RecoveryCompleted {
+                replayed,
+                rolled_back,
+            } => {
+                out.push(TAG_RECOVERY_COMPLETED);
+                push_u64(&mut out, *replayed);
+                push_u64(&mut out, *rolled_back);
+            }
         }
         out
     }
@@ -397,6 +429,14 @@ impl AuditEvent {
             TAG_PLACEMENT_REFUSED => AuditEvent::PlacementRefused {
                 tenant: TenantId(cur.u64()?),
                 reason: cur.string()?,
+            },
+            TAG_DEPLOY_ABANDONED => AuditEvent::DeployAbandoned {
+                tenant: TenantId(cur.u64()?),
+                slot: cur.slot()?,
+            },
+            TAG_RECOVERY_COMPLETED => AuditEvent::RecoveryCompleted {
+                replayed: cur.u64()?,
+                rolled_back: cur.u64()?,
             },
             _ => return Err(SalusError::AuditChainBroken("unknown event tag")),
         })
@@ -661,7 +701,7 @@ mod tests {
                 at += Duration::from_millis(rng.below(50));
                 let tenant = TenantId(rng.below(4));
                 let s = slot(rng.below(3) as usize, rng.below(2) as usize);
-                let event = match rng.below(11) {
+                let event = match rng.below(13) {
                     0 => AuditEvent::Deploy {
                         tenant,
                         slot: s,
@@ -713,9 +753,14 @@ mod tests {
                         slot: s,
                         drained: rng.below(5),
                     },
-                    _ => AuditEvent::PlacementRefused {
+                    10 => AuditEvent::PlacementRefused {
                         tenant,
                         reason: format!("refusal {i}"),
+                    },
+                    11 => AuditEvent::DeployAbandoned { tenant, slot: s },
+                    _ => AuditEvent::RecoveryCompleted {
+                        replayed: rng.below(20),
+                        rolled_back: rng.below(3),
                     },
                 };
                 (at, event)

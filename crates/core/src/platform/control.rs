@@ -24,8 +24,24 @@
 //! A manufacturer outage degrades to a [`DeploySuspension`]: the slot
 //! stays leased and [`resume_deploy`](ControlPlane::resume_deploy)
 //! finishes the boot without losing any completed work.
+//!
+//! ## Crash consistency
+//!
+//! Every multi-step mutation writes an intent into the write-ahead
+//! [`Journal`] before acting and commits it only when every effect is
+//! in place; the commit append is the linearization point. A seeded
+//! [`CrashPlane`] can kill the control plane at any journal step
+//! ([`crash_tick`](ControlPlane::install_crash_plane) points), after
+//! which [`ControlPlane::crash`] hands over what durably survives —
+//! journal, audit log, parked ciphertexts, the boards themselves — and
+//! [`ControlPlane::recover`] rebuilds a fresh plane: committed intents
+//! are replayed, open ones rolled back (or forward when their effects
+//! are durably present), occupancy is re-leased and reconciled against
+//! actual board configuration state, orphaned lanes are fenced through
+//! the `SessionFenced` audit path, and boards contradicting the
+//! journal are charged through the health machinery.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -33,7 +49,7 @@ use salus_bitstream::netlist::Module;
 use salus_crypto::sha256::Digest;
 use salus_fpga::family::FamilyId;
 use salus_fpga::geometry::DeviceGeometry;
-use salus_net::fault::FaultPlan;
+use salus_net::fault::{CrashPlane, FaultPlan};
 use salus_net::latency::LatencyModel;
 
 use crate::boot::{
@@ -52,6 +68,7 @@ use super::fleet::{
     TenantRegistry,
 };
 use super::health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
+use super::journal::{AbortKind, IntentOp, Journal, JournalEntry, OpId};
 use super::scheduler::{PlacePolicy, PlaceRequest, Scheduler};
 use super::traits::DeviceBroker;
 use super::SharedPlatform;
@@ -432,6 +449,91 @@ pub struct FleetSnapshot {
     /// Head digest of the control plane's audit chain at snapshot
     /// time: anchoring it commits to the entire event history.
     pub audit_head: Digest,
+    /// Head digest of the write-ahead intent journal at snapshot time:
+    /// anchoring it pins the mutation history a recovery would replay
+    /// (and makes journal truncation detectable, like `audit_head`).
+    pub journal_head: Digest,
+}
+
+/// What durably survives a control-plane process crash, as handed over
+/// by [`ControlPlane::crash`]: the write-ahead journal and audit chain
+/// (persistent logs), the parked-ciphertext store, the boards
+/// themselves (their configuration state is ground truth), the shared
+/// platform (clock, fabric, manufacturer), and any tenant-held objects
+/// the crash caught before consuming them. Everything else — in-memory
+/// occupancy, registry, health tracker, scheduler — dies with the
+/// process and is rebuilt by [`ControlPlane::recover`].
+pub struct CrashRemains {
+    config: PlatformConfig,
+    shared: SharedPlatform,
+    fleet: DeviceFleet,
+    parked: HashMap<TenantId, ParkedDeployment>,
+    journal: Journal,
+    audit: AuditLog,
+    survivors: Vec<TenantDeployment>,
+    survivor_suspensions: Vec<DeploySuspension>,
+}
+
+impl std::fmt::Debug for CrashRemains {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashRemains")
+            .field("journal_records", &self.journal.len())
+            .field("audit_records", &self.audit.len())
+            .field("parked", &self.parked.len())
+            .field("survivors", &self.survivors.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CrashRemains {
+    /// The surviving write-ahead journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The surviving audit chain.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Replaces the surviving journal (builder-style) — the recovery
+    /// drill hook: forging or truncating the journal here exercises
+    /// [`ControlPlane::recover`]'s verification and contradiction
+    /// paths against real surviving boards.
+    pub fn with_journal(mut self, journal: Journal) -> CrashRemains {
+        self.journal = journal;
+        self
+    }
+}
+
+/// What [`ControlPlane::recover`] did to rebuild the plane from a
+/// [`CrashRemains`], plus the tenant-held objects that survived the
+/// crash and should be re-driven by their owners.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Committed intents whose effects were replayed.
+    pub replayed_commits: u64,
+    /// Open intents settled by rollback.
+    pub rolled_back: u64,
+    /// Open intents settled by roll-forward (their effects were
+    /// durably present: a parked ciphertext, a consumed suspension).
+    pub rolled_forward: u64,
+    /// Slots whose boot completed on the board but whose deploy intent
+    /// was rolled back: the lane is orphaned (nobody holds its bed) and
+    /// was fenced via `SessionFenced`. No health charge — a controller
+    /// death is not the board's fault.
+    pub fenced_orphans: Vec<SlotId>,
+    /// Slots the journal claims are running but whose partition the
+    /// board reports unconfigured: fenced, and the board charged a
+    /// health failure (its state contradicts the durable record).
+    pub contradictions: Vec<SlotId>,
+    /// Deployments the crash caught in the tenant process before the
+    /// control plane consumed them (e.g. an evict that died at its
+    /// intent point). Re-drive them against the recovered plane.
+    pub survivors: Vec<TenantDeployment>,
+    /// Suspensions that survived the same way (a resume or abandon
+    /// that died at its intent point).
+    pub survivor_suspensions: Vec<DeploySuspension>,
 }
 
 /// What one placement's boot produced (internal).
@@ -454,6 +556,15 @@ pub struct ControlPlane {
     parked: Mutex<HashMap<TenantId, ParkedDeployment>>,
     health: Mutex<DeviceHealth>,
     audit: Mutex<AuditLog>,
+    journal: Mutex<Journal>,
+    crash: Mutex<CrashPlane>,
+    /// Deployments a crash caught before they were consumed (e.g. an
+    /// evict that died at its intent point): they live in the *tenant*
+    /// process, so they survive the control plane and come back through
+    /// [`RecoveryReport::survivors`] for re-driving.
+    survivors: Mutex<Vec<TenantDeployment>>,
+    /// Suspensions a crash caught the same way.
+    survivor_suspensions: Mutex<Vec<DeploySuspension>>,
     config: PlatformConfig,
 }
 
@@ -497,6 +608,10 @@ impl ControlPlane {
             parked: Mutex::new(HashMap::new()),
             health: Mutex::new(health),
             audit: Mutex::new(AuditLog::new()),
+            journal: Mutex::new(Journal::new()),
+            crash: Mutex::new(CrashPlane::inert()),
+            survivors: Mutex::new(Vec::new()),
+            survivor_suspensions: Mutex::new(Vec::new()),
             config,
         })
     }
@@ -592,6 +707,58 @@ impl ControlPlane {
         self.audit.lock().clone()
     }
 
+    /// The write-ahead journal's current head digest.
+    pub fn journal_head(&self) -> Digest {
+        self.journal.lock().head()
+    }
+
+    /// A clone of the full write-ahead journal, for verification and
+    /// export.
+    pub fn journal_log(&self) -> Journal {
+        self.journal.lock().clone()
+    }
+
+    /// Installs `plane` as this control plane's crash injector. Every
+    /// journal step of every mutation ticks it; at the armed tick the
+    /// mutation dies mid-flight with [`SalusError::CrashInjected`] and
+    /// no cleanup — exactly the state [`ControlPlane::crash`] /
+    /// [`ControlPlane::recover`] must cope with.
+    pub fn install_crash_plane(&self, plane: CrashPlane) {
+        *self.crash.lock() = plane;
+    }
+
+    /// A handle to the installed crash plane (shared state: its trace
+    /// and fired point reflect every tick the control plane made).
+    pub fn crash_plane(&self) -> CrashPlane {
+        self.crash.lock().clone()
+    }
+
+    fn crash_tick(&self, label: &str) -> bool {
+        self.crash.lock().tick(label)
+    }
+
+    fn journal_begin(&self, action: IntentOp) -> OpId {
+        self.journal.lock().begin(self.shared.clock.now(), action)
+    }
+
+    fn journal_commit(&self, op: OpId, path: Option<DeployPath>, elapsed: Duration) {
+        self.journal
+            .lock()
+            .commit(self.shared.clock.now(), op, path, elapsed);
+    }
+
+    fn journal_abort(&self, op: OpId, reason: &str, kind: AbortKind) {
+        self.journal
+            .lock()
+            .abort(self.shared.clock.now(), op, reason, kind);
+    }
+
+    fn journal_suspend(&self, op: OpId, step: &str) {
+        self.journal
+            .lock()
+            .suspend(self.shared.clock.now(), op, step);
+    }
+
     /// Charges `device` a health failure and audits the resulting
     /// admission-state transition (if any).
     fn health_failure(&self, device: DeviceId) -> HealthState {
@@ -643,12 +810,25 @@ impl ControlPlane {
         tenant: TenantId,
         slot: SlotId,
     ) -> Result<HealthState, SalusError> {
+        let op = self.journal_begin(IntentOp::Fence { tenant, slot });
+        if self.crash_tick("fence.intent") {
+            return Err(SalusError::CrashInjected("process crash at fence.intent"));
+        }
         {
             let mut fleet = self.fleet.lock();
             let broker: &mut dyn DeviceBroker = &mut *fleet;
-            broker.release(slot)?;
+            if let Err(e) = broker.release(slot) {
+                self.journal_abort(op, &e.to_string(), AbortKind::RolledBack);
+                return Err(e);
+            }
         }
         self.audit_append(AuditEvent::SessionFenced { tenant, slot });
+        if self.crash_tick("fence.pre-commit") {
+            return Err(SalusError::CrashInjected(
+                "process crash at fence.pre-commit",
+            ));
+        }
+        self.journal_commit(op, None, Duration::ZERO);
         self.registry.lock().record_failed_deploy(tenant);
         Ok(self.health_failure(slot.device))
     }
@@ -685,18 +865,36 @@ impl ControlPlane {
             health: self.health.lock().snapshot(now),
             tenants: self.registry.lock().records(),
             audit_head: self.audit.lock().head(),
+            journal_head: self.journal.lock().head(),
         }
     }
 
     /// Registers a tenant under `name` with a deterministic per-tenant
     /// seed derived from the platform seed.
+    ///
+    /// The registration is journaled (intent and commit written
+    /// adjacently — it is not a multi-step mutation, so it exposes no
+    /// crash point) so recovery can rebuild the registry with the
+    /// exact same ids and seeds.
     pub fn register_tenant(&self, name: &str) -> TenantId {
         let mut registry = self.registry.lock();
         let seed = self
             .config
             .seed
             .wrapping_add(7_919 * (registry.len() as u64 + 1));
-        registry.register(name, seed)
+        let tenant = registry.register(name, seed);
+        let now = self.shared.clock.now();
+        let mut journal = self.journal.lock();
+        let op = journal.begin(
+            now,
+            IntentOp::Register {
+                tenant,
+                name: name.to_owned(),
+                seed,
+            },
+        );
+        journal.commit(now, op, None, Duration::ZERO);
+        tenant
     }
 
     /// The bookkeeping record for `tenant`.
@@ -800,6 +998,15 @@ impl ControlPlane {
                     });
                 }
             };
+            let op = self.journal_begin(IntentOp::Deploy {
+                tenant,
+                slot: lease.slot,
+            });
+            if self.crash_tick("deploy.intent") {
+                return Err(DeployFailure::Rejected(SalusError::CrashInjected(
+                    "process crash at deploy.intent",
+                )));
+            }
             match self.boot_on_lease(
                 tenant,
                 seed,
@@ -811,12 +1018,26 @@ impl ControlPlane {
                 BootRun::Done(deployment) => {
                     let mut deployment = *deployment;
                     deployment.attempts = attempts.len() as u32 + 1;
+                    if self.crash_tick("deploy.pre-commit") {
+                        // The boot finished on the board (the partition
+                        // is configured) but the result never reached
+                        // the tenant: recovery rolls the intent back
+                        // and fences the orphaned lane.
+                        return Err(DeployFailure::Rejected(SalusError::CrashInjected(
+                            "process crash at deploy.pre-commit",
+                        )));
+                    }
                     self.health_success(lease.slot.device);
                     self.audit_append(AuditEvent::Deploy {
                         tenant,
                         slot: lease.slot,
                         path: deployment.path,
                     });
+                    self.journal_commit(
+                        op,
+                        Some(deployment.path),
+                        deployment.outcome.breakdown.total(),
+                    );
                     self.registry.lock().record_deploy(
                         tenant,
                         deployment.path,
@@ -831,12 +1052,15 @@ impl ControlPlane {
                 } => {
                     // The outage is the manufacturer's, not the
                     // board's: no health penalty, and the lease stays
-                    // held so resuming keeps the placement.
+                    // held so resuming keeps the placement. The op
+                    // stays open in the journal (suspended), so a
+                    // recovery keeps the slot reserved too.
                     self.audit_append(AuditEvent::DeploySuspended {
                         tenant,
                         slot: lease.slot,
                         step: format!("{:?}", suspension.step()),
                     });
+                    self.journal_suspend(op, &format!("{:?}", suspension.step()));
                     return Err(DeployFailure::Suspended(Box::new(DeploySuspension {
                         tenant,
                         lease,
@@ -857,6 +1081,12 @@ impl ControlPlane {
                         slot: lease.slot,
                         error: fatal.error.to_string(),
                     });
+                    self.journal_abort(op, &fatal.error.to_string(), AbortKind::Failed);
+                    if self.crash_tick("deploy.abort") {
+                        return Err(DeployFailure::Rejected(SalusError::CrashInjected(
+                            "process crash at deploy.abort",
+                        )));
+                    }
                     self.health_failure(lease.slot.device);
                     self.registry.lock().record_failed_deploy(tenant);
                     let transient = fatal.error.fault_class() == FaultClass::Transient;
@@ -892,6 +1122,19 @@ impl ControlPlane {
         &self,
         suspended: DeploySuspension,
     ) -> Result<TenantDeployment, DeployFailure> {
+        let op = self.journal_begin(IntentOp::Resume {
+            tenant: suspended.tenant,
+            slot: suspended.lease.slot,
+        });
+        if self.crash_tick("resume.intent") {
+            // The suspension lives in the tenant process: park it for
+            // the recovery report so the tenant can resume again on the
+            // recovered plane.
+            self.survivor_suspensions.lock().push(suspended);
+            return Err(DeployFailure::Rejected(SalusError::CrashInjected(
+                "process crash at resume.intent",
+            )));
+        }
         let DeploySuspension {
             tenant,
             lease,
@@ -918,6 +1161,7 @@ impl ControlPlane {
                     slot: lease.slot,
                     path,
                 });
+                self.journal_commit(op, Some(path), boot.outcome.breakdown.total());
                 self.registry
                     .lock()
                     .record_deploy(tenant, path, boot.outcome.breakdown.total());
@@ -938,6 +1182,7 @@ impl ControlPlane {
                     slot: lease.slot,
                     step: format!("{:?}", suspension.step()),
                 });
+                self.journal_suspend(op, &format!("{:?}", suspension.step()));
                 Err(DeployFailure::Suspended(Box::new(DeploySuspension {
                     tenant,
                     lease,
@@ -958,6 +1203,7 @@ impl ControlPlane {
                     slot: lease.slot,
                     error: fatal.error.to_string(),
                 });
+                self.journal_abort(op, &fatal.error.to_string(), AbortKind::Failed);
                 self.health_failure(lease.slot.device);
                 self.registry.lock().record_failed_deploy(tenant);
                 attempts.push(DeployAttempt {
@@ -974,26 +1220,33 @@ impl ControlPlane {
         }
     }
 
-    /// Gives up on a suspended deploy: releases the held lease, records
-    /// the failed attempt, and returns the suspension's last error.
+    /// Gives up on a suspended deploy: releases the held lease, audits
+    /// [`AuditEvent::DeployAbandoned`], records the failed attempt, and
+    /// returns the suspension's last error (or
+    /// [`SalusError::CrashInjected`] if the crash plane fires at one of
+    /// the abandon's journal steps).
     pub fn abandon_deploy(&self, suspended: DeploySuspension) -> SalusError {
-        let DeploySuspension {
-            tenant,
-            lease,
-            suspension,
-            ..
-        } = suspended;
+        let tenant = suspended.tenant;
+        let slot = suspended.lease.slot;
+        let op = self.journal_begin(IntentOp::Abandon { tenant, slot });
+        if self.crash_tick("abandon.intent") {
+            self.survivor_suspensions.lock().push(suspended);
+            return SalusError::CrashInjected("process crash at abandon.intent");
+        }
+        let DeploySuspension { suspension, .. } = suspended;
         {
             let mut fleet = self.fleet.lock();
             let broker: &mut dyn DeviceBroker = &mut *fleet;
-            let _ = broker.release(lease.slot);
+            let _ = broker.release(slot);
         }
         let error = suspension.into_last_error();
-        self.audit_append(AuditEvent::DeployFailed {
-            tenant,
-            slot: lease.slot,
-            error: format!("abandoned: {error}"),
-        });
+        self.audit_append(AuditEvent::DeployAbandoned { tenant, slot });
+        if self.crash_tick("abandon.pre-commit") {
+            // The suspension is consumed and the abandon audited:
+            // recovery rolls this op *forward* (commit + charge).
+            return SalusError::CrashInjected("process crash at abandon.pre-commit");
+        }
+        self.journal_commit(op, None, Duration::ZERO);
         self.registry.lock().record_failed_deploy(tenant);
         error
     }
@@ -1072,20 +1325,41 @@ impl ControlPlane {
     /// [`SalusError::Scheduler`] when the deployment never prepared a
     /// bitstream (nothing to park) or its slot is not leased.
     pub fn evict(&self, deployment: TenantDeployment) -> Result<TenantId, SalusError> {
-        let TenantDeployment {
-            tenant, slot, bed, ..
-        } = deployment;
-        let encrypted = bed
+        // Fail early, before anything is journaled: an unparkable
+        // deployment never opens an intent.
+        let encrypted = deployment
+            .bed
             .sm_app
             .prepared_bitstream()
             .ok_or(SalusError::Scheduler("nothing to park"))?;
+        let tenant = deployment.tenant;
+        let slot = deployment.slot;
+        let op = self.journal_begin(IntentOp::Evict { tenant, slot });
+        if self.crash_tick("evict.intent") {
+            // Nothing happened yet; the deployment survives in the
+            // tenant process and comes back through the recovery
+            // report for re-eviction.
+            self.survivors.lock().push(deployment);
+            return Err(SalusError::CrashInjected("process crash at evict.intent"));
+        }
+        let TenantDeployment { bed, .. } = deployment;
         let family = {
             let mut fleet = self.fleet.lock();
             let family = fleet
                 .family_of(slot.device)
-                .ok_or(SalusError::Scheduler("unknown device"))?;
+                .ok_or(SalusError::Scheduler("unknown device"));
+            let family = match family {
+                Ok(f) => f,
+                Err(e) => {
+                    self.journal_abort(op, &e.to_string(), AbortKind::RolledBack);
+                    return Err(e);
+                }
+            };
             let broker: &mut dyn DeviceBroker = &mut *fleet;
-            broker.release(slot)?;
+            if let Err(e) = broker.release(slot) {
+                self.journal_abort(op, &e.to_string(), AbortKind::RolledBack);
+                return Err(e);
+            }
             family
         };
         self.parked.lock().insert(
@@ -1098,6 +1372,14 @@ impl ControlPlane {
             },
         );
         self.audit_append(AuditEvent::Evicted { tenant, slot });
+        if self.crash_tick("evict.pre-commit") {
+            // The parked ciphertext is durably in the store: recovery
+            // rolls this op *forward* (commit + eviction charge).
+            return Err(SalusError::CrashInjected(
+                "process crash at evict.pre-commit",
+            ));
+        }
+        self.journal_commit(op, None, Duration::ZERO);
         self.registry.lock().record_eviction(tenant);
         Ok(tenant)
     }
@@ -1119,11 +1401,16 @@ impl ControlPlane {
     /// slot is occupied/avoided (deployment re-parked); protocol errors
     /// if the reloaded CL fails attestation.
     pub fn redeploy(&self, tenant: TenantId) -> Result<TenantDeployment, SalusError> {
-        let parked = self
-            .parked
-            .lock()
-            .remove(&tenant)
-            .ok_or(SalusError::Scheduler("no parked deployment"))?;
+        // Peek, don't remove: the ciphertext stays in the durable
+        // parked store until the boot is actually underway, so a crash
+        // anywhere before then leaves the warm-image path intact.
+        let (parked_slot, family) = {
+            let parked = self.parked.lock();
+            let p = parked
+                .get(&tenant)
+                .ok_or(SalusError::Scheduler("no parked deployment"))?;
+            (p.slot, p.family)
+        };
         let quarantined = self.health.lock().quarantined(self.shared.clock.now());
         let leased = {
             let mut fleet = self.fleet.lock();
@@ -1132,8 +1419,8 @@ impl ControlPlane {
             self.scheduler
                 .place_constrained(
                     &fleet,
-                    &PlaceRequest::for_family(parked.family),
-                    Some(parked.slot),
+                    &PlaceRequest::for_family(family),
+                    Some(parked_slot),
                     &quarantined,
                 )
                 .and_then(|slot| {
@@ -1150,12 +1437,51 @@ impl ControlPlane {
                         reason: e.to_string(),
                     });
                 }
-                self.parked.lock().insert(tenant, parked);
                 return Err(e);
             }
         };
+        let op = self.journal_begin(IntentOp::Redeploy {
+            tenant,
+            slot: lease.slot,
+        });
+        if self.crash_tick("redeploy.intent") {
+            // The lease dies with the process; the ciphertext is still
+            // parked, so recovery rolls the intent back and the driver
+            // simply redeploys again.
+            return Err(SalusError::CrashInjected(
+                "process crash at redeploy.intent",
+            ));
+        }
+        let parked = match self.parked.lock().remove(&tenant) {
+            Some(p) => p,
+            None => {
+                self.journal_abort(op, "parked deployment vanished", AbortKind::RolledBack);
+                let mut fleet = self.fleet.lock();
+                let broker: &mut dyn DeviceBroker = &mut *fleet;
+                let _ = broker.release(lease.slot);
+                return Err(SalusError::Scheduler("no parked deployment"));
+            }
+        };
+        let encrypted_backup = parked.encrypted.clone();
         match Self::warm_image_boot(parked) {
             Ok((bed, breakdown)) => {
+                if self.crash_tick("redeploy.pre-commit") {
+                    // The board is programmed but the commit never
+                    // lands: re-park the ciphertext so the open intent
+                    // rolls back cleanly and the warm path survives.
+                    self.parked.lock().insert(
+                        tenant,
+                        ParkedDeployment {
+                            bed: Box::new(bed),
+                            slot: parked_slot,
+                            encrypted: encrypted_backup,
+                            family,
+                        },
+                    );
+                    return Err(SalusError::CrashInjected(
+                        "process crash at redeploy.pre-commit",
+                    ));
+                }
                 let outcome = BootOutcome {
                     breakdown,
                     report: CascadeReport {
@@ -1170,6 +1496,7 @@ impl ControlPlane {
                     slot: lease.slot,
                     path: DeployPath::WarmImage,
                 });
+                self.journal_commit(op, Some(DeployPath::WarmImage), outcome.breakdown.total());
                 self.registry.lock().record_deploy(
                     tenant,
                     DeployPath::WarmImage,
@@ -1197,6 +1524,7 @@ impl ControlPlane {
                     slot: lease.slot,
                     error: e.to_string(),
                 });
+                self.journal_abort(op, &e.to_string(), AbortKind::Failed);
                 self.health_failure(lease.slot.device);
                 self.registry.lock().record_failed_deploy(tenant);
                 if e.is_transient() {
@@ -1204,9 +1532,363 @@ impl ControlPlane {
                     // parked so the tenant retains the warm-image path.
                     self.parked.lock().insert(tenant, parked);
                 }
+                if self.crash_tick("redeploy.abort") {
+                    return Err(SalusError::CrashInjected("process crash at redeploy.abort"));
+                }
                 Err(e)
             }
         }
+    }
+
+    /// Simulates a control-plane process death: consumes the plane and
+    /// hands back only what durably survives one. The journal, audit
+    /// chain, and parked-ciphertext store are persistent; the boards
+    /// (and their loaded bitstreams) are physical; the shared platform
+    /// outlives any one controller. The registry, health tracker,
+    /// scheduler, in-memory occupancy, and crash plane die here —
+    /// [`ControlPlane::recover`] must rebuild them from the remains.
+    ///
+    /// Tenant-held objects stashed by a crash tick (an evict's
+    /// deployment, a resume's suspension) ride along so the recovery
+    /// report can hand them back to their owners.
+    pub fn crash(self) -> CrashRemains {
+        CrashRemains {
+            config: self.config,
+            shared: self.shared,
+            fleet: self.fleet.into_inner(),
+            parked: self.parked.into_inner(),
+            journal: self.journal.into_inner(),
+            audit: self.audit.into_inner(),
+            survivors: self.survivors.into_inner(),
+            survivor_suspensions: self.survivor_suspensions.into_inner(),
+        }
+    }
+
+    /// Rebuilds a control plane from what a crash left behind.
+    ///
+    /// 1. **Verify** the journal and audit chain end-to-end (any forged,
+    ///    reordered, or truncated record fails recovery closed).
+    /// 2. **Replay** every committed intent in record order against a
+    ///    fresh registry and health tracker: registrations re-register
+    ///    (ids must match the journaled ones), deploy commits re-charge
+    ///    tenant records and board health successes, evictions/fences/
+    ///    abandons re-charge their counters, failed aborts re-charge
+    ///    health failures. Occupancy is derived last-writer-wins per
+    ///    slot.
+    /// 3. **Settle** open intents: rolled back by default (the crash
+    ///    interrupted them mid-flight), rolled *forward* when their
+    ///    effects are durably present — an evict whose ciphertext
+    ///    reached the parked store, an abandon whose suspension was
+    ///    consumed. Suspended ops stay open: their slot reservation is
+    ///    the whole point of suspension.
+    /// 4. **Reconcile** against the boards: every journal-held slot is
+    ///    re-leased; a running slot whose partition the board reports
+    ///    unconfigured contradicts the durable record — it is fenced
+    ///    and the board charged a health failure. Rolled-back deploys
+    ///    whose boot *did* reach the board leave an orphaned lane:
+    ///    fenced via `SessionFenced`, but with no health charge (a
+    ///    controller death is not the board's fault).
+    /// 5. Cached device keys without a cold-path commit backing them
+    ///    are dropped, so a re-driven deploy cannot silently diverge
+    ///    onto the warm-key path.
+    ///
+    /// # Errors
+    ///
+    /// [`SalusError::JournalCorrupt`] / [`SalusError::AuditChainBroken`]
+    /// when a surviving log fails verification;
+    /// [`SalusError::RecoveryFailed`] when replay contradicts itself or
+    /// a board denies a slot the journal claims.
+    #[allow(clippy::too_many_lines)]
+    pub fn recover(remains: CrashRemains) -> Result<(ControlPlane, RecoveryReport), SalusError> {
+        let CrashRemains {
+            config,
+            shared,
+            mut fleet,
+            parked,
+            mut journal,
+            mut audit,
+            survivors,
+            survivor_suspensions,
+        } = remains;
+        journal.verify()?;
+        audit.verify_chain()?;
+
+        let now = shared.clock.now();
+        let mut registry = TenantRegistry::new();
+        let mut health = DeviceHealth::new(
+            config.board_count(),
+            config.seed.wrapping_mul(0x9E37_79B9),
+            config.health,
+        );
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Held {
+            Running,
+            Suspended,
+        }
+
+        // Pass 1: replay the journal. Occupancy is last-writer-wins per
+        // slot; charges follow the same calls the live plane made.
+        let mut actions: HashMap<OpId, IntentOp> = HashMap::new();
+        let mut occupancy: HashMap<SlotId, (TenantId, Held)> = HashMap::new();
+        let mut cold_committed: HashSet<DeviceId> = HashSet::new();
+        let mut committed_on_slot: HashSet<SlotId> = HashSet::new();
+        let mut replayed: u64 = 0;
+        for record in journal.records() {
+            match &record.entry {
+                JournalEntry::Intent { op, action } => {
+                    match action {
+                        IntentOp::Deploy { tenant, slot } | IntentOp::Redeploy { tenant, slot } => {
+                            occupancy.insert(*slot, (*tenant, Held::Running));
+                        }
+                        _ => {}
+                    }
+                    actions.insert(*op, action.clone());
+                }
+                JournalEntry::Suspend { op, .. } => {
+                    let action = actions
+                        .get(op)
+                        .ok_or(SalusError::RecoveryFailed("suspend references unknown op"))?;
+                    if let Some(slot) = action.slot() {
+                        occupancy.insert(slot, (action.tenant(), Held::Suspended));
+                    }
+                }
+                JournalEntry::Commit { op, path, elapsed } => {
+                    let action = actions
+                        .get(op)
+                        .cloned()
+                        .ok_or(SalusError::RecoveryFailed("commit references unknown op"))?;
+                    replayed += 1;
+                    match action {
+                        IntentOp::Register { tenant, name, seed } => {
+                            if registry.register(&name, seed) != tenant {
+                                return Err(SalusError::RecoveryFailed(
+                                    "tenant id diverged during registry replay",
+                                ));
+                            }
+                        }
+                        IntentOp::Deploy { tenant, slot }
+                        | IntentOp::Resume { tenant, slot }
+                        | IntentOp::Redeploy { tenant, slot } => {
+                            occupancy.insert(slot, (tenant, Held::Running));
+                            committed_on_slot.insert(slot);
+                            if let Some(p) = path {
+                                registry.record_deploy(tenant, *p, *elapsed);
+                                if *p == DeployPath::Cold {
+                                    cold_committed.insert(slot.device);
+                                }
+                            }
+                            health.record_success(slot.device, record.at);
+                        }
+                        IntentOp::Evict { tenant, slot } => {
+                            occupancy.remove(&slot);
+                            registry.record_eviction(tenant);
+                        }
+                        IntentOp::Fence { tenant, slot } => {
+                            occupancy.remove(&slot);
+                            registry.record_failed_deploy(tenant);
+                            let _ = health.record_failure(slot.device, record.at);
+                        }
+                        IntentOp::Abandon { tenant, slot } => {
+                            occupancy.remove(&slot);
+                            registry.record_failed_deploy(tenant);
+                        }
+                    }
+                }
+                JournalEntry::Abort { op, kind, .. } => {
+                    let action = actions
+                        .get(op)
+                        .cloned()
+                        .ok_or(SalusError::RecoveryFailed("abort references unknown op"))?;
+                    match action {
+                        IntentOp::Deploy { tenant, slot } | IntentOp::Redeploy { tenant, slot } => {
+                            occupancy.remove(&slot);
+                            if *kind == AbortKind::Failed {
+                                registry.record_failed_deploy(tenant);
+                                let _ = health.record_failure(slot.device, record.at);
+                            }
+                        }
+                        // A failed resume released the lease; a
+                        // rolled-back one left the suspension (and its
+                        // slot reservation) in place.
+                        IntentOp::Resume { tenant, slot } if *kind == AbortKind::Failed => {
+                            occupancy.remove(&slot);
+                            registry.record_failed_deploy(tenant);
+                            let _ = health.record_failure(slot.device, record.at);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Pass 2: settle open, non-suspended intents. Rollback is the
+        // default; roll forward only on durable evidence the effects
+        // happened.
+        let mut rolled_back: u64 = 0;
+        let mut rolled_forward: u64 = 0;
+        let mut orphan_candidates: Vec<(TenantId, SlotId)> = Vec::new();
+        for open in journal.open_ops() {
+            if open.suspended {
+                continue;
+            }
+            match open.action {
+                IntentOp::Register { .. } => {
+                    // Registrations commit adjacently; an open one can
+                    // only mean a forged journal — roll it back.
+                    journal.abort(now, open.op, "crash before commit", AbortKind::RolledBack);
+                    rolled_back += 1;
+                }
+                IntentOp::Deploy { tenant, slot } => {
+                    journal.abort(now, open.op, "crash during deploy", AbortKind::RolledBack);
+                    rolled_back += 1;
+                    occupancy.remove(&slot);
+                    if !committed_on_slot.contains(&slot) {
+                        orphan_candidates.push((tenant, slot));
+                    }
+                }
+                IntentOp::Redeploy { tenant: _, slot } => {
+                    // The ciphertext is either still parked (pre-boot
+                    // crash) or re-parked by the pre-commit tick: the
+                    // warm-image path survives, so plain rollback.
+                    journal.abort(now, open.op, "crash during redeploy", AbortKind::RolledBack);
+                    rolled_back += 1;
+                    occupancy.remove(&slot);
+                }
+                IntentOp::Resume { .. } => {
+                    // The suspension survives in the tenant process and
+                    // the original deploy op still reserves the slot.
+                    journal.abort(now, open.op, "crash during resume", AbortKind::RolledBack);
+                    rolled_back += 1;
+                }
+                IntentOp::Evict { tenant, slot } => {
+                    if parked.get(&tenant).map(|p| p.slot) == Some(slot) {
+                        // The ciphertext reached the durable parked
+                        // store: the eviction happened — roll forward.
+                        journal.commit(now, open.op, None, Duration::ZERO);
+                        rolled_forward += 1;
+                        occupancy.remove(&slot);
+                        registry.record_eviction(tenant);
+                    } else {
+                        journal.abort(now, open.op, "crash during evict", AbortKind::RolledBack);
+                        rolled_back += 1;
+                        // The deployment survives in the tenant
+                        // process; the slot stays held for it.
+                    }
+                }
+                IntentOp::Fence { .. } => {
+                    // The driver that wanted the fence re-issues it
+                    // against the recovered plane.
+                    journal.abort(now, open.op, "crash during fence", AbortKind::RolledBack);
+                    rolled_back += 1;
+                }
+                IntentOp::Abandon { tenant, slot } => {
+                    let suspension_survived = survivor_suspensions
+                        .iter()
+                        .any(|s| s.tenant == tenant && s.lease.slot == slot);
+                    if suspension_survived {
+                        // Crash at the intent point: the suspension is
+                        // intact in the tenant process — roll back, the
+                        // tenant can abandon (or resume) again.
+                        journal.abort(now, open.op, "crash during abandon", AbortKind::RolledBack);
+                        rolled_back += 1;
+                    } else {
+                        // The suspension was consumed and the abandon
+                        // audited: roll forward.
+                        journal.commit(now, open.op, None, Duration::ZERO);
+                        rolled_forward += 1;
+                        occupancy.remove(&slot);
+                        registry.record_failed_deploy(tenant);
+                    }
+                }
+            }
+        }
+
+        // Cached device keys are only trustworthy when a committed
+        // cold-path deploy vouches for them; drop the rest so a
+        // re-driven boot cannot silently diverge onto the warm path.
+        for device in 0..fleet.device_count() {
+            if !cold_committed.contains(&device) {
+                fleet.drop_cached_key(device);
+            }
+        }
+
+        // Pass 3: reconcile against the boards. Re-lease every slot the
+        // settled journal holds; a running slot the board reports
+        // unconfigured contradicts the durable record.
+        fleet.reset_occupancy();
+        let mut contradictions: Vec<SlotId> = Vec::new();
+        let mut entries: Vec<(SlotId, TenantId, Held)> =
+            occupancy.iter().map(|(s, (t, h))| (*s, *t, *h)).collect();
+        entries.sort_by_key(|(s, _, _)| (s.device, s.partition));
+        for (slot, tenant, held) in entries {
+            let configured = fleet
+                .shell(slot.device)
+                .map(|sh| sh.partition_configured(slot.partition))
+                .unwrap_or(false);
+            if held == Held::Running && !configured {
+                contradictions.push(slot);
+                audit.append(now, AuditEvent::SessionFenced { tenant, slot });
+                registry.record_failed_deploy(tenant);
+                let _ = health.record_failure(slot.device, now);
+                occupancy.remove(&slot);
+                continue;
+            }
+            let broker: &mut dyn DeviceBroker = &mut fleet;
+            broker.lease_at(slot, tenant).map_err(|_| {
+                SalusError::RecoveryFailed("journal claims a slot the board denies")
+            })?;
+        }
+
+        // Orphaned lanes: a rolled-back deploy whose boot *did*
+        // configure the partition, on a slot nothing else ended up
+        // holding. Fence the lane; no health charge — a controller
+        // death is not the board's fault.
+        let mut fenced_orphans: Vec<SlotId> = Vec::new();
+        for (tenant, slot) in orphan_candidates {
+            let configured = fleet
+                .shell(slot.device)
+                .map(|sh| sh.partition_configured(slot.partition))
+                .unwrap_or(false);
+            if configured && !occupancy.contains_key(&slot) {
+                audit.append(now, AuditEvent::SessionFenced { tenant, slot });
+                fenced_orphans.push(slot);
+            }
+        }
+
+        audit.append(
+            now,
+            AuditEvent::RecoveryCompleted {
+                replayed,
+                rolled_back,
+            },
+        );
+
+        let scheduler = Scheduler::new(config.policy);
+        let plane = ControlPlane {
+            shared,
+            fleet: Mutex::new(fleet),
+            scheduler,
+            registry: Mutex::new(registry),
+            parked: Mutex::new(parked),
+            health: Mutex::new(health),
+            audit: Mutex::new(audit),
+            journal: Mutex::new(journal),
+            crash: Mutex::new(CrashPlane::inert()),
+            survivors: Mutex::new(Vec::new()),
+            survivor_suspensions: Mutex::new(Vec::new()),
+            config,
+        };
+        let report = RecoveryReport {
+            replayed_commits: replayed,
+            rolled_back,
+            rolled_forward,
+            fenced_orphans,
+            contradictions,
+            survivors,
+            survivor_suspensions,
+        };
+        Ok((plane, report))
     }
 
     /// The warm-image fast path: ClLoad + ClAuthentication only. On

@@ -230,6 +230,28 @@ impl DeviceFleet {
         }
     }
 
+    /// Drops the cached `Key_device` for board `device`. Recovery uses
+    /// this to forget keys harvested by boots the journal never
+    /// committed, so a re-driven deploy takes the same (cold) path a
+    /// never-crashed plane would.
+    pub(crate) fn drop_cached_key(&mut self, device: usize) {
+        if let Some(d) = self.devices.get_mut(device) {
+            d.cached_key = None;
+        }
+    }
+
+    /// Forgets every lease. Recovery starts from an empty occupancy map
+    /// and re-leases exactly what journal replay proves was held — the
+    /// in-memory bookkeeping died with the old control plane, the
+    /// boards did not.
+    pub(crate) fn reset_occupancy(&mut self) {
+        for d in &mut self.devices {
+            for s in &mut d.slots {
+                *s = None;
+            }
+        }
+    }
+
     /// Free partitions on board `device` (0 for unknown boards).
     pub fn free_slots_on(&self, device: usize) -> usize {
         self.devices

@@ -20,6 +20,9 @@
 //! * [`audit`] — [`AuditLog`]: the append-only hash chain every
 //!   control-plane event lands in, anchored by the chain head exported
 //!   in [`FleetSnapshot`].
+//! * [`journal`] — [`Journal`]: the write-ahead intent log every
+//!   multi-step mutation writes before acting, the durable truth
+//!   [`ControlPlane::recover`] replays after a control-plane crash.
 //! * [`control`] — [`ControlPlane`]: registration, scheduled deploys,
 //!   eviction, warm redeploys that skip the manufacturer round trip by
 //!   reusing cached device keys and parked pre-encrypted bitstreams,
@@ -30,19 +33,23 @@ pub mod audit;
 pub mod control;
 pub mod fleet;
 pub mod health;
+pub mod journal;
 pub mod scheduler;
 pub mod traits;
 
 pub use audit::{AuditEvent, AuditLog, AuditRecord, ChainFault};
 pub use control::{
-    ControlPlane, DeployAttempt, DeployFailure, DeployPolicy, DeploySuspension, FleetSnapshot,
-    PlatformConfig, TenantDeployment,
+    ControlPlane, CrashRemains, DeployAttempt, DeployFailure, DeployPolicy, DeploySuspension,
+    FleetSnapshot, PlatformConfig, RecoveryReport, TenantDeployment,
 };
 pub use fleet::{
     DeployPath, DeviceFleet, DeviceId, DeviceLease, DramWindow, SlotId, TenantId, TenantRecord,
     TenantRegistry,
 };
 pub use health::{DeviceHealth, DeviceHealthRecord, HealthPolicy, HealthState};
+pub use journal::{
+    AbortKind, IntentOp, Journal, JournalEntry, JournalFault, JournalRecord, OpId, OpenOp,
+};
 pub use scheduler::{PlacePolicy, PlaceRequest, Scheduler};
 pub use traits::{
     distribute_device_key, AttestationVerifier, DeviceBroker, KeyService, SharedManufacturer,

@@ -97,6 +97,19 @@ impl Shell {
         self.device.lock().dna().read()
     }
 
+    /// True when reconfigurable `partition` holds a completely
+    /// configured CL. This is ground truth from the board itself —
+    /// crash recovery checks it against what the journal claims, and
+    /// charges the board when the two disagree. Unknown partitions read
+    /// as unconfigured.
+    pub fn partition_configured(&self, partition: usize) -> bool {
+        self.device
+            .lock()
+            .partition(partition)
+            .map(|m| m.is_configured())
+            .unwrap_or(false)
+    }
+
     /// Arms an attack on the next deployment.
     pub fn set_load_attack(&self, attack: LoadAttack) {
         self.state.lock().next_load_attack = attack;

@@ -366,6 +366,112 @@ impl FaultPlane {
     }
 }
 
+#[derive(Debug)]
+struct CrashInner {
+    /// The 1-based tick index the plane fires at, `None` for inert.
+    armed: Option<u64>,
+    ticks: Mutex<u64>,
+    /// `(tick index, label)` of the crash once it fired.
+    fired: Mutex<Option<(u64, String)>>,
+    /// Label of every tick observed, in order.
+    trace: Mutex<Vec<String>>,
+}
+
+/// Sibling of [`FaultPlane`] for *process* faults: where the fault
+/// plane loses messages on the fabric, the crash plane kills the
+/// control plane itself at a chosen step of its write-ahead journal.
+///
+/// The consumer calls [`tick`](CrashPlane::tick) at every crash point
+/// (one per journal write, plus explicit pre-commit points) with a
+/// stable label; the plane counts ticks and answers `true` exactly once
+/// — at the armed index — which the caller turns into a simulated
+/// process death: return without any cleanup, exactly as if the process
+/// had been SIGKILLed between two instructions.
+///
+/// Like everything else in this module the plane is deterministic: an
+/// armed index is either fixed ([`at_point`](CrashPlane::at_point)) or
+/// drawn once from a seeded [`SplitMix64`] sub-stream
+/// ([`seeded`](CrashPlane::seeded)), so a `(seed, schedule)` pair
+/// reproduces the same crash on every run. The recorded
+/// [`trace`](CrashPlane::trace) of an inert run enumerates every crash
+/// point a schedule exposes — the sweep domain for kill-at-every-point
+/// tests.
+#[derive(Debug, Clone)]
+pub struct CrashPlane {
+    inner: Arc<CrashInner>,
+}
+
+impl CrashPlane {
+    fn with_armed(armed: Option<u64>) -> CrashPlane {
+        CrashPlane {
+            inner: Arc::new(CrashInner {
+                armed,
+                ticks: Mutex::new(0),
+                fired: Mutex::new(None),
+                trace: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A plane that never fires (but still records the tick trace).
+    pub fn inert() -> CrashPlane {
+        CrashPlane::with_armed(None)
+    }
+
+    /// A plane that fires at the `point`-th tick (1-based). A `point`
+    /// of 0 is inert.
+    pub fn at_point(point: u64) -> CrashPlane {
+        CrashPlane::with_armed((point > 0).then_some(point))
+    }
+
+    /// A plane whose crash point is drawn uniformly from `1..=within`
+    /// on a sub-stream derived from `seed`. `within` of 0 is inert.
+    pub fn seeded(seed: u64, within: u64) -> CrashPlane {
+        if within == 0 {
+            return CrashPlane::inert();
+        }
+        let mut rng = SplitMix64::derive(seed, 0xC4A5_4DEA_D000_0000);
+        CrashPlane::with_armed(Some(1 + rng.below(within)))
+    }
+
+    /// The armed tick index, if any.
+    pub fn armed(&self) -> Option<u64> {
+        self.inner.armed
+    }
+
+    /// Counts one crash point named `label`; `true` means the process
+    /// dies here (exactly once per plane).
+    pub fn tick(&self, label: &str) -> bool {
+        let mut ticks = self.inner.ticks.lock();
+        *ticks += 1;
+        let at = *ticks;
+        self.inner.trace.lock().push(label.to_owned());
+        if self.inner.armed == Some(at) {
+            let mut fired = self.inner.fired.lock();
+            if fired.is_none() {
+                *fired = Some((at, label.to_owned()));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total crash points observed so far.
+    pub fn ticks(&self) -> u64 {
+        *self.inner.ticks.lock()
+    }
+
+    /// `(tick index, label)` of the injected crash, once it fired.
+    pub fn fired(&self) -> Option<(u64, String)> {
+        self.inner.fired.lock().clone()
+    }
+
+    /// Labels of every crash point observed, in order.
+    pub fn trace(&self) -> Vec<String> {
+        self.inner.trace.lock().clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,5 +599,37 @@ mod tests {
                 other => panic!("expected delay, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn inert_crash_plane_never_fires_but_traces_every_point() {
+        let plane = CrashPlane::inert();
+        assert!(!plane.tick("deploy.intent"));
+        assert!(!plane.tick("deploy.pre-commit"));
+        assert_eq!(plane.ticks(), 2);
+        assert!(plane.fired().is_none());
+        assert_eq!(plane.trace(), vec!["deploy.intent", "deploy.pre-commit"]);
+    }
+
+    #[test]
+    fn armed_crash_plane_fires_exactly_once_at_its_point() {
+        let plane = CrashPlane::at_point(2);
+        assert!(!plane.tick("a"));
+        assert!(plane.tick("b"), "second tick is the armed point");
+        assert!(!plane.tick("c"), "a plane fires at most once");
+        assert_eq!(plane.fired(), Some((2, "b".to_owned())));
+        assert!(CrashPlane::at_point(0).armed().is_none());
+    }
+
+    #[test]
+    fn seeded_crash_points_are_deterministic_and_in_range() {
+        for seed in 0..32u64 {
+            let a = CrashPlane::seeded(seed, 10);
+            let b = CrashPlane::seeded(seed, 10);
+            assert_eq!(a.armed(), b.armed());
+            let point = a.armed().unwrap();
+            assert!((1..=10).contains(&point), "seed {seed}: point {point}");
+        }
+        assert!(CrashPlane::seeded(7, 0).armed().is_none());
     }
 }

@@ -150,6 +150,19 @@ impl SalusNode {
         self.plane.snapshot()
     }
 
+    /// The head digest of the node's write-ahead intent journal.
+    /// Anchoring it alongside the audit head pins the mutation history
+    /// a recovery would replay.
+    pub fn journal_head(&self) -> salus_crypto::sha256::Digest {
+        self.plane.journal_head()
+    }
+
+    /// A clone of the node's full write-ahead journal, for verification
+    /// and export.
+    pub fn journal_log(&self) -> salus_core::platform::Journal {
+        self.plane.journal_log()
+    }
+
     /// Deploys `workload` for `tenant` onto a scheduler-chosen slot,
     /// runs the secure boot (cold or warm-key depending on the board's
     /// key-cache state), and returns a ready [`SecureSession`]. Check
