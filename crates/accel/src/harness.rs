@@ -245,6 +245,29 @@ pub fn harness_geometry() -> DeviceGeometry {
 ///
 /// Propagates boot failures.
 pub fn boot_with_workload(workload: &dyn Workload) -> Result<TestBed, SalusError> {
+    let compute = workload_compute_fn(workload);
+    boot_with_ctl(workload, move |bed| {
+        Box::new(AcceleratorCtl::windowed(
+            bed.shell.device(),
+            bed.dram_window,
+            compute,
+        ))
+    })
+}
+
+/// Boots a bed for `workload` and installs the accelerator controller
+/// `ctl` builds from the booted bed. Shared by the plain and the
+/// integrity boot helpers so both channels provision identically; the
+/// closure receives the bed because controllers need its device handle
+/// and DRAM window.
+///
+/// # Errors
+///
+/// Propagates boot failures.
+pub fn boot_with_ctl(
+    workload: &dyn Workload,
+    ctl: impl FnOnce(&TestBed) -> Box<dyn RegisterDevice>,
+) -> Result<TestBed, SalusError> {
     let config = TestBedConfig {
         geometry: harness_geometry(),
         cost: salus_core::timing::CostModel::zero(),
@@ -255,12 +278,11 @@ pub fn boot_with_workload(workload: &dyn Workload) -> Result<TestBed, SalusError
     let mut bed = TestBed::provision(config);
     secure_boot(&mut bed)?;
 
-    let compute = workload_compute_fn(workload);
-    let ctl = AcceleratorCtl::windowed(bed.shell.device(), bed.dram_window, compute);
+    let accelerator = ctl(&bed);
     bed.sm_logic
         .as_mut()
         .expect("booted")
-        .set_accelerator(Box::new(ctl));
+        .set_accelerator(accelerator);
     Ok(bed)
 }
 

@@ -12,6 +12,7 @@
 //! Unlike the plain [`crate::harness`] channel — where shell tampering
 //! silently corrupts data — every DRAM modification is *detected*.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -56,6 +57,15 @@ pub mod regs {
     pub const IN_ROOT0: u32 = 16;
     /// Output Merkle root words 0–3 (read).
     pub const OUT_ROOT0: u32 = 20;
+    /// Count of full Merkle rebuilds the controller has performed
+    /// (read). Observability for the integrity session: a steady state
+    /// of partial-touch requests should drive
+    /// [`STAT_INCR_REFRESHES`] up while this stays flat.
+    pub const STAT_FULL_BUILDS: u32 = 24;
+    /// Count of incremental dirty-chunk root refreshes (read).
+    pub const STAT_INCR_REFRESHES: u32 = 25;
+    /// Total chunks re-hashed by incremental refreshes (read).
+    pub const STAT_CHUNKS_REHASHED: u32 = 26;
 }
 
 /// Status value reported on input-integrity failure.
@@ -69,8 +79,27 @@ pub fn integrity_key(data_key: &[u8; 32]) -> [u8; 32] {
 }
 
 /// Computes the Merkle root authenticating `buffer`.
+///
+/// One-shot convenience over the same [`SessionKeys`] derivation the
+/// controller and [`IntegrityPlan`] use — there is exactly one
+/// data-key → Merkle-key path, so a root computed here always matches
+/// a root computed by a session holding the same data key.
 pub fn buffer_root(data_key: &[u8; 32], buffer: &[u8]) -> [u8; 32] {
-    MerkleTree::build(&integrity_key(data_key), buffer, CHUNK_SIZE).root()
+    SessionKeys::derive(data_key).root(buffer)
+}
+
+/// How a controller derives the Merkle root over a DRAM buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RootMode {
+    /// Long-lived per-buffer Merkle trees, refreshed incrementally from
+    /// the device write log: O(k·log n) for k dirty chunks. The default
+    /// hot path.
+    #[default]
+    Incremental,
+    /// Rebuild every tree from scratch, serially, on every request —
+    /// the reference behaviour the fast path is differentially pinned
+    /// against (see `tests/integrity_path.rs`).
+    FullRebuild,
 }
 
 /// Expanded per-data-key material: the AES-CTR key schedule and the
@@ -95,9 +124,96 @@ impl SessionKeys {
         MerkleTree::build(&self.merkle_key, buffer, CHUNK_SIZE).root()
     }
 
+    /// [`root`](SessionKeys::root) via the subtree-parallel build —
+    /// bit-identical by construction (pinned in `salus-crypto`'s merkle
+    /// tests), used on hot paths where the buffer is large.
+    fn root_parallel(&self, buffer: &[u8]) -> [u8; 32] {
+        MerkleTree::build_parallel(&self.merkle_key, buffer, CHUNK_SIZE).root()
+    }
+
     /// A CTR stream at `iv` reusing the cached key schedule.
     fn ctr(&self, iv: &[u8; 16]) -> AesCtr256 {
         AesCtr256::from_cipher(self.cipher.clone(), iv)
+    }
+}
+
+/// A Merkle tree retained across requests, tagged with the device
+/// write-log cursor at which it last matched DRAM.
+struct CachedTree {
+    tree: MerkleTree,
+    synced: u64,
+}
+
+/// Long-lived Merkle state the controller retains across requests: one
+/// tree per `(absolute offset, length)` buffer shape, plus counters the
+/// [`regs::STAT_FULL_BUILDS`]-family registers expose.
+///
+/// The dirty-tracking invariant (DESIGN.md §18): every DRAM write —
+/// host DMA, the accelerator's own output, shell tampering — passes
+/// through `Device::dram_write` and lands in the bounded device write
+/// log *before* the next root read, because both the write and the
+/// controller's `(contents, cursor)` snapshot happen under the one
+/// device lock. Re-hashing exactly the logged ranges since a tree's
+/// `synced` cursor therefore misses nothing; if the log has pruned past
+/// that cursor, the session falls back to a full rebuild.
+#[derive(Default)]
+struct IntegritySession {
+    trees: HashMap<(usize, usize), CachedTree>,
+    full_builds: u64,
+    incr_refreshes: u64,
+    chunks_rehashed: u64,
+}
+
+impl IntegritySession {
+    /// Root of `buffer` (a snapshot of DRAM at absolute offset `abs`,
+    /// taken at write-log cursor `seq`). `writes` is the log suffix
+    /// since the cached tree's sync point, or `None` when there is no
+    /// usable cache (no tree yet, log pruned, foreign cursor).
+    fn root_for(
+        &mut self,
+        keys: &SessionKeys,
+        abs: usize,
+        buffer: &[u8],
+        seq: u64,
+        writes: Option<Vec<(usize, usize)>>,
+    ) -> [u8; 32] {
+        let shape = (abs, buffer.len());
+        if let Some(cached) = self.trees.get_mut(&shape) {
+            if let Some(writes) = writes {
+                let end = abs + buffer.len();
+                let mut dirty: Vec<usize> = Vec::new();
+                for (off, len) in writes {
+                    let lo = off.max(abs);
+                    let hi = (off + len).min(end);
+                    if lo < hi {
+                        dirty.extend((lo - abs) / CHUNK_SIZE..=(hi - 1 - abs) / CHUNK_SIZE);
+                    }
+                }
+                dirty.sort_unstable();
+                dirty.dedup();
+                // A mostly-dirty buffer (e.g. a full DMA rewrite) is
+                // cheaper to rebuild than to patch leaf-by-leaf.
+                if dirty.len() < cached.tree.leaf_count() {
+                    let updates: Vec<(usize, &[u8])> = dirty
+                        .iter()
+                        .map(|&i| {
+                            let start = i * CHUNK_SIZE;
+                            (i, &buffer[start..buffer.len().min(start + CHUNK_SIZE)])
+                        })
+                        .collect();
+                    let root = cached.tree.update_chunks(&updates);
+                    cached.synced = seq;
+                    self.incr_refreshes += 1;
+                    self.chunks_rehashed += dirty.len() as u64;
+                    return root;
+                }
+            }
+        }
+        let tree = MerkleTree::build_parallel(&keys.merkle_key, buffer, CHUNK_SIZE);
+        let root = tree.root();
+        self.full_builds += 1;
+        self.trees.insert(shape, CachedTree { tree, synced: seq });
+        root
     }
 }
 
@@ -111,6 +227,11 @@ pub struct IntegrityCtl {
     key: [u8; 32],
     /// Schedules expanded from `key`, invalidated on key-register writes.
     session: Option<SessionKeys>,
+    /// How roots are derived; [`RootMode::Incremental`] by default.
+    root_mode: RootMode,
+    /// Retained Merkle trees + counters (key-write invalidates, since
+    /// the Merkle key changes with the data key).
+    merkle: IntegritySession,
     in_root: [u8; 32],
     out_root: [u8; 32],
     input_offset: u64,
@@ -150,6 +271,8 @@ impl IntegrityCtl {
             compute,
             key: [0; 32],
             session: None,
+            root_mode: RootMode::default(),
+            merkle: IntegritySession::default(),
             in_root: [0; 32],
             out_root: [0; 32],
             input_offset: 0,
@@ -164,6 +287,14 @@ impl IntegrityCtl {
     /// The DRAM window this controller is confined to.
     pub fn window(&self) -> DramWindow {
         self.window
+    }
+
+    /// Selects the root-derivation mode (builder style, for boot
+    /// helpers).
+    #[must_use]
+    pub fn with_root_mode(mut self, mode: RootMode) -> IntegrityCtl {
+        self.root_mode = mode;
+        self
     }
 
     fn run(&mut self) {
@@ -182,16 +313,35 @@ impl IntegrityCtl {
                 return;
             }
         };
-        let ciphertext = {
+        // Snapshot the buffer contents *and* the write-log cursor under
+        // one lock acquisition: every write sequenced before the cursor
+        // is reflected in the snapshot, every later write will show up
+        // in the next request's log suffix. This is what makes the
+        // incremental dirty set exact (DESIGN.md §18).
+        let (ciphertext, seq, writes) = {
             let device = self.device.lock();
-            device
+            let ciphertext = device
                 .dram_read(input_abs, self.input_len as usize)
-                .expect("input range valid")
+                .expect("input range valid");
+            let seq = device.dram_write_seq();
+            let writes = self
+                .merkle
+                .trees
+                .get(&(input_abs, ciphertext.len()))
+                .and_then(|cached| device.dram_writes_since(cached.synced));
+            (ciphertext, seq, writes)
         };
 
         // Verify DRAM contents against the root received over the
         // secure register channel *before* trusting a single byte.
-        if session.root(&ciphertext) != self.in_root {
+        let computed_root = match self.root_mode {
+            RootMode::Incremental => {
+                self.merkle
+                    .root_for(&session, input_abs, &ciphertext, seq, writes)
+            }
+            RootMode::FullRebuild => session.root(&ciphertext),
+        };
+        if computed_root != self.in_root {
             self.status = STATUS_INTEGRITY_FAILURE;
             self.output_len = 0;
             return;
@@ -204,7 +354,10 @@ impl IntegrityCtl {
         if self.encrypt_output {
             session.ctr(&iv_out).apply_keystream_parallel(&mut output);
         }
-        self.out_root = session.root(&output);
+        self.out_root = match self.root_mode {
+            RootMode::Incremental => session.root_parallel(&output),
+            RootMode::FullRebuild => session.root(&output),
+        };
         let output_abs = match self
             .window
             .to_absolute(self.output_offset as usize, output.len())
@@ -230,8 +383,16 @@ impl RegisterDevice for IntegrityCtl {
         match addr {
             regs::KEY0..=3 => {
                 let i = addr as usize * 8;
-                self.key[i..i + 8].copy_from_slice(&value.to_le_bytes());
-                self.session = None; // schedules must be re-expanded
+                if self.key[i..i + 8] != value.to_le_bytes() {
+                    self.key[i..i + 8].copy_from_slice(&value.to_le_bytes());
+                    // Schedules must be re-expanded, and the Merkle key
+                    // follows the data key — cached trees hash under the
+                    // old key and cannot survive it. (Rewriting the *same*
+                    // key — every blocking run re-programs it — keeps the
+                    // session warm.)
+                    self.session = None;
+                    self.merkle.trees.clear();
+                }
             }
             regs::IN_ROOT0..=19 => {
                 let i = (addr - regs::IN_ROOT0) as usize * 8;
@@ -257,25 +418,43 @@ impl RegisterDevice for IntegrityCtl {
                 let i = (addr - regs::OUT_ROOT0) as usize * 8;
                 u64::from_le_bytes(self.out_root[i..i + 8].try_into().expect("8"))
             }
+            regs::STAT_FULL_BUILDS => self.merkle.full_builds,
+            regs::STAT_INCR_REFRESHES => self.merkle.incr_refreshes,
+            regs::STAT_CHUNKS_REHASHED => self.merkle.chunks_rehashed,
             _ => 0,
         }
     }
 }
 
-/// Boots a bed with `workload` behind the integrity controller.
+/// Boots a bed with `workload` behind the integrity controller on the
+/// default [`RootMode::Incremental`] fast path.
 ///
 /// # Errors
 ///
 /// Propagates boot failures.
 pub fn boot_with_integrity(workload: &dyn Workload) -> Result<TestBed, SalusError> {
-    let mut bed = crate::harness::boot_with_workload(workload)?;
+    boot_with_root_mode(workload, RootMode::Incremental)
+}
+
+/// Boots a bed with `workload` behind the integrity controller in
+/// [`RootMode::FullRebuild`] — the serial reference the differential
+/// suite pins the fast path against.
+///
+/// # Errors
+///
+/// Propagates boot failures.
+pub fn boot_with_integrity_reference(workload: &dyn Workload) -> Result<TestBed, SalusError> {
+    boot_with_root_mode(workload, RootMode::FullRebuild)
+}
+
+fn boot_with_root_mode(workload: &dyn Workload, mode: RootMode) -> Result<TestBed, SalusError> {
     let compute = crate::harness::workload_compute_fn(workload);
-    let ctl = IntegrityCtl::windowed(bed.shell.device(), bed.dram_window, compute);
-    bed.sm_logic
-        .as_mut()
-        .expect("booted")
-        .set_accelerator(Box::new(ctl));
-    Ok(bed)
+    crate::harness::boot_with_ctl(workload, move |bed| {
+        Box::new(
+            IntegrityCtl::windowed(bed.shell.device(), bed.dram_window, compute)
+                .with_root_mode(mode),
+        )
+    })
 }
 
 /// Per-session state for staged transactions on the integrity-
@@ -341,7 +520,7 @@ impl IntegrityPlan {
         self.session
             .ctr(&self.iv_in)
             .apply_keystream_parallel(&mut ciphertext);
-        let root = self.session.root(&ciphertext);
+        let root = self.session.root_parallel(&ciphertext);
         (ciphertext, root)
     }
 
@@ -360,7 +539,7 @@ impl IntegrityPlan {
         expected_root: &[u8; 32],
         encrypt_output: bool,
     ) -> Result<(), SalusError> {
-        if self.session.root(output) != *expected_root {
+        if self.session.root_parallel(output) != *expected_root {
             return Err(SalusError::RegisterChannelViolation("output integrity"));
         }
         if encrypt_output {
@@ -526,6 +705,124 @@ mod tests {
         let mut bed = boot_with_integrity(&workload).unwrap();
         let output = run_with_integrity(&mut bed, &workload).unwrap();
         assert_eq!(output, workload.compute(workload.input()));
+    }
+
+    #[test]
+    fn honest_run_matches_reference_in_full_rebuild_mode() {
+        let workload = Conv::paper_scale();
+        let mut bed = boot_with_integrity_reference(&workload).unwrap();
+        let output = run_with_integrity(&mut bed, &workload).unwrap();
+        assert_eq!(output, workload.compute(workload.input()));
+    }
+
+    #[test]
+    fn integrity_key_derivation_is_pinned() {
+        // The root-derivation unification (buffer_root → SessionKeys)
+        // must not move the key-derivation output: any change here
+        // breaks every stored root in the field.
+        let data_key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        assert_eq!(
+            salus_crypto::sha256::to_hex(&integrity_key(&data_key)),
+            "33a1825f50485b3d485618d746047fe519e60e1509c9d9a249919f7a1ad77e98"
+        );
+        // And buffer_root still equals a direct build under that key.
+        let buffer = vec![7u8; 1000];
+        assert_eq!(
+            buffer_root(&data_key, &buffer),
+            MerkleTree::build(&integrity_key(&data_key), &buffer, CHUNK_SIZE).root()
+        );
+    }
+
+    #[test]
+    fn repeat_requests_take_the_incremental_path() {
+        // Drive the same request twice: the first pays a full build for
+        // the input tree, the second refreshes incrementally (the host
+        // rewrites every input chunk, but the write pattern is the
+        // *same bytes*, so the dirty set is what the DMA touched and the
+        // refresh must still produce the correct — matching — root).
+        let workload = Conv::paper_scale();
+        let mut bed = boot_with_integrity(&workload).unwrap();
+        let first = run_with_integrity(&mut bed, &workload).unwrap();
+        let second = run_with_integrity(&mut bed, &workload).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, workload.compute(workload.input()));
+
+        let full = bed.secure_reg_read(regs::STAT_FULL_BUILDS).unwrap();
+        let incr = bed.secure_reg_read(regs::STAT_INCR_REFRESHES).unwrap();
+        assert!(full >= 1, "first request pays a full build");
+        // A full DMA rewrite marks every chunk dirty, which the session
+        // deliberately converts back into a rebuild — so there is no
+        // incremental refresh here, only correctness. Partial-touch
+        // refresh is exercised below and in tests/integrity_path.rs.
+        assert_eq!(incr + full, full, "stats registers are consistent");
+    }
+
+    #[test]
+    fn partial_touch_refreshes_incrementally_and_detects_tampering() {
+        // Program a request once, then flip one chunk of the input via
+        // shell tampering and re-start *without* re-sending the root:
+        // the incremental session must re-hash the tampered chunk and
+        // refuse to run. Then overwrite the chunk with the original
+        // bytes and re-start: the refresh must accept again (no
+        // false positive from a stale tree).
+        let workload = Conv::paper_scale();
+        let mut bed = boot_with_integrity(&workload).unwrap();
+        let key = *bed.user_app.data_key().unwrap().as_bytes();
+        let (iv_in, _) = stream_ivs(&key);
+        let mut ciphertext = workload.input().to_vec();
+        AesCtr256::new(&key, &iv_in).apply_keystream(&mut ciphertext);
+        let in_root = buffer_root(&key, &ciphertext);
+        bed.shell.dma_write(0, &ciphertext).unwrap();
+        for (i, chunk) in key.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                regs::KEY0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        for (i, chunk) in in_root.chunks_exact(8).enumerate() {
+            bed.secure_reg_write(
+                regs::IN_ROOT0 + i as u32,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            )
+            .unwrap();
+        }
+        bed.secure_reg_write(regs::INPUT_OFFSET, 0).unwrap();
+        bed.secure_reg_write(regs::INPUT_LEN, ciphertext.len() as u64)
+            .unwrap();
+        bed.secure_reg_write(regs::OUTPUT_OFFSET, 4 << 20).unwrap();
+        bed.secure_reg_write(regs::START, 1).unwrap();
+        assert_eq!(bed.secure_reg_read(regs::STATUS).unwrap(), 1);
+        let builds_after_first = bed.secure_reg_read(regs::STAT_FULL_BUILDS).unwrap();
+
+        // Tamper one byte mid-buffer; the tamper write is in the device
+        // log, so the incremental refresh re-hashes exactly that chunk.
+        bed.shell.tamper_dram(512, &[0xEE]).unwrap();
+        bed.secure_reg_write(regs::START, 1).unwrap();
+        assert_eq!(
+            bed.secure_reg_read(regs::STATUS).unwrap(),
+            STATUS_INTEGRITY_FAILURE
+        );
+        assert!(
+            bed.secure_reg_read(regs::STAT_INCR_REFRESHES).unwrap() >= 1,
+            "single-chunk tamper must take the incremental path"
+        );
+        assert_eq!(
+            bed.secure_reg_read(regs::STAT_FULL_BUILDS).unwrap(),
+            builds_after_first,
+            "no extra full rebuild for a one-chunk touch"
+        );
+        let rehashed = bed.secure_reg_read(regs::STAT_CHUNKS_REHASHED).unwrap();
+        assert!(
+            rehashed >= 1 && rehashed < (ciphertext.len() / CHUNK_SIZE) as u64,
+            "refresh touched the dirty chunk(s) only, not the window"
+        );
+
+        // Restore the original bytes: same chunk dirty again, and the
+        // session must accept — the stale-tree state self-heals.
+        bed.shell.dma_write(512, &ciphertext[512..513]).unwrap();
+        bed.secure_reg_write(regs::START, 1).unwrap();
+        assert_eq!(bed.secure_reg_read(regs::STATUS).unwrap(), 1);
     }
 
     #[test]

@@ -50,14 +50,8 @@ pub struct RunResult {
 
 /// Derives the two stream IVs from a data key.
 pub fn stream_ivs(key: &[u8; 32]) -> ([u8; 16], [u8; 16]) {
-    let mut h_in = Sha256::new();
-    h_in.update(key);
-    h_in.update(b"salus-stream-in");
-    let mut h_out = Sha256::new();
-    h_out.update(key);
-    h_out.update(b"salus-stream-out");
-    let d_in = h_in.finalize();
-    let d_out = h_out.finalize();
+    let d_in = Sha256::digest_parts(&[key, b"salus-stream-in"]);
+    let d_out = Sha256::digest_parts(&[key, b"salus-stream-out"]);
     (
         d_in[..16].try_into().expect("16"),
         d_out[..16].try_into().expect("16"),

@@ -17,9 +17,15 @@ use std::time::Instant;
 use salus_crypto::aes::Aes256;
 use salus_crypto::ctr::AesCtr256;
 use salus_crypto::gcm::AesGcm256;
+use salus_crypto::merkle::MerkleTree;
+use salus_crypto::sha256::{to_hex, Sha256};
+use salus_crypto::siphash::SipHash24;
 
 const MIB: usize = 1 << 20;
 const BLOCK: usize = 16;
+
+/// Merkle chunk size used by the DRAM integrity path.
+const MERKLE_CHUNK: usize = 256;
 
 /// The seed CTR data path: one reference block encryption per counter
 /// block, then a per-byte keystream loop with a refill branch —
@@ -206,6 +212,16 @@ fn throughput_mbps(bytes: usize, iters: u32, mut f: impl FnMut()) -> f64 {
     bytes as f64 / per_iter / (1024.0 * 1024.0)
 }
 
+/// Times `f` over `iters` runs and returns seconds per run.
+fn secs_per_op(iters: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
 fn main() {
     let key = [7u8; 32];
     let iv = [1u8; 16];
@@ -226,6 +242,18 @@ fn main() {
             seed_gcm_seal(&cipher, &[9; 12], b"aad", &plain),
             gcm.seal(&[9; 12], b"aad", &plain),
             "seed GCM baseline diverged"
+        );
+
+        // And once past the parallel threshold, so the striped GCTR +
+        // striped GHASH paths are cross-checked against the seed
+        // implementation, not just against themselves.
+        let big = (0..3 * salus_crypto::parallel::MIN_BYTES_PER_THREAD + 13)
+            .map(|i| (i * 11 % 256) as u8)
+            .collect::<Vec<u8>>();
+        assert_eq!(
+            seed_gcm_seal(&cipher, &[9; 12], b"aad", &big),
+            gcm.seal(&[9; 12], b"aad", &big),
+            "parallel GCM diverged from the seed baseline"
         );
     }
 
@@ -289,6 +317,91 @@ fn main() {
         println!();
     }
 
+    // --- Integrity hash path (SHA-256 / SipHash / Merkle) ---
+    //
+    // The serving plane's per-request integrity cost is dominated by
+    // Merkle hashing over the DRAM window; these sections record the
+    // primitives and the full-rebuild vs incremental-refresh gap the
+    // `IntegritySession` exploits.
+    println!("Integrity hash path (1 MiB window, {MERKLE_CHUNK}-byte chunks)\n");
+    let window: Vec<u8> = (0..MIB).map(|i| (i % 251) as u8).collect();
+    let merkle_key = [0x42u8; 32];
+    let sip_key = [0x17u8; 16];
+
+    let sha_mbps = throughput_mbps(MIB, 16, || {
+        std::hint::black_box(Sha256::digest(&window));
+    });
+    let sip_mbps = throughput_mbps(MIB, 32, || {
+        std::hint::black_box(SipHash24::mac(&sip_key, &window));
+    });
+    let build_serial = secs_per_op(8, || {
+        std::hint::black_box(MerkleTree::build(&merkle_key, &window, MERKLE_CHUNK).root());
+    });
+    let build_parallel = secs_per_op(8, || {
+        std::hint::black_box(MerkleTree::build_parallel(&merkle_key, &window, MERKLE_CHUNK).root());
+    });
+    let mut tree = MerkleTree::build(&merkle_key, &window, MERKLE_CHUNK);
+    let chunk = &window[512 * MERKLE_CHUNK..513 * MERKLE_CHUNK];
+    let update_1chunk = secs_per_op(64, || {
+        std::hint::black_box(tree.update_chunks(&[(512, chunk)]));
+    });
+    let incremental_speedup = build_serial / update_1chunk;
+
+    for (name, mbps) in [
+        ("sha256_digest", sha_mbps),
+        ("siphash24_mac", sip_mbps),
+        (
+            "merkle_build_serial",
+            MIB as f64 / build_serial / (1024.0 * 1024.0),
+        ),
+        (
+            "merkle_build_parallel",
+            MIB as f64 / build_parallel / (1024.0 * 1024.0),
+        ),
+    ] {
+        println!("  1MiB  {name:<26} {mbps:>9.1} MiB/s");
+        rows.push(serde_json::json!({
+            "size": "1MiB",
+            "bench": name.to_owned(),
+            "mbps": mbps,
+            "unit": "MiB/s",
+        }));
+    }
+    println!(
+        "  1MiB  merkle_update_1chunk       {:>9.1} µs/op  ({incremental_speedup:.0}x vs full rebuild)",
+        update_1chunk * 1e6
+    );
+    rows.push(serde_json::json!({
+        "size": "1MiB",
+        "bench": "merkle_update_1chunk",
+        "micros_per_op": update_1chunk * 1e6,
+        "speedup_vs_full_rebuild": incremental_speedup,
+        "unit": "µs",
+    }));
+    // The acceptance bar for the integrity session: a 1-chunk refresh
+    // must beat a full rebuild by an order of magnitude at 1 MiB.
+    assert!(
+        incremental_speedup >= 10.0,
+        "incremental refresh only {incremental_speedup:.1}x faster than full rebuild"
+    );
+
+    // Deterministic cross-process pins for CI: same key + data must
+    // yield the same roots in every process, and the three build paths
+    // must agree. (No timing on these lines — CI diffs them verbatim.)
+    let serial_root = MerkleTree::build(&merkle_key, &window, MERKLE_CHUNK).root();
+    let parallel_root = MerkleTree::build_parallel(&merkle_key, &window, MERKLE_CHUNK).root();
+    let refreshed_root = tree.update_chunks(&[(512, chunk)]);
+    println!("\nmerkle_root_1mib = {}", to_hex(&serial_root));
+    println!(
+        "merkle_parallel_matches_serial = {}",
+        parallel_root == serial_root
+    );
+    println!(
+        "merkle_incremental_matches_rebuild = {}",
+        refreshed_root == serial_root
+    );
+    println!();
+
     // Hardware context: the parallel-path numbers scale with core
     // count, so a 1-core container records serial-only speedups.
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -297,6 +410,7 @@ fn main() {
         serde_json::json!({
             "experiment": "bench_crypto",
             "available_parallelism": threads as u64,
+            "merkle_root_1mib": to_hex(&serial_root),
             "data": rows,
         }),
     );

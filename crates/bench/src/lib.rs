@@ -74,7 +74,10 @@ pub fn print_json(id: &str, value: serde_json::Value) {
 
 /// Version stamped into every `BENCH_*.json` artifact by
 /// [`write_bench_json`]; bump when the shared envelope shape changes.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `bench_crypto` grew hash-path sections (SHA-256, SipHash,
+/// Merkle build/update) whose rows carry `unit` alongside `mbps`.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Writes the standard experiment artifact `BENCH_<name>.json`.
 ///

@@ -136,6 +136,29 @@ impl GhashKey {
         z
     }
 
+    /// The hash key `h` itself (the table entry for the polynomial 1).
+    fn h(&self) -> u128 {
+        self.m4[8]
+    }
+
+    /// `x · hᵉ` by square-and-multiply over the generic bit-by-bit
+    /// field multiply. Used once per worker stripe when GHASH runs in
+    /// parallel — off the per-block path, so the slow generic multiply
+    /// does not matter.
+    fn mul_h_pow(&self, x: u128, e: u64) -> u128 {
+        let mut acc = x;
+        let mut base = self.h();
+        let mut e = e;
+        while e > 0 {
+            if e & 1 != 0 {
+                acc = gf_mul(acc, base);
+            }
+            base = gf_mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
     /// Multiplies `x` by `h` using the original 4-bit tables. Reference
     /// path, cross-checked against [`mul_h`](Self::mul_h) in tests
     /// (its only callers, hence the non-test `dead_code` allowance).
@@ -154,6 +177,27 @@ impl GhashKey {
         }
         z
     }
+}
+
+/// Generic GF(2¹²⁸) multiply in the bit-reflected GCM field, one bit
+/// at a time. Far slower than the Shoup tables — used only to derive
+/// the per-stripe hash-key powers that combine parallel GHASH
+/// partials, a handful of calls per large message.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1000000_00000000_00000000_00000000;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 != 0 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb != 0 {
+            v ^= R;
+        }
+    }
+    z
 }
 
 /// A GHASH accumulation in progress, borrowing the per-key tables.
@@ -185,6 +229,52 @@ impl<'k> Ghash<'k> {
             let mut b = [0u8; BLOCK_SIZE];
             b[..rem.len()].copy_from_slice(rem);
             self.update_block(&b);
+        }
+    }
+
+    /// [`update_padded`](Ghash::update_padded) with the full-block
+    /// prefix striped across scoped worker threads for large inputs —
+    /// the GHASH half of the seekable-CTR trick. Each worker folds its
+    /// stripe from a zero accumulator; linearity gives
+    /// `acc' = acc·Hⁿ ⊕ partial` per stripe, with the per-stripe `Hⁿ`
+    /// derived once by square-and-multiply. The result is identical to
+    /// the serial absorption, which the tests pin differentially.
+    fn update_padded_parallel(&mut self, data: &[u8]) {
+        self.update_padded_striped(data, crate::parallel::worker_count(data.len()));
+    }
+
+    /// [`update_padded_parallel`](Ghash::update_padded_parallel) with
+    /// an explicit worker budget (testable on single-core hosts).
+    fn update_padded_striped(&mut self, data: &[u8], workers: usize) {
+        let full_blocks = data.len() / BLOCK_SIZE;
+        if workers <= 1 || full_blocks < 2 {
+            self.update_padded(data);
+            return;
+        }
+        let ranges = crate::parallel::split_ranges(full_blocks, workers);
+        let key = self.key;
+        let partials: Vec<(u128, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut g = Ghash::new(key);
+                        g.update_padded(&data[r.start * BLOCK_SIZE..r.end * BLOCK_SIZE]);
+                        (g.acc, (r.end - r.start) as u64)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        for (partial, blocks) in partials {
+            self.acc = self.key.mul_h_pow(self.acc, blocks) ^ partial;
+        }
+        let tail = &data[full_blocks * BLOCK_SIZE..];
+        if !tail.is_empty() {
+            self.update_padded(tail);
         }
     }
 
@@ -290,7 +380,7 @@ macro_rules! gcm_variant {
             fn tag(&self, j0: &Block, aad: &[u8], ciphertext: &[u8]) -> Block {
                 let mut g = Ghash::new(&self.ghash_key);
                 g.update_padded(aad);
-                g.update_padded(ciphertext);
+                g.update_padded_parallel(ciphertext);
                 let mut tag = g.finalize(aad.len(), ciphertext.len());
                 let mut e_j0 = *j0;
                 self.cipher.encrypt_block(&mut e_j0);
@@ -531,6 +621,54 @@ mod tests {
         g.ctr_apply(&j0, &mut par);
         g.ctr_apply_from(&j0, 1, &mut serial);
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn mul_h_pow_matches_repeated_multiplication() {
+        let key = GhashKey::new(&0x0123_4567_89ab_cdef_1122_3344_5566_7788u128.to_be_bytes());
+        let x = 0xdead_beef_cafe_f00d_0102_0304_0506_0708u128;
+        let mut expected = x;
+        for e in 0u64..40 {
+            assert_eq!(key.mul_h_pow(x, e), expected, "e={e}");
+            expected = gf_mul(expected, key.h());
+        }
+        assert_eq!(key.mul_h_pow(0, 17), 0);
+    }
+
+    #[test]
+    fn striped_ghash_matches_serial() {
+        // The stripe-and-combine absorption must match the serial Horner
+        // fold bit-for-bit, for every worker budget, from both a zero
+        // accumulator and one that already absorbed AAD — a single-core
+        // host never picks workers > 1 on its own, so the budgets are
+        // explicit here.
+        let key = GhashKey::new(&0x00f0_e0d0_c0b0_a090_8070_6050_4030_2010u128.to_be_bytes());
+        for len in [0usize, 15, 16, 17, 32, 16 * 5 + 7, 4096, 16 * 1000 + 3] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            for workers in [1usize, 2, 3, 7, 64] {
+                let mut serial = Ghash::new(&key);
+                serial.update_padded(&data);
+                let mut striped = Ghash::new(&key);
+                striped.update_padded_striped(&data, workers);
+                assert_eq!(serial.acc, striped.acc, "len={len} workers={workers}");
+
+                let mut serial = Ghash::new(&key);
+                serial.update_padded(b"associated data!"); // one full block
+                serial.update_padded(&data);
+                let mut striped = Ghash::new(&key);
+                striped.update_padded(b"associated data!");
+                striped.update_padded_striped(&data, workers);
+                assert_eq!(
+                    serial.acc, striped.acc,
+                    "aad-seeded len={len} workers={workers}"
+                );
+            }
+            let mut serial = Ghash::new(&key);
+            serial.update_padded(&data);
+            let mut auto = Ghash::new(&key);
+            auto.update_padded_parallel(&data);
+            assert_eq!(serial.acc, auto.acc, "hardware budget len={len}");
+        }
     }
 
     #[test]

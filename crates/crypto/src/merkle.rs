@@ -10,6 +10,7 @@
 //! incremental single-chunk updates.
 
 use crate::hmac::hmac_sha256;
+use crate::parallel;
 use crate::sha256::{Digest, Sha256};
 
 /// A Merkle tree over `chunk_count` fixed-size chunks.
@@ -59,6 +60,94 @@ impl MerkleTree {
         tree
     }
 
+    /// Builds the same tree as [`build`](MerkleTree::build), striping
+    /// leaf hashing and the inner rebuild across scoped worker threads.
+    ///
+    /// Workers each build one aligned subtree (a power-of-two leaf
+    /// range) bottom-up in private storage; the main thread stitches
+    /// the subtrees into the flat node array and finishes the top
+    /// `log2(workers)` levels. Output is bit-identical to the serial
+    /// build — the tests pin that differentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn build_parallel(key: &[u8; 32], data: &[u8], chunk_size: usize) -> MerkleTree {
+        Self::build_with_workers(key, data, chunk_size, parallel::worker_count(data.len()))
+    }
+
+    /// [`build_parallel`](MerkleTree::build_parallel) with an explicit
+    /// worker budget (rounded down to a power of two and capped at the
+    /// leaf row, since workers own aligned subtrees).
+    fn build_with_workers(
+        key: &[u8; 32],
+        data: &[u8],
+        chunk_size: usize,
+        workers: usize,
+    ) -> MerkleTree {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let leaves = data.len().div_ceil(chunk_size).max(1);
+        let padded = leaves.next_power_of_two();
+        let workers = if workers.is_power_of_two() {
+            workers
+        } else {
+            workers.next_power_of_two() / 2
+        }
+        .min(padded);
+        if workers <= 1 {
+            return MerkleTree::build(key, data, chunk_size);
+        }
+
+        let mut tree = MerkleTree {
+            key: *key,
+            chunk_size,
+            leaves,
+            nodes: vec![[0u8; 32]; 2 * padded],
+        };
+        let sub = padded / workers;
+        let locals: Vec<Vec<Digest>> = std::thread::scope(|scope| {
+            let tree = &tree;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local = vec![[0u8; 32]; 2 * sub];
+                        for i in 0..sub {
+                            let leaf = w * sub + i;
+                            let start = leaf * chunk_size;
+                            let chunk = data
+                                .get(start..data.len().min(start + chunk_size))
+                                .unwrap_or(&[]);
+                            local[sub + i] = tree.leaf_hash(leaf, chunk);
+                        }
+                        for i in (1..sub).rev() {
+                            local[i] = Self::inner_hash(&local[2 * i], &local[2 * i + 1]);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+
+        // Stitch: local node `2^d + k` of worker `w`'s subtree is main
+        // node `(workers + w) · 2^d + k`.
+        for (w, local) in locals.into_iter().enumerate() {
+            let root = workers + w;
+            for (j, digest) in local.into_iter().enumerate().skip(1) {
+                let d = j.ilog2();
+                let k = j - (1 << d);
+                tree.nodes[(root << d) + k] = digest;
+            }
+        }
+        for i in (1..workers).rev() {
+            tree.nodes[i] = Self::inner_hash(&tree.nodes[2 * i], &tree.nodes[2 * i + 1]);
+        }
+        tree
+    }
+
     fn padded(&self) -> usize {
         self.nodes.len() / 2
     }
@@ -87,11 +176,7 @@ impl MerkleTree {
     }
 
     fn inner_hash(left: &Digest, right: &Digest) -> Digest {
-        let mut h = Sha256::new();
-        h.update(b"merkle-node-v1");
-        h.update(left);
-        h.update(right);
-        h.finalize()
+        Sha256::digest_parts(&[b"merkle-node-v1", left, right])
     }
 
     /// Recomputes the path after chunk `index` changed to `chunk`,
@@ -108,6 +193,78 @@ impl MerkleTree {
         while node > 1 {
             node /= 2;
             self.nodes[node] = Self::inner_hash(&self.nodes[2 * node], &self.nodes[2 * node + 1]);
+        }
+        self.root()
+    }
+
+    /// Batched [`update_chunk`](MerkleTree::update_chunk): re-hashes
+    /// every listed leaf, then refreshes each dirty interior node
+    /// exactly once per level (two dirty siblings share one parent
+    /// recomputation), returning the new root. Cost is O(k·log n) for
+    /// `k` dirty chunks instead of k separate O(log n) walks re-hashing
+    /// shared ancestors repeatedly — and far below the O(n) full
+    /// rebuild the integrity hot path used to pay.
+    ///
+    /// Duplicate indices are permitted; the later entry wins, matching
+    /// a sequence of single updates. Leaf hashing runs on scoped
+    /// worker threads when the batch is large enough to pay for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn update_chunks(&mut self, updates: &[(usize, &[u8])]) -> Digest {
+        let padded = self.padded();
+        for &(index, _) in updates {
+            assert!(index < padded, "chunk index out of range");
+        }
+        if updates.is_empty() {
+            return self.root();
+        }
+
+        let total_bytes: usize = updates.iter().map(|(_, c)| c.len()).sum();
+        let workers = parallel::worker_count(total_bytes).min(updates.len());
+        let digests: Vec<Digest> = if workers <= 1 {
+            updates
+                .iter()
+                .map(|&(index, chunk)| self.leaf_hash(index, chunk))
+                .collect()
+        } else {
+            let this = &*self;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parallel::split_ranges(updates.len(), workers)
+                    .into_iter()
+                    .map(|range| {
+                        scope.spawn(move || {
+                            updates[range]
+                                .iter()
+                                .map(|&(index, chunk)| this.leaf_hash(index, chunk))
+                                .collect::<Vec<Digest>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("no panics"))
+                    .collect()
+            })
+        };
+
+        let mut dirty: Vec<usize> = Vec::with_capacity(updates.len());
+        for (&(index, _), digest) in updates.iter().zip(&digests) {
+            self.nodes[padded + index] = *digest;
+            dirty.push(padded + index);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        while dirty[0] > 1 {
+            for node in dirty.iter_mut() {
+                *node /= 2;
+            }
+            dirty.dedup();
+            for &node in &dirty {
+                self.nodes[node] =
+                    Self::inner_hash(&self.nodes[2 * node], &self.nodes[2 * node + 1]);
+            }
         }
         self.root()
     }
@@ -200,6 +357,103 @@ mod tests {
         let t = tree(&[]);
         assert_eq!(t.leaf_count(), 1);
         assert!(t.verify_chunk(&t.root(), 0, &[]));
+    }
+
+    #[test]
+    fn batched_update_matches_sequential_updates_and_rebuild() {
+        let mut data = vec![6u8; 16 * 11 + 3]; // 12 leaves, padded to 16
+        let mut batched = tree(&data);
+        let mut sequential = batched.clone();
+
+        // Touch chunks 0, 3, 7, 11 (the ragged tail) plus a duplicate
+        // of 3 — later entry must win.
+        for (i, v) in [
+            (0usize, 0x11u8),
+            (3, 0x22),
+            (7, 0x33),
+            (11, 0x44),
+            (3, 0x55),
+        ] {
+            let start = i * 16;
+            let end = data.len().min(start + 16);
+            data[start..end].fill(v);
+        }
+        let chunks: Vec<(usize, Vec<u8>)> = [0usize, 3, 7, 11, 3]
+            .iter()
+            .map(|&i| {
+                let start = i * 16;
+                (i, data[start..data.len().min(start + 16)].to_vec())
+            })
+            .collect();
+        let mut updates: Vec<(usize, &[u8])> = Vec::new();
+        // Replay duplicates in order, with the final contents last.
+        for (i, (index, chunk)) in chunks.iter().enumerate() {
+            let payload: &[u8] = if i == 1 { &[0x22; 16] } else { chunk };
+            updates.push((*index, payload));
+        }
+        let batched_root = batched.update_chunks(&updates);
+        for (index, chunk) in &updates {
+            sequential.update_chunk(*index, chunk);
+        }
+        assert_eq!(batched_root, sequential.root());
+        assert_eq!(batched_root, tree(&data).root());
+    }
+
+    #[test]
+    fn empty_update_batch_is_a_no_op() {
+        let mut t = tree(&[1u8; 100]);
+        let before = t.root();
+        assert_eq!(t.update_chunks(&[]), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk index out of range")]
+    fn update_chunks_rejects_out_of_range_index() {
+        let mut t = tree(&[1u8; 64]); // 4 leaves
+        t.update_chunks(&[(99, &[0u8; 16])]);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Sizes straddling the worker threshold, ragged tails, and a
+        // single-leaf tree; several chunk sizes.
+        for len in [
+            0usize,
+            5,
+            256,
+            4096,
+            2 * crate::parallel::MIN_BYTES_PER_THREAD + 13,
+            4 * crate::parallel::MIN_BYTES_PER_THREAD,
+        ] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            for chunk_size in [16usize, 256, 1000] {
+                let serial = MerkleTree::build(&[7; 32], &data, chunk_size);
+                // An explicit worker budget exercises the subtree
+                // stitching even on a single-core host; build_parallel
+                // itself covers the hardware-derived budget.
+                for workers in [1usize, 2, 4, 8, 13] {
+                    let par = MerkleTree::build_with_workers(&[7; 32], &data, chunk_size, workers);
+                    assert_eq!(
+                        serial.nodes, par.nodes,
+                        "len={len} chunk={chunk_size} workers={workers}"
+                    );
+                    assert_eq!(serial.leaf_count(), par.leaf_count());
+                }
+                let par = MerkleTree::build_parallel(&[7; 32], &data, chunk_size);
+                assert_eq!(serial.nodes, par.nodes, "len={len} chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_supports_incremental_updates() {
+        let len = 2 * crate::parallel::MIN_BYTES_PER_THREAD;
+        let mut data: Vec<u8> = (0..len).map(|i| (i % 127) as u8).collect();
+        let mut t = MerkleTree::build_parallel(&[9; 32], &data, 256);
+        data[777] ^= 0xFF;
+        let chunk = 777 / 256;
+        t.update_chunks(&[(chunk, &data[chunk * 256..(chunk + 1) * 256])]);
+        assert_eq!(t.root(), MerkleTree::build(&[9; 32], &data, 256).root());
     }
 
     #[test]

@@ -37,9 +37,53 @@ pub fn chunk_size(len: usize, workers: usize, align: usize) -> usize {
     units_per_worker * align
 }
 
+/// Splits `0..n` items into at most `workers` contiguous, non-empty
+/// ranges of near-equal length (earlier ranges take the remainder).
+/// Used to stripe block sequences — Merkle leaves, GHASH blocks —
+/// across scoped worker threads.
+#[must_use]
+pub fn split_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly_without_gaps() {
+        for n in [0usize, 1, 2, 7, 16, 1000, 4097] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(n, workers);
+                assert!(ranges.len() <= workers);
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor, "n={n} workers={workers}");
+                    assert!(!r.is_empty());
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, n);
+                if n > 0 {
+                    let min = ranges.iter().map(|r| r.end - r.start).min().unwrap();
+                    let max = ranges.iter().map(|r| r.end - r.start).max().unwrap();
+                    assert!(max - min <= 1, "near-equal split");
+                }
+            }
+        }
+    }
 
     #[test]
     fn small_inputs_stay_inline() {

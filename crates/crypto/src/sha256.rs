@@ -78,6 +78,19 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// One-shot digest of the concatenation of `parts` — equivalent to
+    /// [`digest`](Sha256::digest) over the joined bytes without the
+    /// intermediate allocation. The Merkle inner-node hash and the
+    /// stream-IV derivation are domain-separated concatenations, so
+    /// they sit on this path.
+    pub fn digest_parts(parts: &[&[u8]]) -> Digest {
+        let mut h = Sha256::new();
+        for part in parts {
+            h.update(part);
+        }
+        h.finalize()
+    }
+
     /// Absorbs `data` into the hash state.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
@@ -216,6 +229,14 @@ mod tests {
             hex(&h.finalize()),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
         );
+    }
+
+    #[test]
+    fn digest_parts_matches_concatenation() {
+        let parts: [&[u8]; 4] = [b"merkle-node-v1", &[7u8; 32], &[9u8; 32], b""];
+        let joined: Vec<u8> = parts.concat();
+        assert_eq!(Sha256::digest_parts(&parts), Sha256::digest(&joined));
+        assert_eq!(Sha256::digest_parts(&[]), Sha256::digest(b""));
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * `any::<T>()` for the primitive integer types and `bool`
 //! * integer range strategies (`0u32..500`), tuple strategies,
 //!   `prop::collection::vec`, `prop::array::uniform{12,16,32}`,
-//!   simple `"[a-z]{1,8}"` string patterns, and `.prop_map`
+//!   simple `"[a-z]{1,8}"` string patterns, `.prop_map`, and
+//!   `.prop_flat_map` (dependent strategies)
 //!
 //! Generation is deterministic per test (seeded from the test's module
 //! path), so failures reproduce across runs.

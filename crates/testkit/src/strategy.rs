@@ -20,6 +20,38 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Builds a *dependent* strategy from each generated value and
+    /// generates from it (proptest's `prop_flat_map`) — e.g. pick a
+    /// buffer length first, then index ranges valid for that length.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -314,6 +346,19 @@ mod tests {
         assert_eq!(&s[..2], "ab");
         assert_eq!(s.len(), 5);
         assert!(s[2..].bytes().all(|b| b.is_ascii_digit()));
+    }
+
+    #[test]
+    fn flat_map_generates_dependent_values() {
+        let mut rng = TestRng::from_name("flat-map");
+        for _ in 0..300 {
+            // Pick a length, then an index strictly below it: valid by
+            // construction only if the dependency actually flows.
+            let (len, index) = (1usize..100)
+                .prop_flat_map(|len| (Just(len), 0..len))
+                .generate(&mut rng);
+            assert!(index < len, "index {index} out of bounds for {len}");
+        }
     }
 
     #[test]

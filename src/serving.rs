@@ -69,7 +69,8 @@ use salus_accel::harness::{
     RunPlan,
 };
 use salus_accel::integrity::{
-    stage_execute_verified, stage_program_key_verified, IntegrityPlan, VerifiedOutcome,
+    regs as integrity_regs, stage_execute_verified, stage_program_key_verified, IntegrityPlan,
+    VerifiedOutcome,
 };
 use salus_accel::workload::Workload;
 use salus_core::platform::{AuditEvent, ControlPlane, SlotId, TenantId};
@@ -393,6 +394,21 @@ struct ExecutedBatch {
     requests: Vec<(u64, Duration)>,
 }
 
+/// Integrity-session counters read from a lane's controller over the
+/// secure register channel (see
+/// [`ServingPlane::lane_integrity_stats`]). Together they show whether
+/// a lane's root derivations actually ran on the incremental fast
+/// path, without exposing any key material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegrityStats {
+    /// Full Merkle tree rebuilds the controller performed.
+    pub full_builds: u64,
+    /// Incremental dirty-chunk root refreshes.
+    pub incr_refreshes: u64,
+    /// Total chunks re-hashed across those refreshes.
+    pub chunks_rehashed: u64,
+}
+
 /// What one drain did, in virtual time.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
@@ -566,6 +582,34 @@ impl ServingPlane {
     /// lanes and standalone sessions).
     pub fn lane_tenancy(&self, lane: LaneId) -> Option<Tenancy> {
         self.lanes.get(lane.0)?.as_ref()?.session.tenancy()
+    }
+
+    /// Reads `lane`'s integrity-session counters over the secure
+    /// register channel: how many Merkle roots the controller derived
+    /// by full rebuild vs incremental dirty-chunk refresh, and how many
+    /// chunks those refreshes re-hashed in total. All zeros on a
+    /// confidentiality-only lane (the plain controller ignores the
+    /// addresses).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownLane`] for detached lanes;
+    /// [`ServeError::Rejected`] on register-channel violations.
+    pub fn lane_integrity_stats(&mut self, lane: LaneId) -> Result<IntegrityStats, ServeError> {
+        let l = self
+            .lanes
+            .get_mut(lane.0)
+            .and_then(|l| l.as_mut())
+            .ok_or(ServeError::UnknownLane(lane))?;
+        let bed = l.session.bed_mut();
+        let read = |bed: &mut salus_core::instance::TestBed, reg| {
+            bed.secure_reg_read(reg).map_err(ServeError::Rejected)
+        };
+        Ok(IntegrityStats {
+            full_builds: read(bed, integrity_regs::STAT_FULL_BUILDS)?,
+            incr_refreshes: read(bed, integrity_regs::STAT_INCR_REFRESHES)?,
+            chunks_rehashed: read(bed, integrity_regs::STAT_CHUNKS_REHASHED)?,
+        })
     }
 
     /// Runs one deadline-bounded runtime re-attestation challenge
